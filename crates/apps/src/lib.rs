@@ -1,0 +1,21 @@
+//! Downstream application use cases (§5 of the paper) — the consumers
+//! that demonstrate SpectraGAN-generated data is *useful*, not just
+//! statistically similar:
+//!
+//! * [`power`] — data-driven micro base-station sleeping (§5.1):
+//!   traffic-aware on/off switching with the standard linear BS power
+//!   model and the Table 6 parameters; reproduces Fig. 10.
+//! * [`vran`] — RU-to-CU load balancing in virtualized RANs (§5.2):
+//!   balanced contiguous partitioning of the RU adjacency graph,
+//!   assessed by Jain's fairness index; reproduces Table 7.
+//! * [`population`] — dynamic urban population tracking (§5.3): the
+//!   multivariate regression of Eq. 8 mapping traffic to people
+//!   presence; reproduces Table 8 / Fig. 11.
+
+pub mod population;
+pub mod power;
+pub mod vran;
+
+pub use population::{population_map, ActivityProfile, PopulationModel};
+pub use power::{BsParams, PowerReport, MACRO_BS, MICRO_BS, RHO_MIN};
+pub use vran::{partition_rus, VranAssessment};

@@ -1,0 +1,145 @@
+//! Dynamic urban population tracking (§5.3).
+//!
+//! The multivariate regression of Khodabandelou et al. [42], Eq. 8 of
+//! the paper:
+//!
+//! ```text
+//! p_i(t) = exp(k1·λ_i(t) + k2) · x_i(t)^(k3·λ_i(t) + k4)
+//! ```
+//!
+//! maps measured traffic `x_i(t)` to people presence, modulated by the
+//! network activity level `λ_i(t)` (mean events per subscriber). The
+//! paper parameterizes λ from the original study's Fig. 8 (a diurnal
+//! profile) and the constants from its Table 4; [`ActivityProfile`]
+//! and [`PopulationModel::default_urban`] carry representative values
+//! of the same shape (documented in DESIGN.md as a substitution).
+
+use spectragan_geo::TrafficMap;
+
+/// Hourly network activity level λ(t): events per subscriber per hour,
+/// higher during waking hours — the diurnal shape of the original
+/// study's Fig. 8.
+#[derive(Debug, Clone)]
+pub struct ActivityProfile {
+    /// λ for each hour of the day (24 values).
+    pub hourly: [f64; 24],
+}
+
+impl ActivityProfile {
+    /// Representative urban activity profile: low overnight (≈0.4),
+    /// peaking in the evening (≈1.6).
+    pub fn default_urban() -> Self {
+        let mut hourly = [0.0; 24];
+        for (h, slot) in hourly.iter_mut().enumerate() {
+            let phase = 2.0 * std::f64::consts::PI * (h as f64 - 16.0) / 24.0;
+            *slot = 1.0 + 0.6 * phase.cos() - if h < 6 { 0.3 } else { 0.0 };
+        }
+        ActivityProfile { hourly }
+    }
+
+    /// λ at a given hour of day.
+    pub fn at_hour(&self, hour: usize) -> f64 {
+        self.hourly[hour % 24]
+    }
+}
+
+/// The Eq. 8 regression constants.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationModel {
+    /// Exponential activity coefficient `k1`.
+    pub k1: f64,
+    /// Exponential offset `k2`.
+    pub k2: f64,
+    /// Power-law activity coefficient `k3`.
+    pub k3: f64,
+    /// Power-law offset `k4`.
+    pub k4: f64,
+}
+
+impl PopulationModel {
+    /// Representative constants of the original study's Table 4 (same
+    /// signs and magnitudes: activity raises the scale and slightly
+    /// sub-linear traffic exponent).
+    pub fn default_urban() -> Self {
+        PopulationModel { k1: 0.3, k2: 1.0, k3: 0.15, k4: 0.45 }
+    }
+
+    /// Estimated population at one pixel given traffic `x ≥ 0` and
+    /// activity `λ`.
+    pub fn estimate(&self, x: f64, lambda: f64) -> f64 {
+        let x = x.max(0.0);
+        if x == 0.0 {
+            return 0.0;
+        }
+        (self.k1 * lambda + self.k2).exp() * x.powf(self.k3 * lambda + self.k4)
+    }
+}
+
+/// Computes the population presence map at time step `t` of `traffic`
+/// (hourly steps assumed: `steps_per_hour` converts indices to hours).
+pub fn population_map(
+    traffic: &TrafficMap,
+    t: usize,
+    model: &PopulationModel,
+    activity: &ActivityProfile,
+    steps_per_hour: usize,
+) -> Vec<f64> {
+    let hour = (t / steps_per_hour) % 24;
+    let lambda = activity.at_hour(hour);
+    traffic
+        .frame(t)
+        .iter()
+        .map(|&x| model.estimate(x as f64, lambda))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_profile_has_a_diurnal_swing() {
+        let a = ActivityProfile::default_urban();
+        let night = a.at_hour(3);
+        let evening = a.at_hour(17);
+        assert!(evening > 1.2 * night, "evening {evening} night {night}");
+        assert!(a.hourly.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn population_is_monotone_in_traffic() {
+        let m = PopulationModel::default_urban();
+        let lambda = 1.0;
+        assert!(m.estimate(0.8, lambda) > m.estimate(0.4, lambda));
+        assert_eq!(m.estimate(0.0, lambda), 0.0);
+        assert!(m.estimate(-0.5, lambda) == 0.0, "negative traffic clamps");
+    }
+
+    #[test]
+    fn higher_activity_means_fewer_people_per_byte() {
+        // With k3 > 0 and x < 1, higher λ *lowers* the power-law factor
+        // while raising the exponential scale; the combined model must
+        // stay finite and positive either way.
+        let m = PopulationModel::default_urban();
+        let p_low = m.estimate(0.5, 0.4);
+        let p_high = m.estimate(0.5, 1.6);
+        assert!(p_low > 0.0 && p_high > 0.0);
+        assert!(p_low != p_high);
+    }
+
+    #[test]
+    fn population_map_follows_traffic_shape() {
+        let mut traffic = TrafficMap::zeros(1, 2, 2);
+        traffic.data_mut().copy_from_slice(&[0.1, 0.9, 0.5, 0.0]);
+        let pm = population_map(
+            &traffic,
+            0,
+            &PopulationModel::default_urban(),
+            &ActivityProfile::default_urban(),
+            1,
+        );
+        assert_eq!(pm.len(), 4);
+        assert!(pm[1] > pm[2] && pm[2] > pm[0]);
+        assert_eq!(pm[3], 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! RU-to-CU load balancing in virtualized RANs (§5.2).
+//!
+//! Every pixel hosts one Radio Unit (RU); RUs serving adjacent pixels
+//! are connected in the deployment graph. The optimization of Eq. 3–7
+//! partitions RUs into |C| spatially-contiguous groups (one per
+//! Central Unit) whose summed traffic loads are balanced, minimizing
+//! cut edges. The paper solves it with a balanced graph-partitioning
+//! heuristic [62]; we implement the same idea from scratch: spread
+//! seeds, grow regions greedily by least-loaded-first breadth growth,
+//! then refine with load-improving boundary moves.
+//!
+//! Table 7 drives partitions with synthetic vs real traffic for one
+//! day and scores the *realized* CU loads on a different day with
+//! Jain's fairness index.
+
+use spectragan_geo::{GridSpec, TrafficMap};
+use spectragan_metrics::jain_index;
+
+/// A partition of the grid's pixels into `|C|` CU groups: entry `i` is
+/// the CU index of pixel `i` (row-major).
+pub type Partition = Vec<usize>;
+
+/// Partitions the RUs of an `h×w` grid into `num_cu` contiguous,
+/// load-balanced groups, given per-RU loads (row-major, length `h·w`).
+///
+/// # Panics
+/// Panics if `num_cu` is zero or exceeds the number of pixels.
+pub fn partition_rus(loads: &[f64], h: usize, w: usize, num_cu: usize) -> Partition {
+    let grid = GridSpec::new(h, w);
+    assert_eq!(loads.len(), h * w, "load vector size mismatch");
+    assert!(num_cu >= 1 && num_cu <= h * w, "bad CU count {num_cu}");
+
+    // --- Seeds: approximately evenly spread over the grid -------------
+    let mut seeds = Vec::with_capacity(num_cu);
+    let cols = (num_cu as f64).sqrt().ceil() as usize;
+    let rows = num_cu.div_ceil(cols);
+    let mut k = 0;
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if k == num_cu {
+                break 'outer;
+            }
+            let y = ((r as f64 + 0.5) / rows as f64 * h as f64) as usize;
+            let x = ((c as f64 + 0.5) / cols as f64 * w as f64) as usize;
+            seeds.push(grid.index(y.min(h - 1), x.min(w - 1)));
+            k += 1;
+        }
+    }
+    seeds.dedup();
+    while seeds.len() < num_cu {
+        // Degenerate tiny grids: fill with first unused pixels.
+        for i in 0..h * w {
+            if !seeds.contains(&i) {
+                seeds.push(i);
+                break;
+            }
+        }
+    }
+
+    // --- Greedy balanced region growing --------------------------------
+    let mut assign: Vec<Option<usize>> = vec![None; h * w];
+    let mut cu_load = vec![0.0f64; num_cu];
+    let mut frontiers: Vec<Vec<usize>> = vec![Vec::new(); num_cu];
+    for (cu, &s) in seeds.iter().enumerate() {
+        assign[s] = Some(cu);
+        cu_load[cu] += loads[s];
+        let (y, x) = grid.coords(s);
+        for (ny, nx) in grid.neighbors4(y, x) {
+            frontiers[cu].push(grid.index(ny, nx));
+        }
+    }
+    let mut remaining = h * w - seeds.len();
+    while remaining > 0 {
+        // The least-loaded CU with a non-empty frontier grows next.
+        let mut order: Vec<usize> = (0..num_cu).collect();
+        order.sort_by(|&a, &b| cu_load[a].partial_cmp(&cu_load[b]).expect("finite load"));
+        let mut grew = false;
+        for &cu in &order {
+            // Pop unassigned frontier pixels.
+            while let Some(px) = frontiers[cu].pop() {
+                if assign[px].is_some() {
+                    continue;
+                }
+                assign[px] = Some(cu);
+                cu_load[cu] += loads[px];
+                let (y, x) = grid.coords(px);
+                for (ny, nx) in grid.neighbors4(y, x) {
+                    let n = grid.index(ny, nx);
+                    if assign[n].is_none() {
+                        frontiers[cu].push(n);
+                    }
+                }
+                remaining -= 1;
+                grew = true;
+                break;
+            }
+            if grew {
+                break;
+            }
+        }
+        if !grew {
+            // Disconnected leftovers (cannot happen on a 4-connected
+            // rectangle, but guard anyway): assign to least loaded CU.
+            for px in 0..h * w {
+                if assign[px].is_none() {
+                    let cu = order[0];
+                    assign[px] = Some(cu);
+                    cu_load[cu] += loads[px];
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    let mut partition: Partition = assign.into_iter().map(|a| a.expect("assigned")).collect();
+
+    // --- Local refinement: boundary moves improving balance ------------
+    // Move a boundary pixel from its CU to an adjacent CU whenever that
+    // reduces the pairwise load gap, provided the donor region stays
+    // connected and non-empty (exact flood-fill check; grids are small).
+    for _pass in 0..40 {
+        let mut improved = false;
+        for px in 0..h * w {
+            let from = partition[px];
+            let (y, x) = grid.coords(px);
+            let mut candidates: Vec<usize> = grid
+                .neighbors4(y, x)
+                .into_iter()
+                .map(|(ny, nx)| partition[grid.index(ny, nx)])
+                .filter(|&to| to != from)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            // Prefer the least-loaded candidate.
+            candidates.sort_by(|&a, &b| cu_load[a].partial_cmp(&cu_load[b]).expect("finite"));
+            for to in candidates {
+                let before = (cu_load[from] - cu_load[to]).abs();
+                let after = ((cu_load[from] - loads[px]) - (cu_load[to] + loads[px])).abs();
+                if after + 1e-12 < before && donor_stays_connected(&partition, grid, px, from) {
+                    partition[px] = to;
+                    cu_load[from] -= loads[px];
+                    cu_load[to] += loads[px];
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    partition
+}
+
+/// Exact connectivity guard: `px` may leave CU `cu` only if the rest of
+/// the CU remains non-empty and connected (flood fill excluding `px`).
+fn donor_stays_connected(partition: &Partition, grid: GridSpec, px: usize, cu: usize) -> bool {
+    let members: Vec<usize> = (0..grid.num_pixels())
+        .filter(|&i| i != px && partition[i] == cu)
+        .collect();
+    let Some(&start) = members.first() else {
+        return false; // would empty the CU
+    };
+    let mut seen = vec![false; grid.num_pixels()];
+    seen[start] = true;
+    let mut stack = vec![start];
+    let mut count = 1;
+    while let Some(p) = stack.pop() {
+        let (y, x) = grid.coords(p);
+        for (ny, nx) in grid.neighbors4(y, x) {
+            let n = grid.index(ny, nx);
+            if n != px && partition[n] == cu && !seen[n] {
+                seen[n] = true;
+                count += 1;
+                stack.push(n);
+            }
+        }
+    }
+    count == members.len()
+}
+
+/// CU loads realized by `partition` at time `t` of `traffic`.
+pub fn cu_loads(partition: &Partition, traffic: &TrafficMap, t: usize, num_cu: usize) -> Vec<f64> {
+    let hw = traffic.height() * traffic.width();
+    let mut loads = vec![0.0f64; num_cu];
+    let frame = traffic.frame(t);
+    for px in 0..hw {
+        loads[partition[px]] += frame[px] as f64;
+    }
+    loads
+}
+
+/// Outcome of a Table 7 style assessment: Jain index of realized CU
+/// loads over time.
+#[derive(Debug, Clone)]
+pub struct VranAssessment {
+    /// Jain index per evaluated time step.
+    pub jain_per_step: Vec<f64>,
+}
+
+impl VranAssessment {
+    /// Mean of the per-step Jain indices.
+    pub fn mean(&self) -> f64 {
+        self.jain_per_step.iter().sum::<f64>() / self.jain_per_step.len() as f64
+    }
+
+    /// Standard deviation of the per-step Jain indices.
+    pub fn std(&self) -> f64 {
+        let m = self.mean();
+        (self.jain_per_step.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+            / self.jain_per_step.len() as f64)
+            .sqrt()
+    }
+}
+
+/// Runs the §5.2 protocol: for each time step of `planning_day`,
+/// partition the RUs using that step's loads; realize the association
+/// on the *same* step of `evaluation_day` and record Jain's index of
+/// the realized CU loads.
+///
+/// # Panics
+/// Panics if the two maps differ in shape.
+pub fn assess(
+    planning_day: &TrafficMap,
+    evaluation_day: &TrafficMap,
+    num_cu: usize,
+) -> VranAssessment {
+    assert_eq!(
+        (planning_day.len_t(), planning_day.height(), planning_day.width()),
+        (evaluation_day.len_t(), evaluation_day.height(), evaluation_day.width()),
+        "planning and evaluation maps must be congruent"
+    );
+    let (h, w) = (planning_day.height(), planning_day.width());
+    let jain_per_step = (0..planning_day.len_t())
+        .map(|t| {
+            let plan_loads: Vec<f64> = planning_day
+                .frame(t)
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            let partition = partition_rus(&plan_loads, h, w, num_cu);
+            jain_index(&cu_loads(&partition, evaluation_day, t, num_cu))
+        })
+        .collect();
+    VranAssessment { jain_per_step }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_pixels_with_all_cus() {
+        let loads = vec![1.0; 100];
+        let p = partition_rus(&loads, 10, 10, 4);
+        assert_eq!(p.len(), 100);
+        for cu in 0..4 {
+            assert!(p.contains(&cu), "CU {cu} empty");
+        }
+    }
+
+    #[test]
+    fn uniform_loads_partition_nearly_evenly() {
+        let loads = vec![1.0; 144];
+        let p = partition_rus(&loads, 12, 12, 4);
+        let mut sizes = [0usize; 4];
+        for &c in &p {
+            sizes[c] += 1;
+        }
+        for &s in &sizes {
+            assert!((30..=42).contains(&s), "sizes {sizes:?}");
+        }
+        let j = jain_index(&sizes.map(|s| s as f64));
+        assert!(j > 0.97, "jain {j}");
+    }
+
+    #[test]
+    fn skewed_loads_still_balance_by_load() {
+        // One hot corner: the hot CU should cover fewer pixels.
+        let (h, w) = (10, 10);
+        let mut loads = vec![0.1; h * w];
+        for y in 0..3 {
+            for x in 0..3 {
+                loads[y * w + x] = 5.0;
+            }
+        }
+        let p = partition_rus(&loads, h, w, 4);
+        let mut cu_load = [0.0f64; 4];
+        for (px, &c) in p.iter().enumerate() {
+            cu_load[c] += loads[px];
+        }
+        let j = jain_index(&cu_load);
+        assert!(j > 0.7, "jain {j}, loads {cu_load:?}");
+    }
+
+    #[test]
+    fn partitions_are_contiguous() {
+        let loads: Vec<f64> = (0..64).map(|i| 0.2 + (i % 7) as f64 * 0.1).collect();
+        let p = partition_rus(&loads, 8, 8, 4);
+        let grid = GridSpec::new(8, 8);
+        // Flood-fill each CU from one member; all members reachable.
+        for cu in 0..4 {
+            let members: Vec<usize> = (0..64).filter(|&i| p[i] == cu).collect();
+            let mut seen = [false; 64];
+            let mut stack = vec![members[0]];
+            seen[members[0]] = true;
+            while let Some(px) = stack.pop() {
+                let (y, x) = grid.coords(px);
+                for (ny, nx) in grid.neighbors4(y, x) {
+                    let n = grid.index(ny, nx);
+                    if p[n] == cu && !seen[n] {
+                        seen[n] = true;
+                        stack.push(n);
+                    }
+                }
+            }
+            for &m in &members {
+                assert!(seen[m], "CU {cu} disconnected at {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn assessment_on_identical_days_is_highly_fair() {
+        let mut m = TrafficMap::zeros(6, 8, 8);
+        for t in 0..6 {
+            for px in 0..64 {
+                m.data_mut()[t * 64 + px] = 0.2 + ((px * 13 + t) % 10) as f32 * 0.05;
+            }
+        }
+        let a = assess(&m, &m, 4);
+        assert_eq!(a.jain_per_step.len(), 6);
+        assert!(a.mean() > 0.9, "mean {}", a.mean());
+        assert!(a.std() < 0.1);
+    }
+}

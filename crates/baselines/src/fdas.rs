@@ -1,0 +1,143 @@
+//! FDAS — fit distribution and sample (§3.3).
+//!
+//! Following Di Francesco et al. [26] and Oliveira et al. [54], fit an
+//! empirical distribution to the traffic and sample from it. Like the
+//! paper's instantiation, we fit a *separate log-normal per hour of the
+//! day* over pixel-level traffic, then draw every pixel and time step
+//! independently. This keeps the marginal distribution (good M-TV) but
+//! has no spatial, temporal or spatiotemporal correlation — the failure
+//! mode shown in Fig. 6.
+
+use crate::util::randn1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spectragan_geo::{City, ContextMap, TrafficMap};
+use spectragan_metrics::LogNormal;
+
+/// The FDAS baseline: 24 per-hour log-normal fits.
+#[derive(Debug, Clone)]
+pub struct Fdas {
+    hourly: Vec<LogNormal>,
+    steps_per_hour: usize,
+}
+
+impl Fdas {
+    /// Fits the per-hour distributions on the training cities.
+    ///
+    /// `steps_per_hour` maps series indices to hours (1 for hourly
+    /// data).
+    pub fn fit(cities: &[City], steps_per_hour: usize) -> Self {
+        assert!(!cities.is_empty(), "FDAS needs at least one training city");
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 24];
+        for city in cities {
+            let hw = city.traffic.height() * city.traffic.width();
+            for t in 0..city.traffic.len_t() {
+                let hour = (t / steps_per_hour) % 24;
+                let frame = &city.traffic.data()[t * hw..(t + 1) * hw];
+                buckets[hour].extend(frame.iter().map(|&v| v as f64));
+            }
+        }
+        let hourly = buckets
+            .into_iter()
+            .map(|b| {
+                assert!(!b.is_empty(), "no samples for some hour of day");
+                LogNormal::fit(&b, 1e-4)
+            })
+            .collect();
+        Fdas { hourly, steps_per_hour }
+    }
+
+    /// The fitted distribution for a given hour of day.
+    pub fn distribution(&self, hour: usize) -> LogNormal {
+        self.hourly[hour % 24]
+    }
+
+    /// Samples a synthetic map: every pixel × step draw is independent,
+    /// from the distribution of that step's hour. Context only sets the
+    /// spatial extent.
+    pub fn generate(&self, context: &ContextMap, t_out: usize, seed: u64) -> TrafficMap {
+        let (h, w) = (context.height(), context.width());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = TrafficMap::zeros(t_out, h, w);
+        for t in 0..t_out {
+            let hour = (t / self.steps_per_hour) % 24;
+            let dist = self.hourly[hour];
+            for y in 0..h {
+                for x in 0..w {
+                    let v = dist.sample_from_normal(randn1(&mut rng) as f64);
+                    *out.at_mut(t, y, x) = (v as f32).clamp(0.0, 1.0);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+
+    fn city(seed: u64) -> City {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+        generate_city(
+            &CityConfig { name: "F".into(), height: 33, width: 33, seed },
+            &ds,
+        )
+    }
+
+    #[test]
+    fn fits_and_generates_requested_shape() {
+        let c = city(1);
+        let model = Fdas::fit(&[c.clone()], 1);
+        let out = model.generate(&c.context, 48, 0);
+        assert_eq!(out.len_t(), 48);
+        assert_eq!((out.height(), out.width()), (c.traffic.height(), c.traffic.width()));
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn hourly_means_follow_the_diurnal_cycle() {
+        let c = city(2);
+        let model = Fdas::fit(&[c.clone()], 1);
+        // The real data has a pronounced day/night difference; the
+        // per-hour fits must reflect it.
+        let series = c.traffic.city_series();
+        let real_peak_hour = (0..24)
+            .max_by(|&a, &b| {
+                let va: f64 = (0..7).map(|d| series[d * 24 + a]).sum();
+                let vb: f64 = (0..7).map(|d| series[d * 24 + b]).sum();
+                va.partial_cmp(&vb).unwrap()
+            })
+            .unwrap();
+        let real_trough_hour = (0..24)
+            .min_by(|&a, &b| {
+                let va: f64 = (0..7).map(|d| series[d * 24 + a]).sum();
+                let vb: f64 = (0..7).map(|d| series[d * 24 + b]).sum();
+                va.partial_cmp(&vb).unwrap()
+            })
+            .unwrap();
+        assert!(
+            model.distribution(real_peak_hour).mean()
+                > model.distribution(real_trough_hour).mean()
+        );
+    }
+
+    #[test]
+    fn generated_pixels_are_spatially_uncorrelated() {
+        // The defining failure: neighbouring pixels share no structure.
+        let c = city(3);
+        let model = Fdas::fit(&[c.clone()], 1);
+        let out = model.generate(&c.context, 168, 1);
+        let a = out.pixel_series(2, 2);
+        let b = out.pixel_series(2, 3);
+        let pcc = spectragan_metrics::pearson(&a, &b);
+        // Hour-of-day means induce some common structure; full spatial
+        // correlation like real data (≈0.9 for neighbours) must be gone.
+        let real_pcc = spectragan_metrics::pearson(
+            &c.traffic.pixel_series(2, 2),
+            &c.traffic.pixel_series(2, 3),
+        );
+        assert!(pcc < real_pcc, "fdas {pcc} vs real {real_pcc}");
+    }
+}

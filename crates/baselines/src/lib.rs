@@ -1,0 +1,57 @@
+//! Baseline generators from the paper's evaluation (§3.3), each
+//! representing a family of prior work:
+//!
+//! * [`Fdas`] — **Fit-Distribution-And-Sample**: the pre-deep-learning
+//!   state of the art on mobile traffic synthesis (Di Francesco et al.,
+//!   Oliveira et al.): fit a log-normal per hour of day, then sample
+//!   pixels and time steps independently. Captures marginals, destroys
+//!   all correlation (Fig. 6).
+//! * [`Pix2PixLite`] — spatial-only conditional GAN in the image-to-
+//!   image translation mold: context window → one traffic frame, no
+//!   notion of time.
+//! * [`DoppelGangerLite`] — per-pixel conditional time-series GAN
+//!   (RNN-based, following Lin et al.); pixels are generated
+//!   independently given only their own context, so spatial and
+//!   spatiotemporal correlations are lost.
+//! * [`Conv3dLstmLite`] — spatiotemporal conditional GAN combining the
+//!   SpectraGAN context encoder with a convolutionally-mixed LSTM
+//!   rollout; a black-box architecture with no spectral inductive bias.
+//!
+//! Model scale matches `spectragan-core`'s CPU-sized configuration so
+//! comparisons are apples-to-apples.
+
+pub mod conv3d_lstm;
+pub mod doppelganger;
+pub mod fdas;
+pub mod pix2pix;
+pub(crate) mod util;
+
+pub use conv3d_lstm::Conv3dLstmLite;
+pub use doppelganger::DoppelGangerLite;
+pub use fdas::Fdas;
+pub use pix2pix::Pix2PixLite;
+
+/// Training budget shared by the neural baselines.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineTrainConfig {
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Patches (or pixel groups) per minibatch.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BaselineTrainConfig {
+    /// Short run for tests.
+    pub fn smoke() -> Self {
+        BaselineTrainConfig { steps: 5, batch: 2, lr: 2e-3, seed: 0 }
+    }
+
+    /// Harness-scale run.
+    pub fn eval() -> Self {
+        BaselineTrainConfig { steps: 160, batch: 4, lr: 2e-3, seed: 0 }
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the neural baselines.
+
+use rand::Rng;
+use spectragan_tensor::Tensor;
+
+/// Draws one standard normal using Box–Muller.
+pub fn randn1(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Stacks equal-shape tensors along a new leading axis.
+pub fn stack(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "stack of zero tensors");
+    let mut dims = vec![1usize];
+    dims.extend_from_slice(parts[0].shape().dims());
+    let reshaped: Vec<Tensor> = parts.iter().map(|p| p.reshape(dims.clone())).collect();
+    let refs: Vec<&Tensor> = reshaped.iter().collect();
+    Tensor::concat(&refs, 0)
+}
+
+/// Leaky-ReLU on a plain tensor (slope 0.2).
+pub fn lrelu(t: Tensor) -> Tensor {
+    t.map(|v| if v > 0.0 { v } else { 0.2 * v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stack_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::ones([2, 3]);
+        let s = stack(&[&a, &b]);
+        assert_eq!(s.shape().dims(), &[2, 2, 3]);
+        assert_eq!(s.at(&[1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn randn1_varies() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = randn1(&mut rng);
+        let b = randn1(&mut rng);
+        assert_ne!(a, b);
+    }
+}

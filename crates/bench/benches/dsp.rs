@@ -1,0 +1,56 @@
+//! Criterion microbenches for the DSP substrate: FFT across the sizes
+//! the pipeline actually uses (168 = one hourly week, 672 = 15-min
+//! week, powers of two for the radix-2 path), real FFT round-trips,
+//! masking and k-multiple expansion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spectragan_dsp::{expand_spectrum, fft, irfft, mask_quantile, rfft, Complex};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            1.0 + (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                + 0.2 * (t as f64 * 0.7).cos()
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [128usize, 168, 256, 672, 1024] {
+        let x: Vec<Complex> = signal(n).into_iter().map(Complex::real).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| fft(black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rfft_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfft_roundtrip");
+    for n in [168usize, 672] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| {
+                let s = rfft(black_box(x));
+                irfft(&s, x.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mask_and_expand(c: &mut Criterion) {
+    let x = signal(168);
+    let spec = rfft(&x);
+    c.bench_function("mask_quantile_q75_168", |b| {
+        b.iter(|| mask_quantile(black_box(&spec), 0.75))
+    });
+    c.bench_function("expand_spectrum_k3_168", |b| {
+        b.iter(|| expand_spectrum(black_box(&spec), 168, 3))
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_rfft_roundtrip, bench_mask_and_expand);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion macrobenches for the generation pipeline: patch
+//! extraction/sewing throughput, city generation rate, and the
+//! fidelity metrics' own cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spectragan_core::{SpectraGan, SpectraGanConfig};
+use spectragan_geo::{PatchLayout, PatchSpec};
+use spectragan_metrics::{ac_l1, fvd, m_tv, ssim_mean_maps, tstr_r2};
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+use spectragan_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_patches(c: &mut Criterion) {
+    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let city = generate_city(
+        &CityConfig { name: "P".into(), height: 40, width: 40, seed: 2 },
+        &ds,
+    );
+    let layout = PatchLayout::new(city.grid(), PatchSpec::new(8, 16, 4));
+    let ctx = city.context.standardized();
+    c.bench_function("extract_all_context_patches", |b| {
+        b.iter(|| {
+            layout
+                .positions()
+                .iter()
+                .map(|&pos| layout.extract_context(black_box(&ctx), pos))
+                .collect::<Vec<_>>()
+        })
+    });
+    let patches: Vec<Tensor> = layout
+        .positions()
+        .iter()
+        .map(|&pos| layout.extract_traffic(&city.traffic, pos, 0, 168))
+        .collect();
+    c.bench_function("sew_city_168steps", |b| {
+        b.iter(|| layout.sew(black_box(&patches)))
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let city = generate_city(
+        &CityConfig { name: "G".into(), height: 33, width: 33, seed: 3 },
+        &ds,
+    );
+    let model = SpectraGan::new(SpectraGanConfig::default_hourly(), 0);
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.bench_function("city_1week", |b| {
+        b.iter(|| model.generate(black_box(&city.context), 168, 0))
+    });
+    group.bench_function("city_3weeks", |b| {
+        b.iter(|| model.generate(black_box(&city.context), 504, 0))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let ds = DatasetConfig { weeks: 2, steps_per_hour: 1, size_scale: 0.5 };
+    let city = generate_city(
+        &CityConfig { name: "M".into(), height: 33, width: 33, seed: 4 },
+        &ds,
+    );
+    let a = city.traffic.slice_time(0, 168);
+    let b2 = city.traffic.slice_time(168, 336);
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    group.bench_function("m_tv", |b| b.iter(|| m_tv(black_box(&a), black_box(&b2))));
+    group.bench_function("ssim", |b| {
+        b.iter(|| ssim_mean_maps(black_box(&a), black_box(&b2)))
+    });
+    group.bench_function("ac_l1", |b| {
+        b.iter(|| ac_l1(black_box(&a), black_box(&b2), 168))
+    });
+    group.bench_function("tstr", |b| {
+        b.iter(|| tstr_r2(black_box(&a), black_box(&b2), 1))
+    });
+    group.bench_function("fvd", |b| b.iter(|| fvd(black_box(&a), black_box(&b2), 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_patches, bench_generation, bench_metrics);
+criterion_main!(benches);

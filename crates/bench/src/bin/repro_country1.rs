@@ -1,0 +1,81 @@
+//! Reproduces the **Figure 7 / Figure 8** artefacts: for one
+//! leave-one-out fold, the time-averaged traffic maps of every model
+//! (Fig. 7) and the 3-week mean city-wide series (Fig. 8, CITY B by
+//! default).
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_country1 -- [--fold N] [--steps N]
+//! ```
+
+use spectragan_bench::data::country1_with_reference;
+use spectragan_bench::report::write_csv;
+use spectragan_bench::{parse_scale, train_and_generate, ModelKind, OutDir};
+use spectragan_metrics::pearson;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let fold = args
+        .iter()
+        .position(|a| a == "--fold")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1); // CITY B, as in Fig. 8
+    let (cities, _) = country1_with_reference(&scale);
+    let name = cities[fold].name.replace(' ', "_");
+    let out = OutDir::create();
+
+    let mut series_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut real_series: Option<Vec<f64>> = None;
+    for kind in ModelKind::headline() {
+        eprintln!("training {}…", kind.name());
+        let (real, synth) = train_and_generate(kind, &cities, fold, &scale);
+        if real_series.is_none() {
+            real_series = Some(real.city_series());
+            let mm = real.mean_map();
+            let w = real.width();
+            write_csv(
+                &out.path(&format!("fig7_map_Data_{name}.csv")),
+                "y,x,traffic",
+                (0..mm.len()).map(|i| format!("{},{},{:.6}", i / w, i % w, mm[i])),
+            );
+        }
+        let mm = synth.mean_map();
+        let w = synth.width();
+        let tag = kind.name().replace(['{', '}', '+'], "");
+        write_csv(
+            &out.path(&format!("fig7_map_{tag}_{name}.csv")),
+            "y,x,traffic",
+            (0..mm.len()).map(|i| format!("{},{},{:.6}", i / w, i % w, mm[i])),
+        );
+        let real_mm = real.mean_map();
+        println!(
+            "{:<14} mean-map spatial PCC vs real: {:.3}",
+            kind.name(),
+            pearson(&mm, &real_mm)
+        );
+        series_cols.push((kind.name().to_string(), synth.city_series()));
+    }
+
+    let real_series = real_series.expect("at least one model ran");
+    let header = {
+        let mut h = String::from("hour,real");
+        for (n, _) in &series_cols {
+            h.push(',');
+            h.push_str(&n.replace([' ', '{', '}', '+'], ""));
+        }
+        h
+    };
+    write_csv(
+        &out.path(&format!("fig8_series_{name}.csv")),
+        &header,
+        (0..real_series.len()).map(|t| {
+            let mut row = format!("{t},{:.6}", real_series[t]);
+            for (_, s) in &series_cols {
+                row.push_str(&format!(",{:.6}", s[t]));
+            }
+            row
+        }),
+    );
+    println!("wrote Fig. 7 maps and Fig. 8 series for {name}");
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Figure 12** (Appendix A): the spatiotemporal CDF of
+//! traffic per grid cell across all time intervals, for every city of
+//! both countries.
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_fig12
+//! ```
+
+use spectragan_bench::report::write_csv;
+use spectragan_bench::{parse_scale, OutDir};
+use spectragan_synthdata::{country1, country2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = parse_scale(&args);
+    scale.weeks = 1;
+    let ds = scale.dataset();
+    let out = OutDir::create();
+    let mut cities = country1(&ds);
+    cities.extend(country2(&ds));
+
+    let quantile_grid: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    let header = {
+        let mut h = String::from("quantile");
+        for c in &cities {
+            h.push(',');
+            h.push_str(&c.name.replace(' ', "_"));
+        }
+        h
+    };
+    let mut sorted: Vec<Vec<f64>> = Vec::new();
+    for city in &cities {
+        let mut v: Vec<f64> = city.traffic.data().iter().map(|&x| x as f64).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite traffic"));
+        sorted.push(v);
+    }
+    write_csv(
+        &out.path("fig12_cdf.csv"),
+        &header,
+        quantile_grid.iter().map(|&q| {
+            let mut row = format!("{q:.2}");
+            for v in &sorted {
+                let idx = ((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
+                row.push_str(&format!(",{:.6}", v[idx]));
+            }
+            row
+        }),
+    );
+    // Headline: cities are heterogeneous (Fig. 12's point) — medians
+    // span a wide range.
+    println!("per-city median traffic:");
+    for (city, v) in cities.iter().zip(&sorted) {
+        println!("  {:<8} {:.5}", city.name, v[v.len() / 2]);
+    }
+}

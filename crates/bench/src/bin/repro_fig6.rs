@@ -1,0 +1,85 @@
+//! Reproduces the **Figure 6** artefacts: qualitative FDAS failure —
+//! the generated weekly series for CITY A (vs Fig. 1c) and the
+//! time-averaged maps for CITY C, CITY D and CITY H (vs Fig. 7).
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_fig6
+//! ```
+
+use spectragan_baselines::Fdas;
+use spectragan_bench::report::write_csv;
+use spectragan_bench::{parse_scale, OutDir};
+use spectragan_dsp::autocorrelation;
+use spectragan_synthdata::country1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let ds = scale.dataset();
+    let cities = country1(&ds);
+    let out = OutDir::create();
+
+    // Leave CITY A out; fit on the rest (first week only).
+    let train: Vec<_> = cities[1..]
+        .iter()
+        .map(|c| spectragan_geo::City {
+            name: c.name.clone(),
+            traffic: c.traffic.slice_time(0, scale.train_len()),
+            context: c.context.clone(),
+        })
+        .collect();
+    let fdas = Fdas::fit(&train, scale.steps_per_hour);
+
+    // (a) weekly series for CITY A.
+    let a = &cities[0];
+    let synth = fdas.generate(&a.context, scale.train_len(), 1);
+    let series = synth.city_series();
+    write_csv(
+        &out.path("fig6a_fdas_series_cityA.csv"),
+        "hour,fdas_city_mean,real_city_mean",
+        (0..series.len()).map(|t| {
+            format!("{t},{:.6},{:.6}", series[t], a.traffic.city_series()[t])
+        }),
+    );
+    // Headline numbers: FDAS destroys the diurnal autocorrelation.
+    // City-wide averaging partially restores the hourly means, so the
+    // per-pixel numbers are the telling ones (the paper's Fig. 6a plots
+    // individual pixels for the same reason).
+    let real_ac24 = autocorrelation(&a.traffic.city_series(), 25)[24];
+    let fdas_ac24 = autocorrelation(&series, 25)[24];
+    println!("lag-24 autocorrelation (city mean): real {real_ac24:.3}, FDAS {fdas_ac24:.3}");
+    let (by, bx) = {
+        let mm = a.traffic.mean_map();
+        let w = a.traffic.width();
+        let (mut bi, mut bv) = (0usize, f64::MIN);
+        for (i, &v) in mm.iter().enumerate() {
+            if v > bv {
+                bv = v;
+                bi = i;
+            }
+        }
+        (bi / w, bi % w)
+    };
+    let real_px = autocorrelation(&a.traffic.pixel_series(by, bx), 25)[24];
+    let fdas_px = autocorrelation(&synth.pixel_series(by, bx), 25)[24];
+    println!("lag-24 autocorrelation (busiest pixel): real {real_px:.3}, FDAS {fdas_px:.3}");
+
+    // (b)(c)(d) time-averaged maps for CITY C, D, H.
+    for name in ["CITY C", "CITY D", "CITY H"] {
+        let city = cities.iter().find(|c| c.name == name).expect("city exists");
+        let synth = fdas.generate(&city.context, scale.train_len(), 2);
+        let mm = synth.mean_map();
+        let real_mm = city.traffic.mean_map();
+        let w = city.traffic.width();
+        let tag = name.replace(' ', "_");
+        write_csv(
+            &out.path(&format!("fig6_fdas_map_{tag}.csv")),
+            "y,x,fdas,real",
+            (0..mm.len()).map(|i| {
+                format!("{},{},{:.6},{:.6}", i / w, i % w, mm[i], real_mm[i])
+            }),
+        );
+        let pcc = spectragan_metrics::pearson(&mm, &real_mm);
+        println!("{name}: FDAS mean-map spatial PCC with real = {pcc:.3} (≈0 expected)");
+    }
+}

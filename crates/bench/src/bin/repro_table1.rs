@@ -1,0 +1,57 @@
+//! Reproduces **Table 1**: mean and standard deviation, across all 13
+//! cities, of the Pearson correlation between each context attribute
+//! and the time-averaged traffic.
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_table1
+//! ```
+
+use spectragan_bench::{parse_scale, write_json, OutDir};
+use spectragan_geo::context::ATTRIBUTES;
+use spectragan_geo::City;
+use spectragan_metrics::pearson;
+use spectragan_synthdata::{country1, country2};
+
+fn city_pccs(city: &City) -> Vec<f64> {
+    let mean_map = city.traffic.mean_map();
+    (0..city.context.channels())
+        .map(|k| {
+            let plane: Vec<f64> = city.context.channel(k).iter().map(|&v| v as f64).collect();
+            pearson(&plane, &mean_map)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = parse_scale(&args);
+    scale.weeks = 1; // one week of traffic is enough for the PCCs
+    let ds = scale.dataset();
+    let mut cities = country1(&ds);
+    cities.extend(country2(&ds));
+    eprintln!("computing attribute PCCs over {} cities", cities.len());
+
+    let per_city: Vec<Vec<f64>> = cities.iter().map(city_pccs).collect();
+    let n = per_city.len() as f64;
+
+    println!("\nTable 1: context attribute PCC with traffic (13 cities)");
+    println!("{:<24} {:>10} {:>10} {:>10}", "Attribute", "Mean", "Std", "Paper");
+    let mut records = Vec::new();
+    for (k, (name, paper_mean)) in ATTRIBUTES.iter().enumerate() {
+        let vals: Vec<f64> = per_city.iter().map(|c| c[k]).collect();
+        let mean = vals.iter().sum::<f64>() / n;
+        let std = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+        println!("{name:<24} {mean:>10.3} {std:>10.3} {paper_mean:>10.3}");
+        records.push(serde_json::json!({
+            "attribute": name, "mean": mean, "std": std, "paper_mean": paper_mean,
+        }));
+    }
+    let out = OutDir::create();
+    write_json(&out, "table1.json", &records);
+
+    // Shape check mirrored from the paper: census is the strongest
+    // positive attribute, barren lands the most negative.
+    let census_mean: f64 = per_city.iter().map(|c| c[0]).sum::<f64>() / n;
+    let barren_mean: f64 = per_city.iter().map(|c| c[11]).sum::<f64>() / n;
+    println!("\ncensus mean PCC {census_mean:.3} (paper 0.597), barren {barren_mean:.3} (paper -0.281)");
+}

@@ -1,0 +1,37 @@
+//! Reproduces **Table 2**: average leave-one-city-out testing
+//! performance in Country 1 for SpectraGAN, Pix2Pix, DoppelGANger,
+//! Conv{3D+LSTM} and the DATA reference, over the five fidelity
+//! metrics (M-TV, SSIM, AC-L1, TSTR, FVD).
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_table2 -- [--full] [--folds N] [--steps N]
+//! ```
+
+use spectragan_bench::data::country1_with_reference;
+use spectragan_bench::{
+    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord,
+    ModelKind, OutDir,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    eprintln!("building Country 1 dataset…");
+    let (cities, reference) = country1_with_reference(&scale);
+    let results = leave_one_out(&cities, &reference, &ModelKind::headline(), &scale, true);
+
+    let avg = average_by_model(&results);
+    print_table("Table 2: average testing performance in COUNTRY 1", &avg);
+    println!(
+        "\nPaper (Table 2): SpectraGAN 0.0362/0.787/46.8/0.893/205 · Pix2Pix 0.0522/0.800/84.4/0.557/214 ·\n\
+         DoppelGANger 0.0498/0.744/54.8/0.890/247 · Conv{{3D+LSTM}} 0.0460/0.750/60.2/0.895/281 · Data 0.00359/0.999/25.2/0.903/128"
+    );
+
+    let out = OutDir::create();
+    let mut records: Vec<MetricRecord> = results
+        .iter()
+        .map(|r| MetricRecord::new(&r.model, &r.test_city, &r.metrics))
+        .collect();
+    records.extend(avg.iter().map(|(m, s)| MetricRecord::new(m, "avg", s)));
+    write_json(&out, "table2.json", &records);
+}

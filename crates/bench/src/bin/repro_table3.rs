@@ -1,0 +1,36 @@
+//! Reproduces **Table 3**: average leave-one-city-out testing
+//! performance in Country 2 (4 cities, FVD omitted as in the paper —
+//! too little data for a reliable embedding).
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_table3 -- [--full] [--folds N] [--steps N]
+//! ```
+
+use spectragan_bench::data::country2_with_reference;
+use spectragan_bench::{
+    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord,
+    ModelKind, OutDir,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    eprintln!("building Country 2 dataset…");
+    let (cities, reference) = country2_with_reference(&scale);
+    let results = leave_one_out(&cities, &reference, &ModelKind::headline(), &scale, false);
+
+    let avg = average_by_model(&results);
+    print_table("Table 3: average testing performance in COUNTRY 2", &avg);
+    println!(
+        "\nPaper (Table 3): SpectraGAN 0.0607/0.686/34.8/0.977 · Pix2Pix 0.121/0.564/117/0.653 ·\n\
+         DoppelGANger 0.0521/0.472/40.9/0.964 · Conv{{3D+LSTM}} 0.0514/0.613/99.5/0.946 · Data 0.0076/0.996/22.8/0.978"
+    );
+
+    let out = OutDir::create();
+    let mut records: Vec<MetricRecord> = results
+        .iter()
+        .map(|r| MetricRecord::new(&r.model, &r.test_city, &r.metrics))
+        .collect();
+    records.extend(avg.iter().map(|(m, s)| MetricRecord::new(m, "avg", s)));
+    write_json(&out, "table3.json", &records);
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Tables 9 and 10** (Appendix A): mean and median of the
+//! peak-normalized traffic over all grid cells and time steps, per
+//! city, for both countries.
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin repro_table9_10
+//! ```
+
+use spectragan_bench::{parse_scale, write_json, OutDir};
+use spectragan_geo::City;
+use spectragan_synthdata::{country1, country2};
+
+fn stats(city: &City) -> (f64, f64) {
+    let mut vals: Vec<f64> = city.traffic.data().iter().map(|&v| v as f64).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite traffic"));
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let median = vals[vals.len() / 2];
+    (mean, median)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = parse_scale(&args);
+    scale.weeks = 1;
+    let ds = scale.dataset();
+    let out = OutDir::create();
+    let mut records = Vec::new();
+    for (title, cities, paper_note) in [
+        (
+            "Table 9: COUNTRY 1 traffic statistics",
+            country1(&ds),
+            "paper means 0.006–0.035, medians 0.002–0.018",
+        ),
+        (
+            "Table 10: COUNTRY 2 traffic statistics",
+            country2(&ds),
+            "paper means 0.035–0.097, medians 0.021–0.081",
+        ),
+    ] {
+        println!("\n{title} ({paper_note})");
+        println!("{:<10} {:>10} {:>10}", "City", "Mean", "Median");
+        for city in &cities {
+            let (mean, median) = stats(city);
+            println!("{:<10} {:>10.5} {:>10.5}", city.name, mean, median);
+            records.push(serde_json::json!({
+                "city": city.name, "mean": mean, "median": median,
+            }));
+        }
+    }
+    write_json(&out, "table9_10.json", &records);
+}

@@ -1,0 +1,47 @@
+//! Dataset assembly for the harness: builds the two country corpora at
+//! a given scale, together with the independent temporal realizations
+//! used as the DATA reference.
+
+use crate::scale::Scale;
+use spectragan_geo::City;
+use spectragan_synthdata::{
+    country1_configs, country2_configs, generate_city, generate_city_variant, CityConfig,
+};
+
+fn build(configs: &[CityConfig], scale: &Scale) -> (Vec<City>, Vec<City>) {
+    let ds = scale.dataset();
+    let cities = configs.iter().map(|c| generate_city(c, &ds)).collect();
+    let variants = configs
+        .iter()
+        .map(|c| generate_city_variant(c, &ds, 0xDA7A))
+        .collect();
+    (cities, variants)
+}
+
+/// Country 1 (9 cities) plus DATA-reference realizations.
+pub fn country1_with_reference(scale: &Scale) -> (Vec<City>, Vec<City>) {
+    build(&country1_configs(), scale)
+}
+
+/// Country 2 (4 cities) plus DATA-reference realizations.
+pub fn country2_with_reference(scale: &Scale) -> (Vec<City>, Vec<City>) {
+    build(&country2_configs(), scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_corpora() {
+        let mut scale = Scale::fast();
+        scale.weeks = 1;
+        scale.size_scale = 0.35;
+        let (c1, r1) = country1_with_reference(&scale);
+        assert_eq!(c1.len(), 9);
+        assert_eq!(r1.len(), 9);
+        assert_eq!(c1[0].context.data(), r1[0].context.data());
+        let (c2, _) = country2_with_reference(&scale);
+        assert_eq!(c2.len(), 4);
+    }
+}

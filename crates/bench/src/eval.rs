@@ -1,0 +1,222 @@
+//! The leave-one-city-out evaluation protocol of §4.1 and the five
+//! fidelity metrics of §3.2.
+
+use crate::models::{ModelKind, TrainedModel};
+use crate::scale::Scale;
+use spectragan_geo::{City, TrafficMap};
+use spectragan_metrics::{ac_l1, fvd, m_tv, ssim_mean_maps, tstr_r2};
+
+/// The five quantitative metrics for one (real, synthetic) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSet {
+    /// Marginal total-variation distance (lower better).
+    pub m_tv: f64,
+    /// SSIM of time-averaged maps (higher better).
+    pub ssim: f64,
+    /// Autocorrelation L1 distance (lower better).
+    pub ac_l1: f64,
+    /// Train-synthetic-test-real R² (higher better).
+    pub tstr: f64,
+    /// Fréchet video distance (lower better); `None` when skipped
+    /// (Country 2, per the paper).
+    pub fvd: Option<f64>,
+}
+
+/// Computes all metrics for a (real, synthetic) pair.
+pub fn evaluate_pair(
+    real: &TrafficMap,
+    synth: &TrafficMap,
+    steps_per_hour: usize,
+    with_fvd: bool,
+) -> MetricSet {
+    MetricSet {
+        m_tv: m_tv(real, synth),
+        ssim: ssim_mean_maps(real, synth),
+        ac_l1: ac_l1(real, synth, real.len_t()),
+        tstr: tstr_r2(real, synth, steps_per_hour),
+        fvd: with_fvd.then(|| fvd(real, synth, steps_per_hour)),
+    }
+}
+
+/// Result of one leave-one-out fold for one model.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    /// The held-out test city.
+    pub test_city: String,
+    /// Model display name.
+    pub model: String,
+    /// Metrics on the held-out city.
+    pub metrics: MetricSet,
+}
+
+/// Runs the §4.1 protocol: for each fold, train every `kind` on all
+/// cities but one (first week), generate `scale.gen_weeks` weeks for
+/// the held-out city from its context alone, and score against that
+/// city's real weeks 2…(1+gen_weeks).
+///
+/// `data_reference` supplies, per city index, an independent temporal
+/// realization used for the DATA rows (pass city variants from
+/// `spectragan_synthdata::generate_city_variant`).
+pub fn leave_one_out(
+    cities: &[City],
+    data_reference: &[City],
+    kinds: &[ModelKind],
+    scale: &Scale,
+    with_fvd: bool,
+) -> Vec<FoldResult> {
+    assert_eq!(cities.len(), data_reference.len(), "reference set size mismatch");
+    let train_len = scale.train_len();
+    let gen_len = scale.gen_len();
+    let mut out = Vec::new();
+    let folds = cities.len().min(scale.max_folds);
+    for fold in 0..folds {
+        let test = &cities[fold];
+        let train_cities: Vec<City> = cities
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let real = test.traffic.slice_time(
+            train_len,
+            (train_len + gen_len).min(test.traffic.len_t()),
+        );
+        eprintln!("[fold {}/{folds}] test city {}", fold + 1, test.name);
+        for &kind in kinds {
+            let model = TrainedModel::train(kind, &train_cities, scale, 7 + fold as u64);
+            let synth = model.generate(&test.context, real.len_t(), 100 + fold as u64);
+            let metrics = evaluate_pair(&real, &synth, scale.steps_per_hour, with_fvd);
+            eprintln!("    {:<14} m-tv {:.4} ssim {:.3} ac-l1 {:.1} tstr {:.3}",
+                kind.name(), metrics.m_tv, metrics.ssim, metrics.ac_l1, metrics.tstr);
+            out.push(FoldResult {
+                test_city: test.name.clone(),
+                model: kind.name().to_string(),
+                metrics,
+            });
+        }
+        // DATA reference: an independent realization of the same weeks.
+        let reference = data_reference[fold].traffic.slice_time(
+            train_len,
+            (train_len + gen_len).min(data_reference[fold].traffic.len_t()),
+        );
+        let metrics = evaluate_pair(&real, &reference, scale.steps_per_hour, with_fvd);
+        out.push(FoldResult {
+            test_city: test.name.clone(),
+            model: "Data".to_string(),
+            metrics,
+        });
+    }
+    out
+}
+
+/// Trains `kind` on all cities except `fold` and generates traffic for
+/// the held-out city; returns `(real held-out weeks, synthetic)`.
+/// Used by the figure/use-case binaries that need the actual maps
+/// rather than aggregate metrics.
+pub fn train_and_generate(
+    kind: ModelKind,
+    cities: &[City],
+    fold: usize,
+    scale: &Scale,
+) -> (TrafficMap, TrafficMap) {
+    let train_len = scale.train_len();
+    let gen_len = scale.gen_len();
+    let test = &cities[fold];
+    let train_cities: Vec<City> = cities
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != fold)
+        .map(|(_, c)| c.clone())
+        .collect();
+    let real = test.traffic.slice_time(
+        train_len,
+        (train_len + gen_len).min(test.traffic.len_t()),
+    );
+    let model = TrainedModel::train(kind, &train_cities, scale, 7 + fold as u64);
+    let synth = model.generate(&test.context, real.len_t(), 100 + fold as u64);
+    (real, synth)
+}
+
+/// Averages fold results per model, preserving first-seen model order.
+pub fn average_by_model(results: &[FoldResult]) -> Vec<(String, MetricSet)> {
+    let mut order: Vec<String> = Vec::new();
+    for r in results {
+        if !order.contains(&r.model) {
+            order.push(r.model.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|model| {
+            let rows: Vec<&MetricSet> = results
+                .iter()
+                .filter(|r| r.model == model)
+                .map(|r| &r.metrics)
+                .collect();
+            let n = rows.len() as f64;
+            let fvd_vals: Vec<f64> = rows.iter().filter_map(|m| m.fvd).collect();
+            let avg = MetricSet {
+                m_tv: rows.iter().map(|m| m.m_tv).sum::<f64>() / n,
+                ssim: rows.iter().map(|m| m.ssim).sum::<f64>() / n,
+                ac_l1: rows.iter().map(|m| m.ac_l1).sum::<f64>() / n,
+                tstr: rows.iter().map(|m| m.tstr).sum::<f64>() / n,
+                fvd: if fvd_vals.is_empty() {
+                    None
+                } else {
+                    Some(fvd_vals.iter().sum::<f64>() / fvd_vals.len() as f64)
+                },
+            };
+            (model, avg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_from_fn(t: usize, f: impl Fn(usize, usize) -> f32) -> TrafficMap {
+        let (h, w) = (6, 6);
+        let mut m = TrafficMap::zeros(t, h, w);
+        for ti in 0..t {
+            for px in 0..h * w {
+                m.data_mut()[ti * h * w + px] = f(ti, px);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn identical_maps_score_perfectly() {
+        let m = map_from_fn(48, |t, px| {
+            (px as f32 / 36.0) * (1.0 + ((t as f32) * 0.26).sin()).abs()
+        });
+        let s = evaluate_pair(&m, &m, 1, true);
+        assert!(s.m_tv < 1e-9);
+        assert!((s.ssim - 1.0).abs() < 1e-9);
+        assert!(s.ac_l1 < 1e-9);
+        assert!(s.fvd.unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn fvd_skippable() {
+        let m = map_from_fn(24, |t, px| (t + px) as f32 / 60.0);
+        let s = evaluate_pair(&m, &m, 1, false);
+        assert!(s.fvd.is_none());
+    }
+
+    #[test]
+    fn average_by_model_groups_and_orders() {
+        let mk = |model: &str, v: f64| FoldResult {
+            test_city: "X".into(),
+            model: model.into(),
+            metrics: MetricSet { m_tv: v, ssim: v, ac_l1: v, tstr: v, fvd: Some(v) },
+        };
+        let rows = vec![mk("A", 1.0), mk("B", 3.0), mk("A", 2.0)];
+        let avg = average_by_model(&rows);
+        assert_eq!(avg.len(), 2);
+        assert_eq!(avg[0].0, "A");
+        assert!((avg[0].1.m_tv - 1.5).abs() < 1e-12);
+        assert!((avg[1].1.m_tv - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness: one `repro_*` binary per table/figure of the
+//! paper (see DESIGN.md §4 for the experiment index), plus Criterion
+//! microbenches under `benches/`.
+//!
+//! Shared machinery:
+//!
+//! * [`scale`] — `--fast` / `--full` presets controlling dataset size
+//!   and training budget.
+//! * [`models`] — a uniform wrapper over SpectraGAN, its ablation
+//!   variants and the four baselines.
+//! * [`eval`] — the leave-one-city-out protocol of §4.1 and the five
+//!   fidelity metrics.
+//! * [`report`] — fixed-width table printing plus JSON dumps under
+//!   `repro_out/`.
+
+pub mod data;
+pub mod eval;
+pub mod models;
+pub mod report;
+pub mod scale;
+
+pub use eval::{
+    average_by_model, evaluate_pair, leave_one_out, train_and_generate, FoldResult, MetricSet,
+};
+pub use models::{ModelKind, TrainedModel};
+pub use report::{print_table, write_csv, write_json, MetricRecord, OutDir};
+pub use scale::{parse_scale, Scale};

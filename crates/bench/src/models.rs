@@ -1,0 +1,164 @@
+//! Uniform wrapper over every generative model under evaluation.
+
+use crate::scale::Scale;
+use spectragan_baselines::{
+    BaselineTrainConfig, Conv3dLstmLite, DoppelGangerLite, Fdas, Pix2PixLite,
+};
+use spectragan_baselines::conv3d_lstm::Conv3dLstmConfig;
+use spectragan_baselines::doppelganger::DoppelGangerConfig;
+use spectragan_baselines::pix2pix::Pix2PixConfig;
+use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig, Variant};
+use spectragan_geo::{City, ContextMap, TrafficMap};
+
+/// Which model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The full SpectraGAN.
+    SpectraGan,
+    /// SpectraGAN− (pixel-level context only; Table 4).
+    SpectraGanMinus,
+    /// Spec-only ablation (Table 5).
+    SpecOnly,
+    /// Time-only ablation (Table 5).
+    TimeOnly,
+    /// Time-only+ ablation (Table 5).
+    TimeOnlyPlus,
+    /// FDAS baseline.
+    Fdas,
+    /// Pix2Pix baseline.
+    Pix2Pix,
+    /// DoppelGANger baseline.
+    DoppelGanger,
+    /// Conv{3D+LSTM} baseline.
+    Conv3dLstm,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::SpectraGan => "SpectraGAN",
+            ModelKind::SpectraGanMinus => "SpectraGAN-",
+            ModelKind::SpecOnly => "Spec-only",
+            ModelKind::TimeOnly => "Time-only",
+            ModelKind::TimeOnlyPlus => "Time-only+",
+            ModelKind::Fdas => "FDAS",
+            ModelKind::Pix2Pix => "Pix2Pix",
+            ModelKind::DoppelGanger => "DoppelGANger",
+            ModelKind::Conv3dLstm => "Conv{3D+LSTM}",
+        }
+    }
+
+    /// The four methods of Table 2/3.
+    pub fn headline() -> [ModelKind; 4] {
+        [
+            ModelKind::SpectraGan,
+            ModelKind::Pix2Pix,
+            ModelKind::DoppelGanger,
+            ModelKind::Conv3dLstm,
+        ]
+    }
+}
+
+/// A trained model ready to generate.
+pub enum TrainedModel {
+    /// Any SpectraGAN variant.
+    Spectra(Box<SpectraGan>),
+    /// FDAS.
+    Fdas(Fdas),
+    /// Pix2Pix-lite.
+    Pix2Pix(Box<Pix2PixLite>),
+    /// DoppelGANger-lite.
+    DoppelGanger(Box<DoppelGangerLite>),
+    /// Conv{3D+LSTM}-lite.
+    Conv3dLstm(Box<Conv3dLstmLite>),
+}
+
+impl TrainedModel {
+    /// Trains `kind` on (the first training week of) `cities` at the
+    /// given scale.
+    pub fn train(kind: ModelKind, cities: &[City], scale: &Scale, seed: u64) -> TrainedModel {
+        // All models train on the first week only (§4.1 protocol).
+        let train_len = scale.train_len();
+        let training: Vec<City> = cities
+            .iter()
+            .map(|c| City {
+                name: c.name.clone(),
+                traffic: c.traffic.slice_time(0, train_len.min(c.traffic.len_t())),
+                context: c.context.clone(),
+            })
+            .collect();
+        let btc = BaselineTrainConfig {
+            steps: scale.train_steps,
+            batch: scale.batch,
+            lr: scale.lr,
+            seed,
+        };
+        match kind {
+            ModelKind::SpectraGan
+            | ModelKind::SpectraGanMinus
+            | ModelKind::SpecOnly
+            | ModelKind::TimeOnly
+            | ModelKind::TimeOnlyPlus => {
+                let variant = match kind {
+                    ModelKind::SpectraGanMinus => Variant::PixelContext,
+                    ModelKind::SpecOnly => Variant::SpecOnly,
+                    ModelKind::TimeOnly => Variant::TimeOnly,
+                    ModelKind::TimeOnlyPlus => Variant::TimeOnlyPlus,
+                    _ => Variant::Full,
+                };
+                let cfg = SpectraGanConfig {
+                    train_len,
+                    ..SpectraGanConfig::default_hourly()
+                }
+                .with_variant(variant);
+                let mut model = SpectraGan::new(cfg, seed);
+                let tc = TrainConfig {
+                    steps: scale.train_steps,
+                    batch_patches: scale.batch,
+                    lr: scale.lr,
+                    seed,
+                };
+                model.train(&training, &tc);
+                TrainedModel::Spectra(Box::new(model))
+            }
+            ModelKind::Fdas => {
+                TrainedModel::Fdas(Fdas::fit(&training, scale.steps_per_hour))
+            }
+            ModelKind::Pix2Pix => {
+                let mut model = Pix2PixLite::new(Pix2PixConfig::default_hourly(), seed);
+                model.train(&training, &btc);
+                TrainedModel::Pix2Pix(Box::new(model))
+            }
+            ModelKind::DoppelGanger => {
+                let cfg = DoppelGangerConfig {
+                    train_len,
+                    ..DoppelGangerConfig::default_hourly()
+                };
+                let mut model = DoppelGangerLite::new(cfg, seed);
+                model.train(&training, &btc);
+                TrainedModel::DoppelGanger(Box::new(model))
+            }
+            ModelKind::Conv3dLstm => {
+                let cfg = Conv3dLstmConfig {
+                    train_len,
+                    ..Conv3dLstmConfig::default_hourly()
+                };
+                let mut model = Conv3dLstmLite::new(cfg, seed);
+                model.train(&training, &btc);
+                TrainedModel::Conv3dLstm(Box::new(model))
+            }
+        }
+    }
+
+    /// Generates `t_out` steps for a target context.
+    pub fn generate(&self, ctx: &ContextMap, t_out: usize, seed: u64) -> TrafficMap {
+        match self {
+            TrainedModel::Spectra(m) => m.generate(ctx, t_out, seed),
+            TrainedModel::Fdas(m) => m.generate(ctx, t_out, seed),
+            TrainedModel::Pix2Pix(m) => m.generate(ctx, t_out, seed),
+            TrainedModel::DoppelGanger(m) => m.generate(ctx, t_out, seed),
+            TrainedModel::Conv3dLstm(m) => m.generate(ctx, t_out, seed),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Table printing and JSON result dumps.
+//!
+//! Every `repro_*` binary prints the paper-style table to stdout and
+//! writes a machine-readable copy under `repro_out/` so EXPERIMENTS.md
+//! can be regenerated from artifacts.
+
+use crate::eval::MetricSet;
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Output directory handling for reproduction artifacts.
+pub struct OutDir(PathBuf);
+
+impl OutDir {
+    /// Creates (if needed) and returns `repro_out/` relative to the
+    /// workspace root or current directory.
+    pub fn create() -> OutDir {
+        let dir = PathBuf::from("repro_out");
+        fs::create_dir_all(&dir).expect("create repro_out/");
+        OutDir(dir)
+    }
+
+    /// Path of a file inside the output directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+/// Serializes `value` as pretty JSON into `repro_out/<name>`.
+pub fn write_json<T: Serialize>(out: &OutDir, name: &str, value: &T) {
+    let path = out.path(name);
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// Prints a Table 2/3-style metric table.
+pub fn print_table(title: &str, rows: &[(String, MetricSet)]) {
+    println!("\n{title}");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Method", "M-TV↓", "SSIM↑", "AC-L1↓", "TSTR↑", "FVD↓"
+    );
+    for (name, m) in rows {
+        println!(
+            "{:<16} {:>8.4} {:>8.3} {:>8.1} {:>8.3} {:>8}",
+            name,
+            m.m_tv,
+            m.ssim,
+            m.ac_l1,
+            m.tstr,
+            m.fvd.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into())
+        );
+    }
+}
+
+/// Writes a simple CSV file (header + rows) — used by the figure
+/// binaries so the series can be plotted externally.
+pub fn write_csv(path: &Path, header: &str, rows: impl Iterator<Item = String>) {
+    let mut body = String::from(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(&r);
+        body.push('\n');
+    }
+    fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+// Serialization helper so MetricSet can be dumped without a serde
+// derive on the eval type (kept plain for copy semantics).
+#[derive(Serialize)]
+pub struct MetricRecord {
+    /// Model name.
+    pub model: String,
+    /// Test city ("avg" for aggregate rows).
+    pub city: String,
+    /// M-TV.
+    pub m_tv: f64,
+    /// SSIM.
+    pub ssim: f64,
+    /// AC-L1.
+    pub ac_l1: f64,
+    /// TSTR R².
+    pub tstr: f64,
+    /// FVD (if computed).
+    pub fvd: Option<f64>,
+}
+
+impl MetricRecord {
+    /// Builds a record from a metric set.
+    pub fn new(model: &str, city: &str, m: &MetricSet) -> Self {
+        MetricRecord {
+            model: model.to_string(),
+            city: city.to_string(),
+            m_tv: m.m_tv,
+            ssim: m.ssim,
+            ac_l1: m.ac_l1,
+            tstr: m.tstr,
+            fvd: m.fvd,
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment scale presets.
+//!
+//! The paper's experiments ran on GPU days; the harness defaults to a
+//! CPU-sized `fast` preset that preserves the protocol (leave-one-
+//! city-out, 1 training week → 3 generated weeks) at reduced grid
+//! sizes and training budgets. `--full` raises budgets for overnight
+//! runs; absolute metric values shift but rankings are the point
+//! (EXPERIMENTS.md discusses shape agreement).
+
+use spectragan_synthdata::DatasetConfig;
+
+/// Scale preset for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Dataset configuration (weeks, granularity, city size).
+    pub weeks: usize,
+    /// Steps per hour of the dataset.
+    pub steps_per_hour: usize,
+    /// City size multiplier.
+    pub size_scale: f64,
+    /// Training steps for the neural models.
+    pub train_steps: usize,
+    /// Minibatch size (patches or pixel groups).
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Cap on the number of leave-one-out folds (`usize::MAX` = all).
+    pub max_folds: usize,
+    /// Generated duration in weeks (the paper generates 3).
+    pub gen_weeks: usize,
+}
+
+impl Scale {
+    /// Default CPU-friendly preset.
+    pub fn fast() -> Self {
+        Scale {
+            weeks: 4,
+            steps_per_hour: 1,
+            size_scale: 0.5,
+            train_steps: 60,
+            batch: 3,
+            lr: 2e-3,
+            max_folds: 3,
+            gen_weeks: 3,
+        }
+    }
+
+    /// Heavier preset: all folds, longer training.
+    pub fn full() -> Self {
+        Scale {
+            max_folds: usize::MAX,
+            train_steps: 200,
+            ..Scale::fast()
+        }
+    }
+
+    /// The dataset configuration for this scale.
+    pub fn dataset(&self) -> DatasetConfig {
+        DatasetConfig {
+            weeks: self.weeks,
+            steps_per_hour: self.steps_per_hour,
+            size_scale: self.size_scale,
+        }
+    }
+
+    /// Training-series length in steps (1 week).
+    pub fn train_len(&self) -> usize {
+        7 * 24 * self.steps_per_hour
+    }
+
+    /// Generated-series length in steps.
+    pub fn gen_len(&self) -> usize {
+        self.gen_weeks * self.train_len()
+    }
+}
+
+/// Parses `--fast` (default) / `--full` plus an optional
+/// `--folds N` override from CLI args.
+pub fn parse_scale(args: &[String]) -> Scale {
+    let mut scale = if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        Scale::fast()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--folds") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            scale.max_folds = n;
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--steps") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            scale.train_steps = n;
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--lr") {
+        if let Some(v) = args.get(pos + 1).and_then(|v| v.parse::<f32>().ok()) {
+            scale.lr = v;
+        }
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_budget() {
+        assert!(Scale::full().train_steps > Scale::fast().train_steps);
+        assert_eq!(Scale::fast().train_len(), 168);
+        assert_eq!(Scale::fast().gen_len(), 504);
+    }
+
+    #[test]
+    fn parse_overrides() {
+        let args: Vec<String> = ["--full", "--folds", "2", "--steps", "13"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let s = parse_scale(&args);
+        assert_eq!(s.max_folds, 2);
+        assert_eq!(s.train_steps, 13);
+        let fast = parse_scale(&[]);
+        assert_eq!(fast, Scale::fast());
+    }
+}

@@ -1,0 +1,217 @@
+//! The CLI subcommands. Each takes parsed [`Args`] and returns a
+//! human-readable error on failure; `main` maps that to exit codes.
+
+use crate::args::Args;
+use crate::dataset_dir::{read_dataset, write_dataset};
+use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig, Variant};
+use spectragan_geo::io::{load_context, load_traffic, save_traffic, traffic_to_csv};
+use spectragan_metrics::{ac_l1, fvd, m_emd, m_tv, ssim_mean_maps, tstr_r2};
+use spectragan_synthdata::{country1, country2, DatasetConfig};
+use std::fs;
+use std::path::Path;
+
+/// `spectragan dataset --out DIR [--country 1|2|all] [--weeks N]
+/// [--granularity 60|30|15] [--scale F]` — materialize the synthetic
+/// corpus as a dataset directory.
+pub fn cmd_dataset(args: &Args) -> Result<(), String> {
+    let out = Path::new(args.require("out").map_err(|e| e.to_string())?);
+    let weeks = args.get_parsed("weeks", 4usize, "integer").map_err(|e| e.to_string())?;
+    let scale = args.get_parsed("scale", 0.5f64, "float").map_err(|e| e.to_string())?;
+    let granularity = args
+        .get_parsed("granularity", 60usize, "minutes (60, 30 or 15)")
+        .map_err(|e| e.to_string())?;
+    let steps_per_hour = match granularity {
+        60 => 1,
+        30 => 2,
+        15 => 4,
+        other => return Err(format!("unsupported granularity {other} (use 60, 30 or 15)")),
+    };
+    let ds = DatasetConfig { weeks, steps_per_hour, size_scale: scale };
+    let cities = match args.get("country").unwrap_or("all") {
+        "1" => country1(&ds),
+        "2" => country2(&ds),
+        "all" => {
+            let mut c = country1(&ds);
+            c.extend(country2(&ds));
+            c
+        }
+        other => return Err(format!("unknown country '{other}' (use 1, 2 or all)")),
+    };
+    write_dataset(out, &cities, steps_per_hour)?;
+    println!(
+        "wrote {} cities ({} weeks at {}-min steps) to {}",
+        cities.len(),
+        weeks,
+        granularity,
+        out.display()
+    );
+    Ok(())
+}
+
+fn parse_variant(name: &str) -> Result<Variant, String> {
+    Ok(match name {
+        "full" => Variant::Full,
+        "spec-only" => Variant::SpecOnly,
+        "time-only" => Variant::TimeOnly,
+        "time-only-plus" => Variant::TimeOnlyPlus,
+        "pixel-context" => Variant::PixelContext,
+        other => return Err(format!("unknown variant '{other}'")),
+    })
+}
+
+/// `spectragan train --data DIR --out MODEL [--steps N] [--lr F]
+/// [--variant V] [--holdout CITY] [--seed N]` — train on a dataset
+/// directory (first week of each city).
+pub fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = Path::new(args.require("data").map_err(|e| e.to_string())?);
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let steps = args.get_parsed("steps", 200usize, "integer").map_err(|e| e.to_string())?;
+    let lr = args.get_parsed("lr", 2e-3f32, "float").map_err(|e| e.to_string())?;
+    let seed = args.get_parsed("seed", 0u64, "integer").map_err(|e| e.to_string())?;
+    let variant = parse_variant(args.get("variant").unwrap_or("full"))?;
+
+    let (manifest, mut cities) = read_dataset(data)?;
+    if let Some(holdout) = args.get("holdout") {
+        let before = cities.len();
+        cities.retain(|c| c.name != holdout);
+        if cities.len() == before {
+            return Err(format!("holdout city '{holdout}' not in dataset"));
+        }
+    }
+    if cities.is_empty() {
+        return Err("no cities left to train on".into());
+    }
+    let train_len = 7 * 24 * manifest.steps_per_hour;
+    let training: Vec<_> = cities
+        .iter()
+        .map(|c| spectragan_geo::City {
+            name: c.name.clone(),
+            traffic: c.traffic.slice_time(0, train_len.min(c.traffic.len_t())),
+            context: c.context.clone(),
+        })
+        .collect();
+    let cfg = SpectraGanConfig { train_len, ..SpectraGanConfig::default_hourly() }
+        .with_variant(variant);
+    let mut model = SpectraGan::new(cfg, seed);
+    if !args.switch("quiet") {
+        println!(
+            "training {variant:?} on {} cities, {} steps (T = {train_len})…",
+            training.len(),
+            steps
+        );
+    }
+    let stats = model.train(&training, &TrainConfig { steps, batch_patches: 3, lr, seed });
+    fs::write(out, model.to_model_json()).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "saved {out} (final L1 {:.4})",
+        stats.l1.last().copied().unwrap_or(f32::NAN)
+    );
+    Ok(())
+}
+
+/// `spectragan generate --model MODEL --context FILE.sgcm --hours N
+/// --out FILE.sgtm [--seed N] [--csv]` — generate traffic for a region.
+pub fn cmd_generate(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let ctx_path = args.require("context").map_err(|e| e.to_string())?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let hours = args.get_parsed("hours", 168usize, "integer").map_err(|e| e.to_string())?;
+    let seed = args.get_parsed("seed", 0u64, "integer").map_err(|e| e.to_string())?;
+
+    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+    let model = SpectraGan::from_model_json(&json)?;
+    let context = load_context(ctx_path).map_err(|e| format!("{ctx_path}: {e}"))?;
+    let steps_per_hour = {
+        // Model train_len is a week; derive granularity from it.
+        model.config().train_len / 168
+    };
+    let t_out = hours * steps_per_hour.max(1);
+    let map = model.generate(&context, t_out, seed);
+    if args.switch("csv") {
+        fs::write(out, traffic_to_csv(&map)).map_err(|e| format!("write {out}: {e}"))?;
+    } else {
+        save_traffic(&map, out).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    println!(
+        "generated {}×{}×{} traffic → {out}",
+        map.len_t(),
+        map.height(),
+        map.width()
+    );
+    Ok(())
+}
+
+/// `spectragan evaluate --real FILE --synth FILE [--steps-per-hour N]`
+/// — all five fidelity metrics (plus EMD) between two traffic files.
+pub fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let real_path = args.require("real").map_err(|e| e.to_string())?;
+    let synth_path = args.require("synth").map_err(|e| e.to_string())?;
+    let sph = args
+        .get_parsed("steps-per-hour", 1usize, "integer")
+        .map_err(|e| e.to_string())?;
+    let real = load_traffic(real_path).map_err(|e| format!("{real_path}: {e}"))?;
+    let synth = load_traffic(synth_path).map_err(|e| format!("{synth_path}: {e}"))?;
+    if (real.height(), real.width()) != (synth.height(), synth.width()) {
+        return Err("maps cover different grids".into());
+    }
+    let t = real.len_t().min(synth.len_t());
+    let real = real.slice_time(0, t);
+    let synth = synth.slice_time(0, t);
+    println!("M-TV   {:.4}  (lower better)", m_tv(&real, &synth));
+    println!("M-EMD  {:.4}  (lower better)", m_emd(&real, &synth));
+    println!("SSIM   {:.4}  (higher better)", ssim_mean_maps(&real, &synth));
+    println!("AC-L1  {:.2}  (lower better)", ac_l1(&real, &synth, t));
+    println!("TSTR   {:.4}  (higher better)", tstr_r2(&real, &synth, sph));
+    println!("FVD    {:.4}  (lower better)", fvd(&real, &synth, sph));
+    Ok(())
+}
+
+/// `spectragan info --file PATH` — describe a map or model file.
+pub fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.require("file").map_err(|e| e.to_string())?;
+    if path.ends_with(".sgtm") {
+        let m = load_traffic(path).map_err(|e| format!("{path}: {e}"))?;
+        let series = m.city_series();
+        println!("traffic map: {} steps × {}×{} pixels", m.len_t(), m.height(), m.width());
+        println!(
+            "  city-mean traffic: min {:.4}, max {:.4}",
+            series.iter().cloned().fold(f64::INFINITY, f64::min),
+            series.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+    } else if path.ends_with(".sgcm") {
+        let m = load_context(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "context map: {} attributes × {}×{} pixels",
+            m.channels(),
+            m.height(),
+            m.width()
+        );
+    } else {
+        let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let model = SpectraGan::from_model_json(&json)?;
+        let cfg = model.config();
+        println!("SpectraGAN model: variant {:?}", cfg.variant);
+        println!(
+            "  T = {}, patch {}/{} (traffic/context), {} weights",
+            cfg.train_len,
+            cfg.patch_traffic,
+            cfg.patch_context(),
+            model.store().num_weights()
+        );
+    }
+    Ok(())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+spectragan — spectrum-based generation of city-scale mobile traffic
+
+USAGE:
+  spectragan dataset  --out DIR [--country 1|2|all] [--weeks N] [--granularity 60|30|15] [--scale F]
+  spectragan train    --data DIR --out MODEL.json [--steps N] [--lr F] [--variant V] [--holdout CITY] [--seed N] [--quiet]
+  spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--csv]
+  spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
+  spectragan info     --file PATH
+
+Variants: full, spec-only, time-only, time-only-plus, pixel-context.
+";

@@ -1,0 +1,111 @@
+//! Dataset directories: a manifest plus one SGTM/SGCM file pair per
+//! city — the on-disk currency the CLI subcommands exchange.
+
+use serde::{Deserialize, Serialize};
+use spectragan_geo::io::{load_context, load_traffic, save_context, save_traffic};
+use spectragan_geo::City;
+use std::fs;
+use std::path::Path;
+
+/// One manifest entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestCity {
+    /// Display name.
+    pub name: String,
+    /// Traffic file, relative to the manifest.
+    pub traffic: String,
+    /// Context file, relative to the manifest.
+    pub context: String,
+}
+
+/// The dataset manifest (`manifest.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Steps per hour of the traffic series.
+    pub steps_per_hour: usize,
+    /// The cities in the dataset.
+    pub cities: Vec<ManifestCity>,
+}
+
+/// Writes `cities` into `dir` (created if needed): binary map files
+/// plus `manifest.json`.
+pub fn write_dataset(
+    dir: &Path,
+    cities: &[City],
+    steps_per_hour: usize,
+) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut manifest = Manifest { steps_per_hour, cities: Vec::new() };
+    for city in cities {
+        let stem = city.name.to_lowercase().replace(' ', "_");
+        let traffic_file = format!("{stem}.sgtm");
+        let context_file = format!("{stem}.sgcm");
+        save_traffic(&city.traffic, dir.join(&traffic_file))
+            .map_err(|e| format!("write {traffic_file}: {e}"))?;
+        save_context(&city.context, dir.join(&context_file))
+            .map_err(|e| format!("write {context_file}: {e}"))?;
+        manifest.cities.push(ManifestCity {
+            name: city.name.clone(),
+            traffic: traffic_file,
+            context: context_file,
+        });
+    }
+    let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+    fs::write(dir.join("manifest.json"), json)
+        .map_err(|e| format!("write manifest: {e}"))?;
+    Ok(())
+}
+
+/// Loads every city of a dataset directory.
+pub fn read_dataset(dir: &Path) -> Result<(Manifest, Vec<City>), String> {
+    let manifest_path = dir.join("manifest.json");
+    let json = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+    let manifest: Manifest =
+        serde_json::from_str(&json).map_err(|e| format!("malformed manifest: {e}"))?;
+    let mut cities = Vec::with_capacity(manifest.cities.len());
+    for entry in &manifest.cities {
+        let traffic = load_traffic(dir.join(&entry.traffic))
+            .map_err(|e| format!("{}: {e}", entry.traffic))?;
+        let context = load_context(dir.join(&entry.context))
+            .map_err(|e| format!("{}: {e}", entry.context))?;
+        cities.push(City::new(entry.name.clone(), traffic, context));
+    }
+    Ok((manifest, cities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+
+    #[test]
+    fn dataset_dir_roundtrip() {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.35 };
+        let cities: Vec<City> = (0..2)
+            .map(|i| {
+                generate_city(
+                    &CityConfig { name: format!("CITY {i}"), height: 33, width: 33, seed: i },
+                    &ds,
+                )
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("spectragan_cli_ds_test");
+        let _ = fs::remove_dir_all(&dir);
+        write_dataset(&dir, &cities, 1).unwrap();
+        let (manifest, back) = read_dataset(&dir).unwrap();
+        assert_eq!(manifest.steps_per_hour, 1);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "CITY 0");
+        assert_eq!(back[0].traffic.data(), cities[0].traffic.data());
+        assert_eq!(back[1].context.data(), cities[1].context.data());
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("spectragan_cli_missing");
+        let _ = fs::remove_dir_all(&dir);
+        let err = read_dataset(&dir).unwrap_err();
+        assert!(err.contains("manifest.json"), "{err}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Library surface of the `spectragan` CLI, exposed so the workflow
+//! can be integration-tested without spawning processes.
+
+pub mod args;
+pub mod commands;
+pub mod dataset_dir;

@@ -1,0 +1,44 @@
+//! `spectragan` — the command-line interface of the reproduction.
+//!
+//! End-to-end workflow:
+//!
+//! ```text
+//! spectragan dataset  --out data/ --country 1
+//! spectragan train    --data data/ --out model.json --holdout "CITY A" --steps 400
+//! spectragan generate --model model.json --context data/city_a.sgcm --hours 504 --out synth.sgtm
+//! spectragan evaluate --real data/city_a.sgtm --synth synth.sgtm
+//! ```
+
+use spectragan_cli::args::Args;
+use spectragan_cli::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.switch("help") || parsed.command.is_none() {
+        print!("{}", commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let result = match parsed.command.as_deref().expect("checked") {
+        "dataset" => commands::cmd_dataset(&parsed),
+        "train" => commands::cmd_train(&parsed),
+        "generate" => commands::cmd_generate(&parsed),
+        "evaluate" => commands::cmd_evaluate(&parsed),
+        "info" => commands::cmd_info(&parsed),
+        other => Err(format!("unknown command \'{other}\'\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end CLI workflow: dataset → train → generate → evaluate →
+//! info, entirely through the command functions.
+
+use spectragan_cli::args::Args;
+use spectragan_cli::commands::{cmd_dataset, cmd_evaluate, cmd_generate, cmd_info, cmd_train};
+use std::path::PathBuf;
+
+fn run(cmd: fn(&Args) -> Result<(), String>, argv: &str) -> Result<(), String> {
+    let args = Args::parse(argv.split_whitespace().map(String::from)).expect("parse");
+    cmd(&args)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("spectragan_cli_workflow");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn full_workflow_runs() {
+    let data = tmp("data");
+    let model = tmp("model.json");
+    let synth = tmp("synth.sgtm");
+
+    // Tiny dataset: 2 weeks, quarter-scale cities, country 2 (4 cities).
+    run(
+        cmd_dataset,
+        &format!(
+            "dataset --out {} --country 2 --weeks 2 --scale 0.35",
+            data.display()
+        ),
+    )
+    .unwrap();
+    assert!(data.join("manifest.json").exists());
+    assert!(data.join("city_1.sgtm").exists());
+
+    // Train briefly, holding out CITY 1.
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 3 --holdout CITY_1 --quiet",
+            data.display(),
+            model.display()
+        ),
+    )
+    .unwrap_or_else(|e| {
+        // Holdout name contains a space on disk; retry with the manifest name.
+        assert!(e.contains("holdout"), "{e}");
+    });
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 3 --quiet",
+            data.display(),
+            model.display()
+        ),
+    )
+    .unwrap();
+    assert!(model.exists());
+
+    // Generate 24 hours for CITY 1's context.
+    run(
+        cmd_generate,
+        &format!(
+            "generate --model {} --context {} --hours 24 --out {} --seed 3",
+            model.display(),
+            data.join("city_1.sgcm").display(),
+            synth.display()
+        ),
+    )
+    .unwrap();
+    assert!(synth.exists());
+
+    // Evaluate against the real file (truncates to the shorter series).
+    run(
+        cmd_evaluate,
+        &format!(
+            "evaluate --real {} --synth {}",
+            data.join("city_1.sgtm").display(),
+            synth.display()
+        ),
+    )
+    .unwrap();
+
+    // Info on all three artifact kinds.
+    for f in [
+        data.join("city_1.sgtm"),
+        data.join("city_1.sgcm"),
+        model.clone(),
+    ] {
+        run(cmd_info, &format!("info --file {}", f.display())).unwrap();
+    }
+}
+
+#[test]
+fn bad_inputs_give_clean_errors() {
+    let err = run(cmd_train, "train --data /nonexistent --out /tmp/x.json").unwrap_err();
+    assert!(err.contains("manifest"), "{err}");
+    let err = run(cmd_generate, "generate --model /nonexistent --context /n --hours 1 --out /tmp/x").unwrap_err();
+    assert!(err.contains("read"), "{err}");
+    let err = run(cmd_dataset, "dataset --out /tmp/sg_bad --granularity 45").unwrap_err();
+    assert!(err.contains("granularity"), "{err}");
+    let err = run(cmd_dataset, "dataset --out /tmp/sg_bad --country 9").unwrap_err();
+    assert!(err.contains("country"), "{err}");
+}

@@ -1,0 +1,222 @@
+//! Bridges between the neural network (f32 tensors of stacked
+//! real/imaginary spectrum rows) and the DSP crate (f64 complex).
+//!
+//! The spectrum generator emits, per pixel, `2F` values: `F` real parts
+//! followed by `F` imaginary parts of the one-sided spectrum. Because
+//! the inverse rFFT is linear, converting those rows to time series is
+//! a single matmul with the constant basis built by [`irfft_basis`] —
+//! which keeps the whole generator differentiable with no bespoke
+//! autodiff op (§2.2.2 notes IFFT differentiability as the requirement).
+
+use spectragan_dsp::{expand_spectrum, irfft, mask_quantile, rfft, Complex};
+use spectragan_tensor::Tensor;
+
+/// Builds the constant inverse-rFFT basis `B ∈ R^{2F×T}` for the
+/// crate's *normalized* spectrum convention: the network works with
+/// `s = FFT(x)/T` (stacked `[Re_0..Re_{F−1}, Im_0..Im_{F−1}]`), which
+/// keeps spectrum rows on the same O(1) scale as the traffic itself —
+/// essential for well-conditioned training. Under that convention
+/// `s · B` equals the inverse rFFT of the corresponding (unnormalized)
+/// one-sided spectrum.
+///
+/// Rows for the DC (and, for even `T`, Nyquist) imaginary parts are
+/// zero: those components are constrained to be real for a real signal,
+/// so generator outputs there receive no gradient and have no effect.
+pub fn irfft_basis(t: usize) -> Tensor {
+    assert!(t >= 2, "basis needs at least 2 samples");
+    let f = t / 2 + 1;
+    let mut basis = Tensor::zeros([2 * f, t]);
+    for k in 0..f {
+        // Interior bins appear twice in the full spectrum (conjugate
+        // pair); DC and even-T Nyquist appear once.
+        let is_nyquist = t.is_multiple_of(2) && k == f - 1;
+        let c = if k == 0 || is_nyquist { 1.0 } else { 2.0 };
+        for n in 0..t {
+            let ang = 2.0 * std::f64::consts::PI * (k * n) as f64 / t as f64;
+            *basis.at_mut(&[k, n]) = (c * ang.cos()) as f32;
+            if k != 0 && !is_nyquist {
+                *basis.at_mut(&[f + k, n]) = (-c * ang.sin()) as f32;
+            }
+        }
+    }
+    basis
+}
+
+/// Converts one stacked re/im row (length `2F`) into a complex
+/// one-sided spectrum.
+pub fn row_to_complex(row: &[f32]) -> Vec<Complex> {
+    assert_eq!(row.len() % 2, 0, "spectrum row length must be even");
+    let f = row.len() / 2;
+    (0..f)
+        .map(|k| Complex::new(row[k] as f64, row[f + k] as f64))
+        .collect()
+}
+
+/// Converts a complex one-sided spectrum into a stacked re/im row.
+pub fn complex_to_row(spec: &[Complex]) -> Vec<f32> {
+    let f = spec.len();
+    let mut row = vec![0.0f32; 2 * f];
+    for (k, z) in spec.iter().enumerate() {
+        row[k] = z.re as f32;
+        row[f + k] = z.im as f32;
+    }
+    row
+}
+
+/// Rearranges a `[T, H, W]` traffic patch into pixel-major series rows
+/// `[H·W, T]`.
+pub fn patch_to_rows(patch: &Tensor) -> Tensor {
+    assert_eq!(patch.shape().ndim(), 3, "patch must be [T, H, W]");
+    let (t, h, w) = (
+        patch.shape().dim(0),
+        patch.shape().dim(1),
+        patch.shape().dim(2),
+    );
+    patch.permute(&[1, 2, 0]).reshape([h * w, t])
+}
+
+/// Inverse of [`patch_to_rows`].
+pub fn rows_to_patch(rows: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(rows.shape().ndim(), 2, "rows must be [H·W, T]");
+    assert_eq!(rows.shape().dim(0), h * w, "row count does not match H·W");
+    let t = rows.shape().dim(1);
+    rows.reshape([h, w, t]).permute(&[2, 0, 1])
+}
+
+/// Computes the masked-spectrum training target `M^q(FFT(x))/T` for
+/// every pixel of a patch (normalized convention, see
+/// [`irfft_basis`]): input `[T, H, W]`, output stacked re/im rows
+/// `[H·W, 2F]` with sub-threshold bins zeroed (§2.2.3).
+pub fn masked_spec_rows(patch: &Tensor, q: f64) -> Tensor {
+    let rows = patch_to_rows(patch);
+    let (n_px, t) = (rows.shape().dim(0), rows.shape().dim(1));
+    let f = t / 2 + 1;
+    let mut out = Tensor::zeros([n_px, 2 * f]);
+    for px in 0..n_px {
+        let series: Vec<f64> = rows.data()[px * t..(px + 1) * t]
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let spec = rfft(&series);
+        let (masked, _) = mask_quantile(&spec, q);
+        let scaled: Vec<Complex> = masked.iter().map(|z| z.scale(1.0 / t as f64)).collect();
+        let row = complex_to_row(&scaled);
+        out.data_mut()[px * 2 * f..(px + 1) * 2 * f].copy_from_slice(&row);
+    }
+    out
+}
+
+/// Expands *normalized* spectrum rows `[N, 2F]` of a length-`t` signal
+/// by an integer factor `k` and inverse-transforms them, returning
+/// time rows `[N, k·t]` (the §2.2.4 long-generation path).
+pub fn expand_rows_to_series(rows: &Tensor, t: usize, k: usize) -> Tensor {
+    let n = rows.shape().dim(0);
+    let two_f = rows.shape().dim(1);
+    assert_eq!(two_f, 2 * (t / 2 + 1), "row width does not match t");
+    let t_out = k * t;
+    let mut out = Tensor::zeros([n, t_out]);
+    for i in 0..n {
+        // Undo the 1/T normalization before the DSP-side transforms.
+        let spec: Vec<Complex> = row_to_complex(&rows.data()[i * two_f..(i + 1) * two_f])
+            .into_iter()
+            .map(|z| z.scale(t as f64))
+            .collect();
+        let expanded = expand_spectrum(&spec, t, k);
+        let series = irfft(&expanded, t_out);
+        for (j, v) in series.iter().enumerate() {
+            out.data_mut()[i * t_out + j] = *v as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series(t: usize) -> Vec<f64> {
+        (0..t)
+            .map(|n| {
+                1.0 + (2.0 * std::f64::consts::PI * n as f64 / 24.0).sin()
+                    + 0.2 * (2.0 * std::f64::consts::PI * n as f64 * 3.0 / t as f64).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basis_matmul_matches_dsp_irfft() {
+        for t in [24usize, 25, 168] {
+            let x = demo_series(t);
+            let spec: Vec<Complex> = rfft(&x).into_iter().map(|z| z.scale(1.0 / t as f64)).collect();
+            let row = complex_to_row(&spec);
+            let basis = irfft_basis(t);
+            let rows = Tensor::from_vec(row, [1, 2 * (t / 2 + 1)]);
+            let back = rows.matmul(&basis);
+            for (a, b) in back.data().iter().zip(&x) {
+                assert!(
+                    (*a as f64 - b).abs() < 1e-3,
+                    "t={t}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complex_row_roundtrip() {
+        let spec = rfft(&demo_series(24));
+        let row = complex_to_row(&spec);
+        let back = row_to_complex(&row);
+        for (a, b) in spec.iter().zip(&back) {
+            assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn patch_rows_roundtrip() {
+        let patch = Tensor::from_vec((0..2 * 3 * 4).map(|i| i as f32).collect(), [2, 3, 4]);
+        let rows = patch_to_rows(&patch);
+        assert_eq!(rows.shape().dims(), &[12, 2]);
+        // Pixel (0,1) series = values at [t,0,1].
+        assert_eq!(rows.at(&[1, 0]), patch.at(&[0, 0, 1]));
+        assert_eq!(rows.at(&[1, 1]), patch.at(&[1, 0, 1]));
+        let back = rows_to_patch(&rows, 3, 4);
+        assert_eq!(back, patch);
+    }
+
+    #[test]
+    fn masked_rows_zero_most_bins() {
+        let t = 48;
+        let mut patch = Tensor::zeros([t, 2, 2]);
+        for ti in 0..t {
+            for px in 0..4 {
+                patch.data_mut()[ti * 4 + px] = demo_series(t)[ti] as f32 * (px + 1) as f32;
+            }
+        }
+        let rows = masked_spec_rows(&patch, 0.75);
+        assert_eq!(rows.shape().dims(), &[4, 2 * 25]);
+        for px in 0..4 {
+            let row = &rows.data()[px * 50..(px + 1) * 50];
+            let nonzero = row.iter().filter(|v| v.abs() > 1e-9).count();
+            assert!(nonzero > 0 && nonzero < 30, "px {px}: {nonzero} nonzero");
+        }
+    }
+
+    #[test]
+    fn expanded_rows_repeat_the_signal() {
+        let t = 24;
+        let x = demo_series(t);
+        let spec: Vec<Complex> = rfft(&x).into_iter().map(|z| z.scale(1.0 / t as f64)).collect();
+        let row = complex_to_row(&spec);
+        let rows = Tensor::from_vec(row, [1, 2 * 13]);
+        let long = expand_rows_to_series(&rows, t, 3);
+        assert_eq!(long.shape().dims(), &[1, 72]);
+        for rep in 0..3 {
+            for i in 0..t {
+                assert!(
+                    (long.at(&[0, rep * t + i]) as f64 - x[i]).abs() < 1e-3,
+                    "rep {rep} i {i}"
+                );
+            }
+        }
+    }
+}

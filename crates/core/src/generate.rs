@@ -1,0 +1,218 @@
+//! Full-city generation (§2.2.4): arbitrary spatial size via
+//! overlapping patches with shared noise, sewn by per-pixel averaging
+//! (Eq. 2); arbitrary duration via k-multiple spectral expansion plus a
+//! longer residual-LSTM rollout.
+
+use crate::train::SpectraGan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spectragan_geo::{ContextMap, GridSpec, PatchLayout, PatchSpec, TrafficMap};
+use spectragan_tensor::Tensor;
+
+/// How many patches to push through the generator at once.
+const GEN_BATCH: usize = 16;
+
+impl SpectraGan {
+    /// Generates `t_out` steps of synthetic traffic for a previously
+    /// unseen region described by `context`.
+    ///
+    /// `seed` determines the noise vector; the *same* noise is shared
+    /// across all patches of the city — §2.2.4 shows that per-patch
+    /// noise plus Eq. 2 averaging would collapse to the expected
+    /// traffic and oversmooth the maps.
+    ///
+    /// The output is clamped to non-negative values and generated at
+    /// the training granularity; `t_out` beyond the training length is
+    /// produced by expanding the spectrum by `k = ceil(t_out / T)` and
+    /// rolling the residual LSTM for `k·T` steps, then truncating.
+    pub fn generate(&self, context: &ContextMap, t_out: usize, seed: u64) -> TrafficMap {
+        self.generate_opts(context, t_out, seed, true)
+    }
+
+    /// Like [`SpectraGan::generate`], but with the noise-sharing policy
+    /// exposed: `shared_noise = false` draws a *fresh* noise vector per
+    /// patch, the configuration §2.2.4 warns against (the Eq. 2
+    /// averaging then acts as an expectation and oversmooths the maps).
+    /// Kept public to power the noise ablation bench.
+    pub fn generate_opts(
+        &self,
+        context: &ContextMap,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+    ) -> TrafficMap {
+        assert!(t_out > 0, "cannot generate an empty series");
+        let (cfg, store, gen) = self.parts();
+        let k = t_out.div_ceil(cfg.train_len).max(1);
+        let grid = GridSpec::new(context.height(), context.width());
+        let layout = PatchLayout::new(
+            grid,
+            PatchSpec::new(cfg.patch_traffic, cfg.patch_context(), cfg.patch_stride),
+        );
+        let ctx_std = context.standardized();
+
+        // One noise vector for the whole city, spatially constant.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = move |rng: &mut StdRng| -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        let mut z_vec = vec![0.0f32; cfg.noise_dim];
+        for v in &mut z_vec {
+            *v = draw(&mut rng);
+        }
+
+        let positions = layout.positions().to_vec();
+        let px = cfg.pixels_per_patch();
+        let side = cfg.patch_traffic;
+        let mut patches: Vec<Tensor> = Vec::with_capacity(positions.len());
+        for chunk in positions.chunks(GEN_BATCH) {
+            let p = chunk.len();
+            // Stack context patches.
+            let ctx_parts: Vec<Tensor> = chunk
+                .iter()
+                .map(|&pos| {
+                    let t = layout.extract_context(&ctx_std, pos);
+                    let d = t.shape().dims().to_vec();
+                    t.reshape([1, d[0], d[1], d[2]])
+                })
+                .collect();
+            let refs: Vec<&Tensor> = ctx_parts.iter().collect();
+            let ctx_batch = Tensor::concat(&refs, 0);
+            // Broadcast the shared noise (or draw per-patch noise when
+            // the ablation asks for it).
+            let mut z = Tensor::zeros([p, cfg.noise_dim, side, side]);
+            for pi in 0..p {
+                let patch_noise: Vec<f32> = if shared_noise {
+                    z_vec.clone()
+                } else {
+                    (0..cfg.noise_dim).map(|_| draw(&mut rng)).collect()
+                };
+                for d in 0..cfg.noise_dim {
+                    let base = (pi * cfg.noise_dim + d) * side * side;
+                    for e in 0..side * side {
+                        z.data_mut()[base + e] = patch_noise[d];
+                    }
+                }
+            }
+            let rows = gen.infer(store, &ctx_batch, &z, k);
+            let t_gen = rows.shape().dim(1);
+            for pi in 0..p {
+                let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out.min(t_gen));
+                patches.push(crate::fourier::rows_to_patch(&patch_rows, side, side));
+            }
+        }
+        let mut map = layout.sew(&patches);
+        for v in map.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SpectraGanConfig, TrainConfig};
+    use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+
+    fn tiny_city(seed: u64, scale: f64) -> spectragan_geo::City {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: scale };
+        generate_city(
+            &CityConfig { name: format!("G{seed}"), height: 33, width: 33, seed },
+            &ds,
+        )
+    }
+
+    #[test]
+    fn generates_requested_shape_and_nonnegative() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+        let city = tiny_city(1, 0.36);
+        let out = model.generate(&city.context, 24, 7);
+        assert_eq!(out.len_t(), 24);
+        assert_eq!(out.height(), city.traffic.height());
+        assert_eq!(out.width(), city.traffic.width());
+        assert!(out.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn generates_longer_than_training_length() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+        let city = tiny_city(2, 0.36);
+        // train_len = 24; ask for 3 weeks-equivalent (72 = 3×24).
+        let out = model.generate(&city.context, 72, 7);
+        assert_eq!(out.len_t(), 72);
+        // Non-multiple lengths are truncated from the next multiple.
+        let odd = model.generate(&city.context, 30, 7);
+        assert_eq!(odd.len_t(), 30);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 4);
+        let city = tiny_city(3, 0.36);
+        let a = model.generate(&city.context, 24, 11);
+        let b = model.generate(&city.context, 24, 11);
+        assert_eq!(a.data(), b.data());
+        let c = model.generate(&city.context, 24, 12);
+        assert_ne!(a.data(), c.data(), "different seeds must differ");
+    }
+
+    #[test]
+    fn handles_city_sizes_other_than_training() {
+        // Train-free structural test: generate for two different grid
+        // sizes with one model (the arbitrary-size requirement).
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 5);
+        for scale in [0.36, 0.55] {
+            let city = tiny_city(4, scale);
+            let out = model.generate(&city.context, 24, 1);
+            assert_eq!(out.height(), city.traffic.height());
+            assert_eq!(out.width(), city.traffic.width());
+        }
+    }
+
+    /// End-to-end smoke: short training then generation produces maps
+    /// whose spatial distribution correlates with the real city better
+    /// than noise (weak but meaningful signal for a smoke test).
+    #[test]
+    fn trained_model_generates_plausible_spatial_pattern() {
+        // Train on four cities (the leave-one-out protocol trains on
+        // eight) so the context→traffic mapping generalizes rather than
+        // memorizing one city's patch layouts — with a single small
+        // city the GAN memorizes and test-city correlation collapses.
+        let train_cities: Vec<_> =
+            [10u64, 12, 13, 14].iter().map(|&s| tiny_city(s, 0.45)).collect();
+        let test_city = tiny_city(11, 0.45);
+        let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 6);
+        let tc = TrainConfig { steps: 120, batch_patches: 3, lr: 4e-3, seed: 0 };
+        model.train(&train_cities, &tc);
+        let synth = model.generate(&test_city.context, 24, 3);
+        let real_mean = test_city.traffic.mean_map();
+        let synth_mean = synth.mean_map();
+        let pcc = spectragan_metrics_free_pearson(&real_mean, &synth_mean);
+        assert!(pcc > 0.2, "spatial correlation too weak: {pcc}");
+    }
+
+    /// Local Pearson helper to avoid a dev-dependency cycle with the
+    /// metrics crate.
+    fn spectragan_metrics_free_pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        if va <= 0.0 || vb <= 0.0 {
+            return 0.0;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

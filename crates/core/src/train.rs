@@ -1,0 +1,424 @@
+//! Adversarial training (§2.2.3, Eq. 1).
+//!
+//! Each step alternates a discriminator update and a generator update
+//! on one minibatch of patches sampled from the training cities:
+//!
+//! * **D loss** — `BCE(R^t(x, c), 1) + BCE(R^t(x̃⊥, c), 0)` plus the
+//!   spectrum terms for variants that have `G^s`, where `x̃⊥` is the
+//!   generator output *detached* from the tape (re-inserted as a leaf)
+//!   so discriminator gradients never reach the generator.
+//! * **G loss** — `BCE(R^t(x̃, c), 1) [+ BCE(R^s(ỹ^s, c), 1)] + λ·L1`,
+//!   with the L1 term against the real series and the quantile-masked
+//!   real spectrum (exactly which L1 terms apply depends on the
+//!   variant; Time-only is adversarial-only, matching §4.2).
+//!
+//! Both sides are updated with GAN-flavoured Adam (`β₁ = 0.5`).
+
+use crate::config::{SpectraGanConfig, TrainConfig, Variant};
+use crate::fourier::{masked_spec_rows, patch_to_rows};
+use crate::model::{Discriminators, Generator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spectragan_geo::{City, PatchLayout, PatchSpec};
+use spectragan_nn::{Adam, Binding, ParamStore, Tape, Tensor};
+
+/// One training sample: a context window with its traffic patch in both
+/// representations.
+struct Sample {
+    /// Context window `[C, H_c, W_c]` (standardized).
+    ctx: Tensor,
+    /// Real traffic series rows `[px, T]`.
+    series: Tensor,
+    /// Masked real spectrum rows `[px, 2F]` (empty tensor when the
+    /// variant has no spectrum path).
+    spec: Tensor,
+}
+
+/// Loss traces recorded during training.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Discriminator loss per step.
+    pub d_loss: Vec<f32>,
+    /// Generator adversarial loss per step.
+    pub g_adv: Vec<f32>,
+    /// Explicit L1 loss per step (0 for variants without one).
+    pub l1: Vec<f32>,
+}
+
+/// A trainable SpectraGAN instance: parameters plus both network
+/// halves.
+pub struct SpectraGan {
+    cfg: SpectraGanConfig,
+    store: ParamStore,
+    gen: Generator,
+    disc: Discriminators,
+    /// Parameters with index < this belong to the generator.
+    gen_param_end: usize,
+}
+
+impl SpectraGan {
+    /// Builds a model with freshly initialized weights.
+    pub fn new(cfg: SpectraGanConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let gen = Generator::new(cfg, &mut store, &mut rng);
+        let gen_param_end = store.len();
+        let disc = Discriminators::new(cfg, &mut store, &mut rng);
+        SpectraGan { cfg, store, gen, disc, gen_param_end }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &SpectraGanConfig {
+        &self.cfg
+    }
+
+    /// The parameter store (e.g. for inspecting weight counts).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Read access for the generation pipeline.
+    pub(crate) fn parts(&self) -> (&SpectraGanConfig, &ParamStore, &Generator) {
+        (&self.cfg, &self.store, &self.gen)
+    }
+
+    /// Serializes all weights to JSON.
+    pub fn weights_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    /// Serializes the *whole model* — configuration and weights — into
+    /// a single JSON document (the `.spectragan.json` model-file format
+    /// used by the CLI).
+    pub fn to_model_json(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct ModelFile<'a> {
+            format: &'static str,
+            config: &'a SpectraGanConfig,
+            store: &'a ParamStore,
+        }
+        serde_json::to_string(&ModelFile {
+            format: "spectragan-model-v1",
+            config: &self.cfg,
+            store: &self.store,
+        })
+        .expect("model serialization cannot fail")
+    }
+
+    /// Reconstructs a model from [`SpectraGan::to_model_json`] output.
+    pub fn from_model_json(json: &str) -> Result<Self, String> {
+        #[derive(serde::Deserialize)]
+        struct ModelFile {
+            format: String,
+            config: SpectraGanConfig,
+            store: ParamStore,
+        }
+        let file: ModelFile =
+            serde_json::from_str(json).map_err(|e| format!("malformed model file: {e}"))?;
+        if file.format != "spectragan-model-v1" {
+            return Err(format!("unsupported model format '{}'", file.format));
+        }
+        let mut model = SpectraGan::new(file.config, 0);
+        if model.store.len() != file.store.len() {
+            return Err(format!(
+                "weight count mismatch: file has {}, architecture needs {}",
+                file.store.len(),
+                model.store.len()
+            ));
+        }
+        model.store.copy_values_from(&file.store);
+        Ok(model)
+    }
+
+    /// Loads weights saved by [`SpectraGan::weights_json`] into this
+    /// (architecturally identical) model.
+    pub fn load_weights_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let other = ParamStore::from_json(json)?;
+        self.store.copy_values_from(&other);
+        Ok(())
+    }
+
+    /// Extracts training samples from the cities: every training patch
+    /// of every city, with its series rows and masked-spectrum target.
+    fn prepare(&self, cities: &[City]) -> Vec<Sample> {
+        let cfg = &self.cfg;
+        let spec_needed = cfg.variant.has_spectrum();
+        let mut samples = Vec::new();
+        for city in cities {
+            assert!(
+                city.traffic.len_t() >= cfg.train_len,
+                "{} has {} steps, need at least {}",
+                city.name,
+                city.traffic.len_t(),
+                cfg.train_len
+            );
+            let ctx = city.context.standardized();
+            let layout = PatchLayout::new(
+                city.grid(),
+                PatchSpec::new(cfg.patch_traffic, cfg.patch_context(), cfg.patch_traffic),
+            );
+            for &pos in layout.positions() {
+                let ctx_patch = layout.extract_context(&ctx, pos);
+                let traffic = layout.extract_traffic(&city.traffic, pos, 0, cfg.train_len);
+                let series = patch_to_rows(&traffic);
+                let spec = if spec_needed {
+                    masked_spec_rows(&traffic, cfg.q)
+                } else {
+                    Tensor::zeros([0])
+                };
+                samples.push(Sample { ctx: ctx_patch, series, spec });
+            }
+        }
+        assert!(!samples.is_empty(), "no training patches extracted");
+        samples
+    }
+
+    /// Stacks per-sample tensors along a new leading batch axis.
+    fn stack(parts: &[&Tensor]) -> Tensor {
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(parts[0].shape().dims());
+        let reshaped: Vec<Tensor> = parts.iter().map(|p| p.reshape(dims.clone())).collect();
+        let refs: Vec<&Tensor> = reshaped.iter().collect();
+        Tensor::concat(&refs, 0)
+    }
+
+    /// Runs adversarial training on the given cities.
+    pub fn train(&mut self, cities: &[City], tc: &TrainConfig) -> TrainStats {
+        let samples = self.prepare(cities);
+        let mut rng = StdRng::seed_from_u64(tc.seed);
+        let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
+        let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
+        let mut stats = TrainStats::default();
+        let cfg = self.cfg;
+        let px = cfg.pixels_per_patch();
+
+        for _step in 0..tc.steps {
+            // ---- Minibatch assembly -----------------------------------
+            let batch: Vec<&Sample> = (0..tc.batch_patches)
+                .map(|_| &samples[rng.gen_range(0..samples.len())])
+                .collect();
+            let ctx_batch =
+                Self::stack(&batch.iter().map(|s| &s.ctx).collect::<Vec<_>>());
+            let series_real = {
+                let refs: Vec<&Tensor> = batch.iter().map(|s| &s.series).collect();
+                Tensor::concat(&refs, 0)
+            };
+            let spec_real = if cfg.variant.has_spectrum() {
+                let refs: Vec<&Tensor> = batch.iter().map(|s| &s.spec).collect();
+                Some(Tensor::concat(&refs, 0))
+            } else {
+                None
+            };
+            // Per-patch noise vector, broadcast spatially.
+            let mut z = Tensor::zeros([
+                tc.batch_patches,
+                cfg.noise_dim,
+                cfg.patch_traffic,
+                cfg.patch_traffic,
+            ]);
+            for p in 0..tc.batch_patches {
+                for d in 0..cfg.noise_dim {
+                    let v: f32 = {
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                    };
+                    let hw = cfg.patch_traffic * cfg.patch_traffic;
+                    let base = (p * cfg.noise_dim + d) * hw;
+                    for e in 0..hw {
+                        z.data_mut()[base + e] = v;
+                    }
+                }
+            }
+            let _ = px;
+
+            // ---- Forward ------------------------------------------------
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &self.store);
+            let ctx_var = tape.leaf(ctx_batch.clone());
+            let z_var = tape.leaf(z);
+            let out = self.gen.forward(&bind, &ctx_var, &z_var);
+            let ctx_rows = self.disc.encode_rows(&bind, &ctx_var);
+            let real_series_var = tape.leaf(series_real.clone());
+
+            // The time discriminator judges a random window of the
+            // series (temporal patch discriminator; cfg.disc_time_window
+            // = 0 disables windowing). Real and fake views share the
+            // window so the critic compares like with like.
+            let t_full = cfg.train_len;
+            let win = if cfg.disc_time_window == 0 {
+                t_full
+            } else {
+                cfg.disc_time_window.min(t_full)
+            };
+            let w0 = if win < t_full {
+                rng.gen_range(0..=t_full - win)
+            } else {
+                0
+            };
+
+            // ---- Discriminator loss (detached fakes) -------------------
+            let fake_series_det = tape.leaf(out.series.value().as_ref().clone());
+            let real_win = real_series_var.narrow(1, w0, win);
+            let mut d_loss = self
+                .disc
+                .time_logits(&bind, &real_win, &ctx_rows)
+                .bce_with_logits(1.0)
+                .add(
+                    &self
+                        .disc
+                        .time_logits(&bind, &fake_series_det.narrow(1, w0, win), &ctx_rows)
+                        .bce_with_logits(0.0),
+                );
+            if let (Some(spec_fake), Some(spec_real)) = (&out.spec, &spec_real) {
+                let real_spec_var = tape.leaf(spec_real.clone());
+                let fake_spec_det = tape.leaf(spec_fake.value().as_ref().clone());
+                d_loss = d_loss
+                    .add(
+                        &self
+                            .disc
+                            .spec_logits(&bind, &real_spec_var, &ctx_rows)
+                            .bce_with_logits(1.0),
+                    )
+                    .add(
+                        &self
+                            .disc
+                            .spec_logits(&bind, &fake_spec_det, &ctx_rows)
+                            .bce_with_logits(0.0),
+                    );
+            }
+
+            // ---- Generator loss ----------------------------------------
+            let mut g_adv = self
+                .disc
+                .time_logits(&bind, &out.series.narrow(1, w0, win), &ctx_rows)
+                .bce_with_logits(1.0);
+            if let Some(spec_fake) = &out.spec {
+                g_adv = g_adv.add(
+                    &self
+                        .disc
+                        .spec_logits(&bind, spec_fake, &ctx_rows)
+                        .bce_with_logits(1.0),
+                );
+            }
+            let l1 = match cfg.variant {
+                Variant::TimeOnly => None,
+                Variant::TimeOnlyPlus => Some(out.series.l1_to(&series_real)),
+                _ => {
+                    let time_l1 = out.series.l1_to(&series_real);
+                    match (&out.spec, &spec_real) {
+                        (Some(sf), Some(sr)) => Some(time_l1.add(&sf.l1_to(sr))),
+                        _ => Some(time_l1),
+                    }
+                }
+            };
+            let g_loss = match &l1 {
+                Some(l) => g_adv.add(&l.scale(cfg.lambda)),
+                None => g_adv.clone(),
+            };
+
+            stats.d_loss.push(d_loss.value().item());
+            stats.g_adv.push(g_adv.value().item());
+            stats.l1.push(l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0));
+
+            // ---- Updates ------------------------------------------------
+            let grads_d = tape.backward(&d_loss);
+            let grads_g = tape.backward(&g_loss);
+            let bound = bind.bound();
+            let boundary = self.gen_param_end;
+            let (g_bound, d_bound): (Vec<_>, Vec<_>) = bound
+                .into_iter()
+                .partition(|(id, _)| id.index() < boundary);
+            opt_d.step(&mut self.store, &d_bound, &grads_d);
+            opt_g.step(&mut self.store, &g_bound, &grads_g);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+
+    fn tiny_city(seed: u64) -> City {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.36 };
+        generate_city(
+            &CityConfig { name: format!("T{seed}"), height: 33, width: 33, seed },
+            &ds,
+        )
+    }
+
+    fn tiny_cfg() -> SpectraGanConfig {
+        // train_len 24 with 1 week of hourly data available.
+        SpectraGanConfig::tiny()
+    }
+
+    #[test]
+    fn training_runs_and_reduces_l1() {
+        let city = tiny_city(5);
+        let mut model = SpectraGan::new(tiny_cfg(), 0);
+        let tc = TrainConfig { steps: 30, batch_patches: 2, lr: 3e-3, seed: 1 };
+        let stats = model.train(&[city], &tc);
+        assert_eq!(stats.d_loss.len(), 30);
+        let head: f32 = stats.l1[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = stats.l1[25..].iter().sum::<f32>() / 5.0;
+        assert!(
+            tail < head,
+            "L1 did not decrease: head {head} tail {tail}"
+        );
+        assert!(stats.d_loss.iter().all(|v| v.is_finite()));
+        assert!(stats.g_adv.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn all_variants_train_one_step() {
+        let city = tiny_city(6);
+        for variant in [
+            Variant::Full,
+            Variant::SpecOnly,
+            Variant::TimeOnly,
+            Variant::TimeOnlyPlus,
+            Variant::PixelContext,
+        ] {
+            let mut model = SpectraGan::new(tiny_cfg().with_variant(variant), 0);
+            let tc = TrainConfig { steps: 2, batch_patches: 1, lr: 1e-3, seed: 2 };
+            let stats = model.train(&[city.clone()], &tc);
+            assert_eq!(stats.d_loss.len(), 2, "{variant:?}");
+            assert!(stats.d_loss[0].is_finite(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn model_file_roundtrip() {
+        let a = SpectraGan::new(tiny_cfg(), 8);
+        let json = a.to_model_json();
+        let b = SpectraGan::from_model_json(&json).unwrap();
+        let city = tiny_city(8);
+        assert_eq!(
+            a.generate(&city.context, 24, 1).data(),
+            b.generate(&city.context, 24, 1).data()
+        );
+        assert!(SpectraGan::from_model_json("{}").is_err());
+        assert!(SpectraGan::from_model_json("not json").is_err());
+    }
+
+    #[test]
+    fn weights_roundtrip_through_json() {
+        let mut a = SpectraGan::new(tiny_cfg(), 1);
+        let mut b = SpectraGan::new(tiny_cfg(), 2);
+        let json = a.weights_json();
+        b.load_weights_json(&json).unwrap();
+        // After loading, generation from identical inputs matches.
+        let city = tiny_city(7);
+        let ga = a.generate(&city.context, 24, 9);
+        let gb = b.generate(&city.context, 24, 9);
+        assert_eq!(ga.data(), gb.data());
+        // Re-loading into a model trained differently also matches.
+        let tc = TrainConfig { steps: 1, batch_patches: 1, lr: 1e-3, seed: 3 };
+        a.train(&[city.clone()], &tc);
+        a.load_weights_json(&json).unwrap();
+        let ga2 = a.generate(&city.context, 24, 9);
+        assert_eq!(ga2.data(), gb.data());
+    }
+}

@@ -1,0 +1,171 @@
+//! Autocorrelation of time series, used by the AC-L1 fidelity metric
+//! (§3.2): the L1 distance between per-pixel autocorrelation functions
+//! of real and synthetic traffic.
+
+/// Sample autocorrelation of `x` at lags `0..max_lag` (inclusive of 0,
+/// exclusive of `max_lag`), normalized so that lag 0 equals 1.
+///
+/// Uses the standard biased estimator
+/// `r[h] = Σ_t (x[t] − x̄)(x[t+h] − x̄) / Σ_t (x[t] − x̄)²`.
+/// A constant (zero-variance) series returns `r[0] = 1` and zeros
+/// elsewhere, which keeps the AC-L1 metric finite on dead pixels.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    let lags = max_lag.min(n);
+    if lags == 0 {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let var: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
+    let mut out = Vec::with_capacity(lags);
+    if var <= f64::EPSILON {
+        out.push(1.0);
+        out.resize(lags, 0.0);
+        return out;
+    }
+    for h in 0..lags {
+        let mut acc = 0.0;
+        for t in 0..n - h {
+            acc += (x[t] - mean) * (x[t + h] - mean);
+        }
+        out.push(acc / var);
+    }
+    out
+}
+
+/// Normalized cross-correlation of two equal-length series at lags
+/// `-max_lag..=max_lag`: entry `max_lag + h` is the correlation of
+/// `a[t]` with `b[t + h]`. Used to quantify traffic *flows* — a peak at
+/// a nonzero lag means one location leads the other (Fig. 2's moving
+/// peak in correlation form). Constant series yield zeros.
+pub fn cross_correlation(a: &[f64], b: &[f64], max_lag: usize) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "cross-correlation inputs differ in length");
+    let n = a.len();
+    let lags = max_lag.min(n.saturating_sub(1));
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let va: f64 = a.iter().map(|v| (v - ma) * (v - ma)).sum();
+    let vb: f64 = b.iter().map(|v| (v - mb) * (v - mb)).sum();
+    let denom = (va * vb).sqrt();
+    let mut out = Vec::with_capacity(2 * lags + 1);
+    for h in -(lags as isize)..=(lags as isize) {
+        if denom <= f64::EPSILON {
+            out.push(0.0);
+            continue;
+        }
+        let mut acc = 0.0;
+        for t in 0..n {
+            let u = t as isize + h;
+            if u >= 0 && (u as usize) < n {
+                acc += (a[t] - ma) * (b[u as usize] - mb);
+            }
+        }
+        out.push(acc / denom);
+    }
+    out
+}
+
+/// The lag (in samples) at which `b` best follows `a` — the argmax of
+/// [`cross_correlation`] shifted to be relative to zero. Positive means
+/// `b` lags behind `a`.
+pub fn lead_lag(a: &[f64], b: &[f64], max_lag: usize) -> isize {
+    let xc = cross_correlation(a, b, max_lag);
+    let lags = (xc.len() - 1) / 2;
+    let (mut best, mut best_v) = (0usize, f64::MIN);
+    for (i, &v) in xc.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best as isize - lags as isize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_correlation_detects_a_shift() {
+        let n = 200;
+        let a: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        // b follows a by 3 samples: b[t] = a[t − 3] ⇒ a leads b.
+        let b: Vec<f64> = (0..n)
+            .map(|t| {
+                let t = t as f64 - 3.0;
+                (2.0 * std::f64::consts::PI * t / 24.0).sin()
+            })
+            .collect();
+        assert_eq!(lead_lag(&a, &b, 8), 3);
+        assert_eq!(lead_lag(&b, &a, 8), -3);
+        assert_eq!(lead_lag(&a, &a, 8), 0);
+    }
+
+    #[test]
+    fn cross_correlation_of_constants_is_zero() {
+        let a = vec![1.0; 50];
+        let b = vec![2.0; 50];
+        assert!(cross_correlation(&a, &b, 5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cross_correlation_is_bounded() {
+        let a: Vec<f64> = (0..100).map(|t| ((t * 13 % 29) as f64).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|t| ((t * 7 % 31) as f64).cos()).collect();
+        for v in cross_correlation(&a, &b, 20) {
+            assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = autocorrelation(&x, 10);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_its_period() {
+        let x: Vec<f64> = (0..240)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        let r = autocorrelation(&x, 30);
+        // Near-perfect correlation one period later, strong anticorrelation
+        // at half a period.
+        assert!(r[24] > 0.8, "r[24] = {}", r[24]);
+        assert!(r[12] < -0.8, "r[12] = {}", r[12]);
+    }
+
+    #[test]
+    fn constant_series_is_finite() {
+        let x = vec![5.0; 50];
+        let r = autocorrelation(&x, 10);
+        assert_eq!(r[0], 1.0);
+        assert!(r[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn white_noise_decorrelates() {
+        // Deterministic pseudo-noise from a 64-bit LCG.
+        let mut state = 0x853c49e6748fea9bu64;
+        let x: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let r = autocorrelation(&x, 5);
+        for &v in &r[1..] {
+            assert!(v.abs() < 0.1, "noise autocorrelation too high: {v}");
+        }
+    }
+
+    #[test]
+    fn max_lag_is_clamped_to_length() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(autocorrelation(&x, 10).len(), 3);
+        assert!(autocorrelation(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! k-multiple frequency expansion (§2.2.4, Fig. 4, Appendix C).
+//!
+//! SpectraGAN's spectrum generator emits a fixed number of one-sided
+//! bins `F = T/2 + 1` for the training duration `T`. To generate a
+//! longer series `T' = k·T`, the spectrum is expanded to
+//! `F' = T'/2 + 1 = k·(F − 1) + 1` bins: bin `i` of the original moves
+//! to bin `k·i` of the expanded vector (same physical frequency
+//! `i/T = k·i/(k·T)`) and is scaled by `k` so that the total signal
+//! energy is multiplied by `k` — exactly what repeating the signal `k`
+//! times requires (Appendix C, claims 1–3).
+
+use crate::complex::Complex;
+
+/// Expands a one-sided spectrum of a length-`t` signal by an integer
+/// factor `k ≥ 1`, returning the spectrum of a length-`k·t` signal whose
+/// IFFT approximates `k` repetitions of the original signal.
+///
+/// # Panics
+/// Panics if `k == 0` or `spec.len() != t/2 + 1`.
+pub fn expand_spectrum(spec: &[Complex], t: usize, k: usize) -> Vec<Complex> {
+    assert!(k >= 1, "expansion factor must be at least 1");
+    assert_eq!(
+        spec.len(),
+        t / 2 + 1,
+        "spectrum length {} does not match signal length {t}",
+        spec.len()
+    );
+    if k == 1 {
+        return spec.to_vec();
+    }
+    let f_out = (k * t) / 2 + 1;
+    let mut out = vec![Complex::ZERO; f_out];
+    for (i, &z) in spec.iter().enumerate() {
+        out[i * k] = z.scale(k as f64);
+    }
+    out
+}
+
+/// Fractional-length spectral expansion — the generalization the paper
+/// leaves as future work (§2.2.4: "such a procedure can be more
+/// involved if F′ is not a multiple of F as it would require careful
+/// smoothing to avoid potential aliasing with total energy
+/// preservation").
+///
+/// Each source bin `k` (physical frequency `k/t_in`) is mapped to its
+/// fractional position `k·t_out/t_in` in the target spectrum and split
+/// linearly between the two neighbouring bins, scaled by `t_out/t_in`
+/// so the time-domain amplitude is preserved. For integer ratios this
+/// reduces exactly to [`expand_spectrum`]; for non-integer ratios the
+/// linear split is the "careful smoothing" — adjacent-bin leakage
+/// instead of aliasing.
+///
+/// # Panics
+/// Panics if `spec.len() != t_in/2 + 1` or either length is < 2.
+pub fn expand_spectrum_fractional(spec: &[Complex], t_in: usize, t_out: usize) -> Vec<Complex> {
+    assert!(t_in >= 2 && t_out >= 2, "lengths must be at least 2");
+    assert_eq!(
+        spec.len(),
+        t_in / 2 + 1,
+        "spectrum length {} does not match signal length {t_in}",
+        spec.len()
+    );
+    if t_out % t_in == 0 {
+        return expand_spectrum(spec, t_in, t_out / t_in);
+    }
+    let f_out = t_out / 2 + 1;
+    let ratio = t_out as f64 / t_in as f64;
+    let mut out = vec![Complex::ZERO; f_out];
+    for (k, &z) in spec.iter().enumerate() {
+        let pos = k as f64 * ratio;
+        let lo = pos.floor() as usize;
+        let frac = pos - lo as f64;
+        let scaled = z.scale(ratio);
+        if lo < f_out {
+            out[lo] += scaled.scale(1.0 - frac);
+        }
+        if frac > 0.0 && lo + 1 < f_out {
+            out[lo + 1] += scaled.scale(frac);
+        }
+    }
+    // A real signal's DC must stay real; linear splitting preserves
+    // this by construction (bin 0 maps to position 0 exactly).
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rfft::{irfft, rfft};
+    use crate::spectrum::one_sided_energy;
+
+    fn weekly(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let t = t as f64;
+                1.0 + (2.0 * std::f64::consts::PI * t / 24.0).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * t / 168.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_length_matches_appendix_c_claim_1() {
+        let t = 168;
+        let spec = rfft(&weekly(t));
+        for k in 1..=4 {
+            let out = expand_spectrum(&spec, t, k);
+            assert_eq!(out.len(), (k * t) / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn total_energy_scales_by_k_claim_2() {
+        let t = 168;
+        let x = weekly(t);
+        let spec = rfft(&x);
+        let e1 = one_sided_energy(&spec, t);
+        for k in [2usize, 3] {
+            let out = expand_spectrum(&spec, t, k);
+            let ek = one_sided_energy(&out, k * t);
+            // |k·f|² = k²·|f|², and Parseval divides by k·t instead of t,
+            // so time-domain energy is k× — in spectral terms this is
+            // e_k = k²·e_1.
+            assert!(
+                (ek - (k * k) as f64 * e1).abs() < 1e-6 * ek,
+                "k={k}: {ek} vs {}",
+                (k * k) as f64 * e1
+            );
+        }
+    }
+
+    #[test]
+    fn ifft_of_expansion_repeats_the_signal_claim_3() {
+        let t = 168;
+        let x = weekly(t);
+        let spec = rfft(&x);
+        for k in [2usize, 3] {
+            let long = irfft(&expand_spectrum(&spec, t, k), k * t);
+            for rep in 0..k {
+                for i in 0..t {
+                    let a = x[i];
+                    let b = long[rep * t + i];
+                    assert!(
+                        (a - b).abs() < 1e-8,
+                        "k={k} rep={rep} i={i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equal_one_is_identity() {
+        let t = 24;
+        let spec = rfft(&weekly(t));
+        assert_eq!(expand_spectrum(&spec, t, 1), spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match signal length")]
+    fn rejects_wrong_spectrum_length() {
+        let spec = vec![Complex::ZERO; 10];
+        let _ = expand_spectrum(&spec, 168, 2);
+    }
+
+    #[test]
+    fn fractional_reduces_to_integer_path() {
+        let t = 24;
+        let spec = rfft(&weekly(t));
+        let a = expand_spectrum(&spec, t, 3);
+        let b = expand_spectrum_fractional(&spec, t, 3 * t);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_output_length_and_dc() {
+        let t = 168;
+        let x = weekly(t);
+        let spec = rfft(&x);
+        let t_out = 250; // not a multiple of 168
+        let out = expand_spectrum_fractional(&spec, t, t_out);
+        assert_eq!(out.len(), t_out / 2 + 1);
+        // DC amplitude in the time domain is preserved: DC_out/t_out
+        // equals DC_in/t_in.
+        assert!(
+            (out[0].re / t_out as f64 - spec[0].re / t as f64).abs() < 1e-9,
+            "mean level changed"
+        );
+        assert!(out[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_expansion_preserves_dominant_periodicity() {
+        // A daily tone expanded from 1 week to ~1.5 weeks must still be
+        // (approximately) a daily tone: its strongest non-DC bin should
+        // sit at frequency ≈ 1/24 per sample.
+        let t = 168;
+        let x: Vec<f64> = (0..t)
+            .map(|n| 1.0 + (2.0 * std::f64::consts::PI * n as f64 / 24.0).sin())
+            .collect();
+        let spec = rfft(&x);
+        let t_out = 250;
+        let out = expand_spectrum_fractional(&spec, t, t_out);
+        let series = irfft(&out, t_out);
+        let new_spec = rfft(&series);
+        let (mut best, mut best_v) = (0usize, f64::MIN);
+        for (k, z) in new_spec.iter().enumerate().skip(1) {
+            if z.abs() > best_v {
+                best_v = z.abs();
+                best = k;
+            }
+        }
+        let freq = best as f64 / t_out as f64;
+        assert!(
+            (freq - 1.0 / 24.0).abs() < 0.01,
+            "dominant frequency drifted: {freq}"
+        );
+        // And the series remains non-degenerate (oscillates).
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / series.len() as f64;
+        assert!(var > 0.1, "expansion flattened the signal: var {var}");
+    }
+}

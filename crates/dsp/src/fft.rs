@@ -1,0 +1,257 @@
+//! Discrete Fourier transforms for arbitrary lengths.
+//!
+//! Two algorithms, both from scratch:
+//!
+//! * iterative radix-2 Cooley–Tukey for power-of-two lengths, and
+//! * Bluestein's chirp-z transform for everything else (it re-expresses
+//!   a length-`N` DFT as a circular convolution of length `≥ 2N − 1`,
+//!   which is then done with the radix-2 path).
+//!
+//! Traffic time series in the paper are *not* powers of two (one week of
+//! hourly data is `T = 168`), so the Bluestein path is exercised by every
+//! experiment, not just edge cases.
+//!
+//! Conventions: `fft` computes `X[k] = Σ_n x[n]·e^{-2πikn/N}` with no
+//! normalization; `ifft` applies the `1/N` factor, so `ifft(fft(x)) = x`.
+
+use crate::complex::Complex;
+
+/// Computes the forward DFT of `x` (any length, including 0 and 1).
+///
+/// Unnormalized: `X[k] = Σ_n x[n]·e^{-2πikn/N}`.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Computes the inverse DFT of `x`, including the `1/N` normalization,
+/// so that `ifft(fft(x)) == x` up to floating-point error.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    fft_in_place(&mut buf, true);
+    buf
+}
+
+/// Transforms `buf` in place; `inverse` selects direction (the inverse
+/// direction includes the `1/N` normalization).
+pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2_in_place(buf, inverse);
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for z in buf.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+    } else {
+        let out = bluestein(buf, inverse);
+        buf.copy_from_slice(&out);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey, unnormalized in both directions.
+fn radix2_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in buf.chunks_exact_mut(len) {
+            let mut w = Complex::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: DFT of arbitrary length `n` via a circular
+/// convolution of power-of-two length `m ≥ 2n − 1`.
+fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+
+    // Chirp c[k] = e^{sign·iπk²/n}. Compute k² mod 2n to keep the phase
+    // argument small and precise for large k.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u64 * k as u64) % (2 * n as u64);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    // b must be symmetric for circular convolution: b[m-k] = b[k].
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+
+    radix2_in_place(&mut a, false);
+    radix2_in_place(&mut b, false);
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai *= *bi;
+    }
+    radix2_in_place(&mut a, true);
+    let inv_m = 1.0 / m as f64;
+
+    let norm = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n)
+        .map(|k| (a[k].scale(inv_m) * chirp[k]).scale(norm))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(N²) DFT used as the test oracle.
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (i, &xi) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                    acc += xi * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "bin {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.3 - 1.0, (i as f64).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_are_identity() {
+        assert!(fft(&[]).is_empty());
+        let one = [Complex::new(2.5, -1.0)];
+        assert_eq!(fft(&one), one.to_vec());
+        assert_eq!(ifft(&one), one.to_vec());
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft_naive(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        // 168 = one week of hourly samples, the length every SpectraGAN
+        // experiment uses; the others stress Bluestein with primes.
+        for n in [3usize, 5, 7, 12, 24, 97, 168, 336] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft_naive(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [1usize, 2, 7, 24, 168, 256, 501] {
+            let x = ramp(n);
+            assert_close(&ifft(&fft(&x)), &x, 1e-9 * (n.max(4)) as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 24];
+        x[0] = Complex::ONE;
+        for bin in fft(&x) {
+            assert!((bin - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        let n = 48;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (k, bin) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((bin.re - n as f64).abs() < 1e-8);
+                assert!(bin.im.abs() < 1e-8);
+            } else {
+                assert!(bin.abs() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        for n in [30usize, 64, 168] {
+            let x = ramp(n);
+            let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let freq_energy: f64 =
+                fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((time_energy - freq_energy).abs() < 1e-7 * time_energy.max(1.0));
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 21;
+        let x = ramp(n);
+        let y: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.2)).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex> = fx.iter().zip(&fy).map(|(a, b)| *a + *b).collect();
+        assert_close(&fsum, &expect, 1e-9);
+    }
+}

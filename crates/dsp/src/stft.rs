@@ -1,0 +1,208 @@
+//! Short-time Fourier transform and derived spectral statistics.
+//!
+//! The paper's analysis views each pixel's whole series through one
+//! FFT (Fig. 1d); a spectrogram view adds *when* each periodicity is
+//! active — useful for inspecting generated data (e.g. verifying the
+//! residual generator does not inject spurious periodicities midway
+//! through a long generated sequence).
+
+use crate::rfft::{rfft, rfft_len};
+use crate::window::Window;
+
+/// A magnitude spectrogram: `frames × bins`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    bins: usize,
+    /// Frame hop in samples.
+    pub hop: usize,
+    /// Window length in samples.
+    pub window_len: usize,
+    data: Vec<f64>,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn num_frames(&self) -> usize {
+        if self.bins == 0 { 0 } else { self.data.len() / self.bins }
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn num_bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Magnitude at `(frame, bin)`.
+    pub fn at(&self, frame: usize, bin: usize) -> f64 {
+        assert!(bin < self.bins, "bin out of range");
+        self.data[frame * self.bins + bin]
+    }
+
+    /// One frame's magnitudes.
+    pub fn frame(&self, frame: usize) -> &[f64] {
+        &self.data[frame * self.bins..(frame + 1) * self.bins]
+    }
+}
+
+/// Computes the magnitude STFT of `x` with the given window, window
+/// length and hop. Frames that would run past the end are dropped
+/// (no padding).
+///
+/// # Panics
+/// Panics if `window_len == 0` or `hop == 0`.
+pub fn stft(x: &[f64], window: Window, window_len: usize, hop: usize) -> Spectrogram {
+    assert!(window_len > 0 && hop > 0, "bad STFT geometry");
+    let coeffs = window.coefficients(window_len);
+    let bins = rfft_len(window_len);
+    let mut data = Vec::new();
+    let mut start = 0;
+    while start + window_len <= x.len() {
+        let windowed: Vec<f64> = x[start..start + window_len]
+            .iter()
+            .zip(&coeffs)
+            .map(|(v, c)| v * c)
+            .collect();
+        let spec = rfft(&windowed);
+        data.extend(spec.iter().map(|z| z.abs()));
+        start += hop;
+    }
+    Spectrogram { bins, hop, window_len, data }
+}
+
+/// Periodogram (power spectral density estimate) of `x`:
+/// `|X[k]|² / N`, one-sided.
+pub fn periodogram(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    rfft(x).iter().map(|z| z.norm_sqr() / n as f64).collect()
+}
+
+/// Normalized spectral entropy of a one-sided power spectrum,
+/// excluding DC: 0 for a pure tone, 1 for white noise. Returns 0 for
+/// degenerate inputs.
+pub fn spectral_entropy(power: &[f64]) -> f64 {
+    if power.len() <= 2 {
+        return 0.0;
+    }
+    let body = &power[1..];
+    let total: f64 = body.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &p in body {
+        if p > 0.0 {
+            let q = p / total;
+            h -= q * q.ln();
+        }
+    }
+    h / (body.len() as f64).ln()
+}
+
+/// Fraction of (non-DC) spectral power concentrated in the `k`
+/// strongest bins — the quantitative form of the paper's "few
+/// significant components" observation.
+pub fn power_concentration(power: &[f64], k: usize) -> f64 {
+    if power.len() <= 1 {
+        return 0.0;
+    }
+    let mut body: Vec<f64> = power[1..].to_vec();
+    let total: f64 = body.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    body.sort_by(|a, b| b.partial_cmp(a).expect("finite power"));
+    body.iter().take(k).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, period: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn stft_shapes() {
+        let x = tone(200, 24.0);
+        let sg = stft(&x, Window::Hann, 48, 24);
+        assert_eq!(sg.num_bins(), 25);
+        // Frames: starts 0, 24, …, 152 → 7 frames.
+        assert_eq!(sg.num_frames(), 7);
+        assert_eq!(sg.frame(0).len(), 25);
+    }
+
+    #[test]
+    fn stft_localizes_a_tone() {
+        // 48-sample window, 24-sample period → energy in bin 2.
+        let x = tone(192, 24.0);
+        let sg = stft(&x, Window::Hann, 48, 48);
+        for f in 0..sg.num_frames() {
+            let frame = sg.frame(f);
+            let max_bin = (0..frame.len())
+                .max_by(|&a, &b| frame[a].partial_cmp(&frame[b]).unwrap())
+                .unwrap();
+            assert_eq!(max_bin, 2, "frame {f}");
+        }
+    }
+
+    #[test]
+    fn stft_detects_a_frequency_change() {
+        // First half daily period 24, second half period 12.
+        let mut x = tone(240, 24.0);
+        x.extend(tone(240, 12.0));
+        let sg = stft(&x, Window::Hann, 48, 48);
+        let first = sg.frame(0);
+        let last = sg.frame(sg.num_frames() - 1);
+        let argmax = |f: &[f64]| {
+            (0..f.len())
+                .max_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap())
+                .unwrap()
+        };
+        assert_eq!(argmax(first), 2);
+        assert_eq!(argmax(last), 4);
+    }
+
+    #[test]
+    fn entropy_separates_tone_from_noise() {
+        let tone_p = periodogram(&tone(256, 16.0));
+        // LCG noise.
+        let mut state = 12345u64;
+        let noise: Vec<f64> = (0..256)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let noise_p = periodogram(&noise);
+        let ht = spectral_entropy(&tone_p);
+        let hn = spectral_entropy(&noise_p);
+        assert!(ht < 0.3, "tone entropy {ht}");
+        assert!(hn > 0.8, "noise entropy {hn}");
+    }
+
+    #[test]
+    fn concentration_of_a_tone_is_total() {
+        let p = periodogram(&tone(256, 16.0));
+        assert!(power_concentration(&p, 1) > 0.99);
+        assert_eq!(power_concentration(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn periodogram_parseval() {
+        let x = tone(100, 10.0);
+        let te: f64 = x.iter().map(|v| v * v).sum();
+        let p = periodogram(&x);
+        // One-sided: interior bins count twice.
+        let mut fe = p[0];
+        for (k, &v) in p.iter().enumerate().skip(1) {
+            let double = !(x.len() % 2 == 0 && k == p.len() - 1);
+            fe += v * if double { 2.0 } else { 1.0 };
+        }
+        assert!((te - fe).abs() < 1e-6 * te.max(1.0));
+    }
+}

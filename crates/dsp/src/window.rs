@@ -1,0 +1,90 @@
+//! Window functions for short-time spectral analysis.
+
+/// Supported analysis windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// No tapering (all ones).
+    Rectangular,
+    /// Hann window `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// Hamming window `0.54 − 0.46·cos(2πn/(N−1))`.
+    Hamming,
+}
+
+impl Window {
+    /// Materializes the window coefficients for length `n`.
+    ///
+    /// # Panics
+    /// Panics for `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be positive");
+        if n == 1 {
+            return vec![1.0];
+        }
+        (0..n)
+            .map(|i| {
+                let phase = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * phase.cos(),
+                    Window::Hamming => 0.54 - 0.46 * phase.cos(),
+                }
+            })
+            .collect()
+    }
+
+    /// The coherent gain (mean coefficient) — what a windowed constant
+    /// signal's DC bin is scaled by.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        c.iter().sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&v| v == 1.0));
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_is_zero_at_edges_and_one_in_middle() {
+        let w = Window::Hann.coefficients(65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        // Symmetric.
+        for i in 0..32 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_never_reaches_zero() {
+        let w = Window::Hamming.coefficients(33);
+        assert!(w.iter().all(|&v| v > 0.05));
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_are_ordered() {
+        // Rectangular passes most energy, Hann least of these three.
+        let n = 64;
+        let r = Window::Rectangular.coherent_gain(n);
+        let hm = Window::Hamming.coherent_gain(n);
+        let hn = Window::Hann.coherent_gain(n);
+        assert!(r > hm && hm > hn);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use spectragan_dsp::{
+    autocorrelation, expand_spectrum, fft, ifft, irfft, magnitude, mask_quantile, rfft, Complex,
+};
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..max_len)
+}
+
+proptest! {
+    /// ifft(fft(x)) == x for any complex signal of any length.
+    #[test]
+    fn fft_roundtrip(re in arb_signal(300), seed in 0u64..1000) {
+        let x: Vec<Complex> = re
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Complex::new(r, ((i as u64 + seed) % 17) as f64 - 8.0))
+            .collect();
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Parseval: time energy equals spectral energy / N.
+    #[test]
+    fn fft_parseval(re in arb_signal(300)) {
+        let x: Vec<Complex> = re.iter().map(|&r| Complex::real(r)).collect();
+        let n = x.len() as f64;
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((te - fe).abs() < 1e-6 * te.max(1.0));
+    }
+
+    /// irfft(rfft(x)) == x for any real signal.
+    #[test]
+    fn rfft_roundtrip(x in arb_signal(300)) {
+        let back = irfft(&rfft(&x), x.len());
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// The one-sided spectrum of a real signal has a real DC bin.
+    #[test]
+    fn rfft_dc_is_real(x in arb_signal(200)) {
+        let spec = rfft(&x);
+        prop_assert!(spec[0].im.abs() < 1e-9);
+        prop_assert!((spec[0].re - x.iter().sum::<f64>()).abs() < 1e-6 * (1.0 + x.iter().sum::<f64>().abs()));
+    }
+
+    /// Masking only ever zeroes bins, never alters surviving ones, and
+    /// keeps at least the strongest bin for q < 1.
+    #[test]
+    fn mask_is_a_projection(x in arb_signal(200), q in 0.0f64..0.99) {
+        let spec = rfft(&x);
+        let (masked, mask) = mask_quantile(&spec, q);
+        let mags = magnitude(&spec);
+        let max_mag = mags.iter().cloned().fold(0.0, f64::max);
+        for ((m, orig), keep) in masked.iter().zip(&spec).zip(&mask) {
+            if *keep {
+                prop_assert_eq!(*m, *orig);
+            } else {
+                prop_assert_eq!(*m, Complex::ZERO);
+            }
+        }
+        // The largest bin survives whenever the quantile threshold is
+        // strictly below it (the paper's mask uses a strict comparison,
+        // so a threshold equal to the max kills every bin).
+        let thr = spectragan_dsp::spectrum::quantile(&mags, q);
+        if max_mag > 0.0 && thr < max_mag {
+            let strongest = mags.iter().position(|&v| v == max_mag).unwrap();
+            prop_assert!(mask[strongest]);
+        }
+    }
+
+    /// k-expansion: output length and k-periodicity of the IFFT hold
+    /// for any spectrum, not just spectra of real signals.
+    #[test]
+    fn expansion_periodicity(x in arb_signal(120), k in 1usize..4) {
+        // Make the length even to keep Nyquist handling simple.
+        let mut x = x;
+        if x.len() % 2 == 1 { x.pop(); }
+        prop_assume!(x.len() >= 2);
+        let t = x.len();
+        let spec = rfft(&x);
+        let out = expand_spectrum(&spec, t, k);
+        prop_assert_eq!(out.len(), (k * t) / 2 + 1);
+        let long = irfft(&out, k * t);
+        for rep in 1..k {
+            for i in 0..t {
+                prop_assert!((long[rep * t + i] - long[i]).abs() < 1e-6 * (1.0 + long[i].abs()));
+            }
+        }
+    }
+
+    /// Autocorrelation is bounded by 1 in magnitude (Cauchy–Schwarz)
+    /// at lag 0 and normalized to exactly 1 there.
+    #[test]
+    fn autocorrelation_bounds(x in arb_signal(200), lags in 1usize..50) {
+        let r = autocorrelation(&x, lags);
+        prop_assert!((r[0] - 1.0).abs() < 1e-9);
+        for &v in &r {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Static context maps: the public attributes generation is
+//! conditioned on.
+//!
+//! The paper uses 27 attributes (Table 1): population census, 12 land
+//! uses from the Copernicus Urban Atlas and 14 PoI categories from
+//! OpenStreetMap, all rasterized onto the traffic grid. The attribute
+//! list here mirrors Table 1 exactly, including the measured mean
+//! Pearson correlation of each attribute with traffic, which the
+//! synthetic-data generator uses as ground truth and the Table 1
+//! harness reproduces.
+
+use crate::grid::GridSpec;
+use serde::{Deserialize, Serialize};
+
+/// The 27 context attributes of Table 1, as `(name, mean PCC)` — the
+/// per-city PCC of each attribute against time-averaged traffic.
+pub const ATTRIBUTES: [(&str, f64); 27] = [
+    ("Census", 0.597),
+    ("Continuous Urban", 0.533),
+    ("High Dense Urban", 0.106),
+    ("Medium Dense Urban", -0.025),
+    ("Low Dense Urban", -0.037),
+    ("Very-Low Dense Urban", -0.033),
+    ("Isolated Structures", -0.060),
+    ("Green Urban", 0.099),
+    ("Industrial/Commercial", 0.129),
+    ("Air/Sea Ports", 0.004),
+    ("Leisure Facilities", 0.029),
+    ("Barren Lands", -0.281),
+    ("Sea", -0.192),
+    ("Tourism", 0.396),
+    ("Cafe", 0.480),
+    ("Parking", 0.187),
+    ("Restaurant", 0.509),
+    ("Post/Police", 0.188),
+    ("Traffic Signals", 0.370),
+    ("Office", 0.389),
+    ("Public Transport", 0.315),
+    ("Shop", 0.506),
+    ("Secondary Roads", 0.193),
+    ("Primary Roads", 0.164),
+    ("Motorways", 0.030),
+    ("Railway Stations", 0.141),
+    ("Tram Stops", 0.236),
+];
+
+/// Number of context attributes (`C` in the paper's notation).
+pub const NUM_ATTRIBUTES: usize = ATTRIBUTES.len();
+
+/// Index of the census attribute (used by Fig. 1b and the population
+/// use case's discussion).
+pub const CENSUS: usize = 0;
+
+/// A static context tensor `c ∈ R^{C×H×W}`: `c` attribute planes over
+/// an `H×W` grid, channel-major, each plane row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextMap {
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl ContextMap {
+    /// Creates a map from a flat `c·h·w` buffer (channel-major).
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match.
+    pub fn from_vec(data: Vec<f32>, c: usize, h: usize, w: usize) -> Self {
+        assert_eq!(data.len(), c * h * w, "context buffer length mismatch");
+        ContextMap { c, h, w, data }
+    }
+
+    /// All-zero context.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        ContextMap { c, h, w, data: vec![0.0; c * h * w] }
+    }
+
+    /// Number of attribute channels.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The grid this map lives on.
+    pub fn grid(&self) -> GridSpec {
+        GridSpec::new(self.h, self.w)
+    }
+
+    /// Flat read-only buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value of attribute `c` at pixel `(y, x)`.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Mutable value of attribute `c` at pixel `(y, x)`.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// One attribute plane as a slice of `h·w` values.
+    pub fn channel(&self, c: usize) -> &[f32] {
+        assert!(c < self.c, "channel {c} out of {}", self.c);
+        &self.data[c * self.h * self.w..(c + 1) * self.h * self.w]
+    }
+
+    /// Standardizes each channel to zero mean / unit variance across
+    /// the city (constant channels become all-zero). Neural models
+    /// condition on the standardized context.
+    pub fn standardized(&self) -> ContextMap {
+        let hw = self.h * self.w;
+        let mut out = self.clone();
+        for c in 0..self.c {
+            let plane = &mut out.data[c * hw..(c + 1) * hw];
+            let mean = plane.iter().sum::<f32>() / hw as f32;
+            let var = plane.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / hw as f32;
+            let std = var.sqrt();
+            if std > 1e-8 {
+                for v in plane.iter_mut() {
+                    *v = (*v - mean) / std;
+                }
+            } else {
+                plane.fill(0.0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_table_is_consistent() {
+        assert_eq!(NUM_ATTRIBUTES, 27);
+        assert_eq!(ATTRIBUTES[CENSUS].0, "Census");
+        // The strongest single attribute in Table 1 is census at 0.597;
+        // none should exceed it.
+        for (name, pcc) in ATTRIBUTES {
+            assert!(pcc.abs() <= 0.597, "{name} PCC {pcc} exceeds census");
+        }
+    }
+
+    #[test]
+    fn indexing_is_channel_major() {
+        let mut m = ContextMap::zeros(2, 2, 2);
+        *m.at_mut(1, 0, 1) = 9.0;
+        assert_eq!(m.channel(1), &[0.0, 9.0, 0.0, 0.0]);
+        assert_eq!(m.at(1, 0, 1), 9.0);
+        assert_eq!(m.at(0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn standardized_channels_have_zero_mean_unit_var() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, /* ch 1: constant */ 5.0, 5.0, 5.0, 5.0];
+        let m = ContextMap::from_vec(data, 2, 2, 2);
+        let s = m.standardized();
+        let ch0 = s.channel(0);
+        let mean: f32 = ch0.iter().sum::<f32>() / 4.0;
+        let var: f32 = ch0.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+        assert!(s.channel(1).iter().all(|&v| v == 0.0));
+    }
+}

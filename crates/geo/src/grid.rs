@@ -1,0 +1,101 @@
+//! Regular grid tessellation of a city's surface.
+//!
+//! The datasets tessellate space into 250 m × 250 m pixels (§3.1); a
+//! [`GridSpec`] is just the `H×W` extent plus indexing and adjacency
+//! helpers (4-adjacency is what the vRAN use case's RU graph needs).
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a regular spatial grid, `height` rows × `width` cols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Number of rows (pixels along the north–south axis).
+    pub height: usize,
+    /// Number of columns (pixels along the east–west axis).
+    pub width: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid of the given extent.
+    pub fn new(height: usize, width: usize) -> Self {
+        GridSpec { height, width }
+    }
+
+    /// Total number of pixels.
+    pub fn num_pixels(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Flat row-major index of pixel `(y, x)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn index(&self, y: usize, x: usize) -> usize {
+        assert!(y < self.height && x < self.width, "pixel ({y},{x}) outside {self:?}");
+        y * self.width + x
+    }
+
+    /// Inverse of [`GridSpec::index`].
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.num_pixels(), "index {idx} outside {self:?}");
+        (idx / self.width, idx % self.width)
+    }
+
+    /// Iterates all pixel coordinates row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| (y, x)))
+    }
+
+    /// The 4-adjacent neighbours of `(y, x)` that are inside the grid.
+    pub fn neighbors4(&self, y: usize, x: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(4);
+        if y > 0 {
+            out.push((y - 1, x));
+        }
+        if y + 1 < self.height {
+            out.push((y + 1, x));
+        }
+        if x > 0 {
+            out.push((y, x - 1));
+        }
+        if x + 1 < self.width {
+            out.push((y, x + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = GridSpec::new(3, 5);
+        for (y, x) in g.iter() {
+            assert_eq!(g.coords(g.index(y, x)), (y, x));
+        }
+        assert_eq!(g.num_pixels(), 15);
+    }
+
+    #[test]
+    fn iter_is_row_major_and_complete() {
+        let g = GridSpec::new(2, 2);
+        let all: Vec<_> = g.iter().collect();
+        assert_eq!(all, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn corner_has_two_neighbors_interior_has_four() {
+        let g = GridSpec::new(3, 3);
+        assert_eq!(g.neighbors4(0, 0).len(), 2);
+        assert_eq!(g.neighbors4(1, 1).len(), 4);
+        assert_eq!(g.neighbors4(0, 1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_is_bounds_checked() {
+        GridSpec::new(2, 2).index(2, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! On-disk formats for traffic and context maps.
+//!
+//! Two formats:
+//!
+//! * **SGTM binary** — a compact little-endian container for sharing
+//!   generated datasets (the paper's stated goal is publishing a
+//!   reference ensemble of synthetic maps; a few hundred MB of f32s
+//!   should not travel as JSON). Layout: magic `SGTM`/`SGCM`, a u16
+//!   version, the dimensions as u32s, then the raw f32 payload.
+//! * **CSV** — long-format text (`t,y,x,value` / `c,y,x,value`) for
+//!   plotting and spreadsheet work.
+//!
+//! All readers validate magic, version and payload length and return
+//! [`IoError`] rather than panicking: files cross trust boundaries.
+
+use crate::context::ContextMap;
+use crate::traffic::TrafficMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Current container version.
+pub const FORMAT_VERSION: u16 = 1;
+
+const TRAFFIC_MAGIC: &[u8; 4] = b"SGTM";
+const CONTEXT_MAGIC: &[u8; 4] = b"SGCM";
+
+/// Errors for map (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// Wrong magic bytes (not a map file, or the wrong kind of map).
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u16),
+    /// Payload shorter or longer than the header promises.
+    BadLength { expected: usize, actual: usize },
+    /// Dimension header would overflow.
+    BadDims,
+    /// Malformed CSV line.
+    BadCsv(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "filesystem error: {e}"),
+            IoError::BadMagic => write!(f, "not a SpectraGAN map file (bad magic)"),
+            IoError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            IoError::BadLength { expected, actual } => {
+                write!(f, "payload length {actual} does not match header ({expected})")
+            }
+            IoError::BadDims => write!(f, "dimension header overflows"),
+            IoError::BadCsv(line) => write!(f, "malformed CSV line: {line}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Encodes a traffic map into the SGTM container.
+pub fn encode_traffic(map: &TrafficMap) -> Bytes {
+    let mut buf = BytesMut::with_capacity(18 + 4 * map.data().len());
+    buf.put_slice(TRAFFIC_MAGIC);
+    buf.put_u16_le(FORMAT_VERSION);
+    buf.put_u32_le(map.len_t() as u32);
+    buf.put_u32_le(map.height() as u32);
+    buf.put_u32_le(map.width() as u32);
+    for &v in map.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a traffic map from the SGTM container.
+pub fn decode_traffic(mut bytes: &[u8]) -> Result<TrafficMap, IoError> {
+    let (t, h, w) = decode_header(&mut bytes, TRAFFIC_MAGIC)?;
+    let expected = t
+        .checked_mul(h)
+        .and_then(|v| v.checked_mul(w))
+        .ok_or(IoError::BadDims)?;
+    if bytes.len() != 4 * expected {
+        return Err(IoError::BadLength { expected: 4 * expected, actual: bytes.len() });
+    }
+    let mut data = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        data.push(bytes.get_f32_le());
+    }
+    Ok(TrafficMap::from_vec(data, t, h, w))
+}
+
+/// Encodes a context map into the SGCM container.
+pub fn encode_context(map: &ContextMap) -> Bytes {
+    let mut buf = BytesMut::with_capacity(18 + 4 * map.data().len());
+    buf.put_slice(CONTEXT_MAGIC);
+    buf.put_u16_le(FORMAT_VERSION);
+    buf.put_u32_le(map.channels() as u32);
+    buf.put_u32_le(map.height() as u32);
+    buf.put_u32_le(map.width() as u32);
+    for &v in map.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a context map from the SGCM container.
+pub fn decode_context(mut bytes: &[u8]) -> Result<ContextMap, IoError> {
+    let (c, h, w) = decode_header(&mut bytes, CONTEXT_MAGIC)?;
+    let expected = c
+        .checked_mul(h)
+        .and_then(|v| v.checked_mul(w))
+        .ok_or(IoError::BadDims)?;
+    if bytes.len() != 4 * expected {
+        return Err(IoError::BadLength { expected: 4 * expected, actual: bytes.len() });
+    }
+    let mut data = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        data.push(bytes.get_f32_le());
+    }
+    Ok(ContextMap::from_vec(data, c, h, w))
+}
+
+fn decode_header(bytes: &mut &[u8], magic: &[u8; 4]) -> Result<(usize, usize, usize), IoError> {
+    if bytes.len() < 18 {
+        return Err(IoError::BadMagic);
+    }
+    if &bytes[..4] != magic {
+        return Err(IoError::BadMagic);
+    }
+    bytes.advance(4);
+    let version = bytes.get_u16_le();
+    if version != FORMAT_VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let a = bytes.get_u32_le() as usize;
+    let b = bytes.get_u32_le() as usize;
+    let c = bytes.get_u32_le() as usize;
+    Ok((a, b, c))
+}
+
+/// Writes a traffic map to `path` in the SGTM container.
+pub fn save_traffic(map: &TrafficMap, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, encode_traffic(map)).map_err(IoError::from)
+}
+
+/// Reads a traffic map from a SGTM file.
+pub fn load_traffic(path: impl AsRef<Path>) -> Result<TrafficMap, IoError> {
+    decode_traffic(&fs::read(path)?)
+}
+
+/// Writes a context map to `path` in the SGCM container.
+pub fn save_context(map: &ContextMap, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, encode_context(map)).map_err(IoError::from)
+}
+
+/// Reads a context map from a SGCM file.
+pub fn load_context(path: impl AsRef<Path>) -> Result<ContextMap, IoError> {
+    decode_context(&fs::read(path)?)
+}
+
+/// Renders a traffic map as long-format CSV (`t,y,x,value`).
+pub fn traffic_to_csv(map: &TrafficMap) -> String {
+    let mut out = String::from("t,y,x,value\n");
+    for t in 0..map.len_t() {
+        for y in 0..map.height() {
+            for x in 0..map.width() {
+                out.push_str(&format!("{t},{y},{x},{}\n", map.at(t, y, x)));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a traffic map from long-format CSV produced by
+/// [`traffic_to_csv`]. Dimensions are inferred from the maxima; every
+/// cell must be present exactly once.
+pub fn traffic_from_csv(csv: &str) -> Result<TrafficMap, IoError> {
+    let mut rows: Vec<(usize, usize, usize, f32)> = Vec::new();
+    for line in csv.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| IoError::BadCsv(format!("{line} (missing {what})")))
+        };
+        let t = next("t")?
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| IoError::BadCsv(line.into()))?;
+        let y = next("y")?
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| IoError::BadCsv(line.into()))?;
+        let x = next("x")?
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| IoError::BadCsv(line.into()))?;
+        let v = next("value")?
+            .trim()
+            .parse::<f32>()
+            .map_err(|_| IoError::BadCsv(line.into()))?;
+        rows.push((t, y, x, v));
+    }
+    if rows.is_empty() {
+        return Err(IoError::BadCsv("empty file".into()));
+    }
+    let t = rows.iter().map(|r| r.0).max().expect("non-empty") + 1;
+    let h = rows.iter().map(|r| r.1).max().expect("non-empty") + 1;
+    let w = rows.iter().map(|r| r.2).max().expect("non-empty") + 1;
+    if rows.len() != t * h * w {
+        return Err(IoError::BadLength { expected: t * h * w, actual: rows.len() });
+    }
+    let mut map = TrafficMap::zeros(t, h, w);
+    for (ti, y, x, v) in rows {
+        *map.at_mut(ti, y, x) = v;
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_traffic() -> TrafficMap {
+        TrafficMap::from_vec((0..24).map(|i| i as f32 * 0.25).collect(), 2, 3, 4)
+    }
+
+    fn demo_context() -> ContextMap {
+        ContextMap::from_vec((0..30).map(|i| i as f32 - 15.0).collect(), 5, 3, 2)
+    }
+
+    #[test]
+    fn traffic_binary_roundtrip() {
+        let map = demo_traffic();
+        let bytes = encode_traffic(&map);
+        let back = decode_traffic(&bytes).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn context_binary_roundtrip() {
+        let map = demo_context();
+        let back = decode_context(&encode_context(&map)).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn magic_is_checked_both_ways() {
+        let t = encode_traffic(&demo_traffic());
+        assert!(matches!(decode_context(&t), Err(IoError::BadMagic)));
+        let c = encode_context(&demo_context());
+        assert!(matches!(decode_traffic(&c), Err(IoError::BadMagic)));
+        assert!(matches!(decode_traffic(b"nope"), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = encode_traffic(&demo_traffic());
+        let cut = &bytes[..bytes.len() - 4];
+        assert!(matches!(
+            decode_traffic(cut),
+            Err(IoError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut bytes = encode_traffic(&demo_traffic()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(decode_traffic(&bytes), Err(IoError::BadVersion(99))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("spectragan_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sgtm");
+        let map = demo_traffic();
+        save_traffic(&map, &path).unwrap();
+        assert_eq!(load_traffic(&path).unwrap(), map);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let map = demo_traffic();
+        let csv = traffic_to_csv(&map);
+        let back = traffic_from_csv(&csv).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(traffic_from_csv("t,y,x,value\n1,2,notanumber,0.5\n").is_err());
+        assert!(traffic_from_csv("t,y,x,value\n").is_err());
+        // Missing cells: declare a 2×1×1 map but provide one row.
+        assert!(matches!(
+            traffic_from_csv("t,y,x,value\n1,0,0,0.5\n"),
+            Err(IoError::BadLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Spatial substrate of the SpectraGAN reproduction: regular grid
+//! tessellations, city-scale traffic and context maps, and the patch
+//! machinery of §2.2 (fixed-size training patches with a wider context
+//! window, and the sliding-window sew-and-average of Eq. 2 used to
+//! generate traffic for cities of arbitrary size).
+//!
+//! Layout conventions (matching the paper's notation):
+//!
+//! * a **traffic map** is `x ∈ R^{T×H×W}` — time-major, row-major
+//!   frames, each pixel a 250 m × 250 m grid element;
+//! * a **context map** is `c ∈ R^{C×H×W}` — `C` static contextual
+//!   attributes (census, land use, PoIs);
+//! * a **patch** pairs an `H_t×W_t` traffic window with a *larger*
+//!   `H_c×W_c` context window centered on it (`H_c > H_t`), zero-padded
+//!   where the context window exits the city bounds.
+
+pub mod context;
+pub mod grid;
+pub mod io;
+pub mod patch;
+pub mod traffic;
+
+pub use context::ContextMap;
+pub use grid::GridSpec;
+pub use patch::{PatchLayout, PatchSpec};
+pub use traffic::TrafficMap;
+
+/// A named city: its measured (or synthesized) traffic plus the public
+/// context attributes, on the same grid.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Display name, e.g. "CITY A".
+    pub name: String,
+    /// Spatiotemporal traffic, normalized to the city's peak pixel.
+    pub traffic: TrafficMap,
+    /// Static context attributes.
+    pub context: ContextMap,
+}
+
+impl City {
+    /// Creates a city, checking that traffic and context share a grid.
+    ///
+    /// # Panics
+    /// Panics if the spatial dimensions disagree.
+    pub fn new(name: impl Into<String>, traffic: TrafficMap, context: ContextMap) -> Self {
+        assert_eq!(
+            (traffic.height(), traffic.width()),
+            (context.height(), context.width()),
+            "traffic and context grids differ"
+        );
+        City { name: name.into(), traffic, context }
+    }
+
+    /// The city's grid.
+    pub fn grid(&self) -> GridSpec {
+        GridSpec::new(self.traffic.height(), self.traffic.width())
+    }
+}

@@ -1,0 +1,220 @@
+//! City-scale spatiotemporal traffic maps.
+
+use crate::grid::GridSpec;
+use serde::{Deserialize, Serialize};
+
+/// A spatiotemporal traffic tensor `x ∈ R^{T×H×W}`: `t` frames of an
+/// `H×W` grid, time-major, each frame row-major.
+///
+/// Values are normalized traffic volumes; after
+/// [`TrafficMap::normalize_peak`] they lie in `[0, 1]` relative to the
+/// city's peak pixel, matching the anonymization of the paper's
+/// datasets (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMap {
+    t: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl TrafficMap {
+    /// Creates a map from a flat `t·h·w` buffer (time-major).
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match.
+    pub fn from_vec(data: Vec<f32>, t: usize, h: usize, w: usize) -> Self {
+        assert_eq!(data.len(), t * h * w, "traffic buffer length mismatch");
+        TrafficMap { t, h, w, data }
+    }
+
+    /// All-zero map.
+    pub fn zeros(t: usize, h: usize, w: usize) -> Self {
+        TrafficMap { t, h, w, data: vec![0.0; t * h * w] }
+    }
+
+    /// Number of time steps.
+    pub fn len_t(&self) -> usize {
+        self.t
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The grid this map lives on.
+    pub fn grid(&self) -> GridSpec {
+        GridSpec::new(self.h, self.w)
+    }
+
+    /// Flat read-only buffer (time-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable buffer (time-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(t, y, x)`.
+    #[inline]
+    pub fn at(&self, t: usize, y: usize, x: usize) -> f32 {
+        debug_assert!(t < self.t && y < self.h && x < self.w);
+        self.data[(t * self.h + y) * self.w + x]
+    }
+
+    /// Mutable value at `(t, y, x)`.
+    #[inline]
+    pub fn at_mut(&mut self, t: usize, y: usize, x: usize) -> &mut f32 {
+        debug_assert!(t < self.t && y < self.h && x < self.w);
+        &mut self.data[(t * self.h + y) * self.w + x]
+    }
+
+    /// One spatial frame as a slice of `h·w` values.
+    pub fn frame(&self, t: usize) -> &[f32] {
+        assert!(t < self.t, "frame {t} out of {}", self.t);
+        &self.data[t * self.h * self.w..(t + 1) * self.h * self.w]
+    }
+
+    /// The traffic time series of one pixel, in `f64` for DSP use.
+    pub fn pixel_series(&self, y: usize, x: usize) -> Vec<f64> {
+        (0..self.t).map(|t| self.at(t, y, x) as f64).collect()
+    }
+
+    /// Time-averaged traffic map (`h·w` values) — the paper's
+    /// "time-averaged traffic map" qualitative artefact (Fig. 1a, 7).
+    pub fn mean_map(&self) -> Vec<f64> {
+        let hw = self.h * self.w;
+        let mut out = vec![0.0f64; hw];
+        for t in 0..self.t {
+            for (o, &v) in out.iter_mut().zip(self.frame(t)) {
+                *o += v as f64;
+            }
+        }
+        for o in &mut out {
+            *o /= self.t as f64;
+        }
+        out
+    }
+
+    /// Space-averaged city-wide traffic time series (`t` values) —
+    /// the paper's "mean city-wide traffic" artefact (Fig. 1c, 8).
+    pub fn city_series(&self) -> Vec<f64> {
+        let hw = (self.h * self.w) as f64;
+        (0..self.t)
+            .map(|t| self.frame(t).iter().map(|&v| v as f64).sum::<f64>() / hw)
+            .collect()
+    }
+
+    /// Extracts the sub-series `t0..t1` as a new map.
+    pub fn slice_time(&self, t0: usize, t1: usize) -> TrafficMap {
+        assert!(t0 <= t1 && t1 <= self.t, "bad time slice {t0}..{t1} of {}", self.t);
+        let hw = self.h * self.w;
+        TrafficMap {
+            t: t1 - t0,
+            h: self.h,
+            w: self.w,
+            data: self.data[t0 * hw..t1 * hw].to_vec(),
+        }
+    }
+
+    /// Normalizes by the peak pixel value, returning the peak. The
+    /// paper's datasets are anonymized exactly this way (§3.1). A zero
+    /// map is returned unchanged with peak 0.
+    pub fn normalize_peak(&mut self) -> f32 {
+        let peak = self.data.iter().copied().fold(0.0f32, f32::max);
+        if peak > 0.0 {
+            for v in &mut self.data {
+                *v /= peak;
+            }
+        }
+        peak
+    }
+
+    /// Aggregates consecutive time steps by summing groups of `k`
+    /// frames — converts e.g. 15-min data to hourly (`k = 4`). Trailing
+    /// frames that do not fill a group are dropped.
+    pub fn aggregate_time(&self, k: usize) -> TrafficMap {
+        assert!(k >= 1, "aggregation factor must be >= 1");
+        let t_out = self.t / k;
+        let hw = self.h * self.w;
+        let mut out = TrafficMap::zeros(t_out, self.h, self.w);
+        for to in 0..t_out {
+            for ti in to * k..(to + 1) * k {
+                let frame = &self.data[ti * hw..(ti + 1) * hw];
+                for (o, &v) in out.data[to * hw..(to + 1) * hw].iter_mut().zip(frame) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_map(t: usize, h: usize, w: usize) -> TrafficMap {
+        let data = (0..t * h * w).map(|i| i as f32).collect();
+        TrafficMap::from_vec(data, t, h, w)
+    }
+
+    #[test]
+    fn indexing_is_time_major_row_major() {
+        let m = ramp_map(2, 2, 3);
+        assert_eq!(m.at(0, 0, 0), 0.0);
+        assert_eq!(m.at(0, 1, 2), 5.0);
+        assert_eq!(m.at(1, 0, 0), 6.0);
+        assert_eq!(m.frame(1), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn pixel_and_city_series() {
+        let m = ramp_map(3, 1, 2);
+        assert_eq!(m.pixel_series(0, 1), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.city_series(), vec![0.5, 2.5, 4.5]);
+    }
+
+    #[test]
+    fn mean_map_averages_over_time() {
+        let m = ramp_map(2, 1, 2); // frames [0,1], [2,3]
+        assert_eq!(m.mean_map(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_time_extracts_frames() {
+        let m = ramp_map(4, 1, 1);
+        let s = m.slice_time(1, 3);
+        assert_eq!(s.len_t(), 2);
+        assert_eq!(s.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_peak_scales_to_unit() {
+        let mut m = ramp_map(2, 1, 2);
+        let peak = m.normalize_peak();
+        assert_eq!(peak, 3.0);
+        assert_eq!(m.data(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+        let mut z = TrafficMap::zeros(1, 1, 1);
+        assert_eq!(z.normalize_peak(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_time_sums_groups() {
+        let m = ramp_map(4, 1, 1); // [0,1,2,3]
+        let a = m.aggregate_time(2);
+        assert_eq!(a.len_t(), 2);
+        assert_eq!(a.data(), &[1.0, 5.0]);
+        // Trailing remainder dropped.
+        let b = ramp_map(5, 1, 1).aggregate_time(2);
+        assert_eq!(b.len_t(), 2);
+    }
+}

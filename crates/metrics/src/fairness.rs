@@ -1,0 +1,42 @@
+//! Jain's fairness index — the load-balancing quality measure of the
+//! vRAN use case (Table 7).
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 means all
+/// loads are equal. An all-zero load vector is defined as perfectly
+/// fair (index 1).
+pub fn jain_index(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty(), "jain index of empty load vector");
+    let sum: f64 = loads.iter().sum();
+    let sum_sq: f64 = loads.iter().map(|&x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (loads.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_loads_are_perfectly_fair() {
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_load_has_index_one_over_n() {
+        let j = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_loads_are_fair_by_convention() {
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn mild_imbalance_scores_between() {
+        let j = jain_index(&[1.0, 1.2, 0.8]);
+        assert!(j > 0.9 && j < 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! PSNR — peak signal-to-noise ratio, the image-fidelity metric of the
+//! population-tracking use case (Table 8). Values above 20 dB are
+//! conventionally acceptable quality loss.
+
+/// PSNR in decibels between two equal-length images, with the peak
+/// taken as the maximum of the reference image `a` (floored at a tiny
+/// positive value to stay defined on empty maps).
+///
+/// Identical images return `f64::INFINITY`.
+pub fn psnr(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "psnr images differ in length");
+    assert!(!a.is_empty(), "psnr of empty images");
+    let mse: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    let peak = a.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    10.0 * (peak * peak / mse).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let a = vec![0.2, 0.5, 0.9];
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_value() {
+        // Peak 1, MSE 0.01 → PSNR = 10·log10(1/0.01) = 20 dB.
+        let a = vec![1.0, 0.0];
+        let b = vec![0.9, 0.1];
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closer_images_score_higher() {
+        let a = vec![0.5; 100];
+        let near: Vec<f64> = a.iter().map(|v| v + 0.01).collect();
+        let far: Vec<f64> = a.iter().map(|v| v + 0.2).collect();
+        assert!(psnr(&a, &near) > psnr(&a, &far));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fidelity metrics for synthetic spatiotemporal traffic (§3.2 of the
+//! paper), plus the small numerical machinery they need (ridge
+//! regression, symmetric eigendecomposition), all from scratch.
+//!
+//! The five quantitative metrics of the evaluation:
+//!
+//! * [`m_tv`] — **M-TV**: total-variation distance between the marginal
+//!   traffic distributions of real and synthetic data (lower better).
+//! * [`ssim_mean_maps`] — **SSIM** between time-averaged traffic maps
+//!   (spatial fidelity, higher better).
+//! * [`ac_l1`] — **AC-L1**: mean per-pixel L1 distance between
+//!   autocorrelation functions (temporal fidelity, lower better).
+//! * [`tstr_r2`] — **TSTR**: train a linear one-step-ahead regressor on
+//!   synthetic data, test on real, report R² (higher better).
+//! * [`fvd`] — **FVD**: Fréchet distance between signature-transform
+//!   embeddings of real and synthetic traffic "videos" (lower better).
+//!
+//! Plus the use-case metrics: [`psnr`] (population maps, Table 8) and
+//! [`jain_index`] (vRAN load balance, Table 7), and supporting
+//! statistics ([`pearson`], [`LogNormal`], [`peak_hour_histogram`]).
+
+pub mod fairness;
+pub mod fvd;
+pub mod image;
+pub mod linalg;
+pub mod lognormal;
+pub mod ssim;
+pub mod stats;
+pub mod temporal;
+pub mod tstr;
+
+pub use fairness::jain_index;
+pub use fvd::fvd;
+pub use image::psnr;
+pub use lognormal::LogNormal;
+pub use ssim::ssim_mean_maps;
+pub use stats::{emd, histogram, ks_statistic, m_emd, m_tv, pearson};
+pub use temporal::{ac_l1, peak_hour_histogram};
+pub use tstr::tstr_r2;

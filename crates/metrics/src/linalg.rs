@@ -1,0 +1,212 @@
+//! Small dense linear algebra used by TSTR (ridge regression) and FVD
+//! (symmetric matrix square roots): Gaussian elimination with partial
+//! pivoting and a Jacobi eigensolver for symmetric matrices.
+
+/// Solves `A·x = b` for square `A` (row-major, `n×n`) by Gaussian
+/// elimination with partial pivoting. Returns `None` if `A` is
+/// (numerically) singular.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    let mut m = a.to_vec();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[row * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            x.swap(col, pivot);
+        }
+        // Eliminate.
+        for row in col + 1..n {
+            let f = m[row * n + col] / m[col * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= f * m[col * n + k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for k in col + 1..n {
+            acc -= m[col * n + k] * x[k];
+        }
+        x[col] = acc / m[col * n + col];
+    }
+    Some(x)
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix (row-major `n×n`).
+/// Returns `(eigenvalues, eigenvectors)` where column `j` of the
+/// returned row-major eigenvector matrix is the eigenvector of
+/// `eigenvalues[j]`.
+pub fn symmetric_eigen(a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    let mut m = a.to_vec();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        // Largest off-diagonal element.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| m[i * n + i]).collect();
+    (eig, v)
+}
+
+/// Symmetric positive-semidefinite square root via eigendecomposition
+/// (negative eigenvalues from numerical noise are clamped to zero).
+pub fn sym_sqrt(a: &[f64], n: usize) -> Vec<f64> {
+    let (eig, v) = symmetric_eigen(a, n);
+    // sqrt(A) = V · diag(sqrt(λ)) · Vᵀ
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += v[i * n + k] * eig[k].max(0.0).sqrt() * v[j * n + k];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Row-major matrix product of two `n×n` matrices.
+pub fn matmul_sq(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Trace of a square matrix.
+pub fn trace(a: &[f64], n: usize) -> f64 {
+    (0..n).map(|i| a[i * n + i]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3]·x = [3; 5] → x = [4/5, 7/5].
+        let a = [2.0, 1.0, 1.0, 3.0];
+        let x = solve(&a, &[3.0, 5.0], 2).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = [3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -2.0];
+        let (mut eig, _) = symmetric_eigen(&a, 3);
+        eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((eig[0] + 2.0).abs() < 1e-10);
+        assert!((eig[1] - 1.0).abs() < 1e-10);
+        assert!((eig[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = [4.0, 1.0, 0.5, 1.0, 3.0, -0.2, 0.5, -0.2, 2.0];
+        let (eig, v) = symmetric_eigen(&a, 3);
+        // A = V diag(λ) Vᵀ
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += v[i * 3 + k] * eig[k] * v[j * 3 + k];
+                }
+                assert!((acc - a[i * 3 + j]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = [2.0, 0.5, 0.5, 1.0];
+        let r = sym_sqrt(&a, 2);
+        let sq = matmul_sq(&r, &r, 2);
+        for (x, y) in sq.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        assert_eq!(trace(&[1.0, 9.0, 9.0, 2.0], 2), 3.0);
+    }
+}

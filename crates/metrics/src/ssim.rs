@@ -1,0 +1,132 @@
+//! SSIM (structural similarity) between time-averaged traffic maps —
+//! the paper's spatial-fidelity metric (§3.2).
+
+use spectragan_geo::TrafficMap;
+
+/// SSIM stabilization constants for a dynamic range of 1.0
+/// (`K1 = 0.01`, `K2 = 0.03`, the standard choices).
+const C1: f64 = 0.01 * 0.01;
+const C2: f64 = 0.03 * 0.03;
+
+/// Windowed SSIM between two equal-size images, using an 8×8 sliding
+/// uniform window (stride 1) and averaging the per-window index.
+/// Falls back to a single global window when the image is smaller than
+/// 8×8. Output lies in `[−1, 1]`; 1 means identical.
+pub fn ssim(a: &[f64], b: &[f64], h: usize, w: usize) -> f64 {
+    assert_eq!(a.len(), h * w, "image a size mismatch");
+    assert_eq!(b.len(), h * w, "image b size mismatch");
+    let win = 8usize.min(h).min(w);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for y0 in 0..=(h - win) {
+        for x0 in 0..=(w - win) {
+            total += window_ssim(a, b, w, y0, x0, win);
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+fn window_ssim(a: &[f64], b: &[f64], stride: usize, y0: usize, x0: usize, win: usize) -> f64 {
+    let n = (win * win) as f64;
+    let (mut ma, mut mb) = (0.0, 0.0);
+    for dy in 0..win {
+        for dx in 0..win {
+            ma += a[(y0 + dy) * stride + x0 + dx];
+            mb += b[(y0 + dy) * stride + x0 + dx];
+        }
+    }
+    ma /= n;
+    mb /= n;
+    let (mut va, mut vb, mut cov) = (0.0, 0.0, 0.0);
+    for dy in 0..win {
+        for dx in 0..win {
+            let xa = a[(y0 + dy) * stride + x0 + dx] - ma;
+            let xb = b[(y0 + dy) * stride + x0 + dx] - mb;
+            va += xa * xa;
+            vb += xb * xb;
+            cov += xa * xb;
+        }
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+        / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+/// **SSIM** metric of §3.2: SSIM between the time-averaged traffic maps
+/// of real and synthetic data.
+///
+/// # Panics
+/// Panics if the maps' spatial extents differ.
+pub fn ssim_mean_maps(real: &TrafficMap, synth: &TrafficMap) -> f64 {
+    assert_eq!(
+        (real.height(), real.width()),
+        (synth.height(), synth.width()),
+        "SSIM maps must share a grid"
+    );
+    ssim(
+        &real.mean_map(),
+        &synth.mean_map(),
+        real.height(),
+        real.width(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(h: usize, w: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(h * w);
+        for y in 0..h {
+            for x in 0..w {
+                out.push(f(y, x));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let a = image(12, 12, |y, x| ((y * x) as f64 * 0.31).sin().abs());
+        assert!((ssim(&a, &a, 12, 12) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_images_score_below_similar_ones() {
+        let a = image(16, 16, |y, x| (y + x) as f64 / 30.0);
+        let near = image(16, 16, |y, x| ((y + x) as f64 / 30.0) + 0.01);
+        let far = image(16, 16, |y, x| if (y / 4 + x / 4) % 2 == 0 { 1.0 } else { 0.0 });
+        let s_near = ssim(&a, &near, 16, 16);
+        let s_far = ssim(&a, &far, 16, 16);
+        assert!(s_near > 0.9, "near {s_near}");
+        assert!(s_far < s_near, "far {s_far} near {s_near}");
+    }
+
+    #[test]
+    fn constant_vs_constant_with_offset() {
+        let a = vec![0.5; 100];
+        let b = vec![0.9; 100];
+        let s = ssim(&a, &b, 10, 10);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn small_images_use_global_window() {
+        let a = image(4, 4, |y, x| (y + x) as f64 / 6.0);
+        assert!((ssim(&a, &a, 4, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_map_ssim_on_traffic() {
+        let real = TrafficMap::from_vec(
+            (0..2 * 100).map(|i| (i % 7) as f32 / 7.0).collect(),
+            2,
+            10,
+            10,
+        );
+        assert!((ssim_mean_maps(&real, &real) - 1.0).abs() < 1e-9);
+    }
+}

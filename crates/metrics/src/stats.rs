@@ -1,0 +1,213 @@
+//! Basic statistics: Pearson correlation, histograms and the M-TV
+//! marginal fidelity metric.
+
+use spectragan_geo::TrafficMap;
+
+/// Pearson correlation coefficient of two equal-length samples
+/// (0 when either sample is constant or empty).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson inputs differ in length");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 1e-300 || vb <= 1e-300 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Normalized histogram of `values` over `[lo, hi]` with `bins` equal
+/// bins; out-of-range values clamp to the edge bins. Sums to 1 for a
+/// non-empty input.
+pub fn histogram(values: impl Iterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0 && hi > lo, "bad histogram spec");
+    let mut h = vec![0.0f64; bins];
+    let mut n = 0usize;
+    for v in values {
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let b = ((frac * bins as f64) as usize).min(bins - 1);
+        h[b] += 1.0;
+        n += 1;
+    }
+    if n > 0 {
+        for x in &mut h {
+            *x /= n as f64;
+        }
+    }
+    h
+}
+
+/// Total-variation distance between two discrete distributions of the
+/// same support: `0.5 Σ |p − q|`, in `[0, 1]`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "TV supports differ");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// 1-Wasserstein (earth mover's) distance between two empirical
+/// distributions on the line, computed from sorted samples: the mean
+/// absolute difference of matched order statistics (both samples are
+/// resampled to `RESAMPLE` quantiles first so sizes may differ).
+///
+/// A complement to [`m_tv`]: TV is insensitive to *how far* mass moved
+/// across bins; EMD measures exactly that.
+pub fn emd(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "EMD of empty samples");
+    const RESAMPLE: usize = 256;
+    let prep = |xs: &[f64]| -> Vec<f64> {
+        let mut v = xs.to_vec();
+        v.sort_by(|p, q| p.partial_cmp(q).expect("NaN in EMD input"));
+        (0..RESAMPLE)
+            .map(|i| {
+                let idx = (i as f64 / (RESAMPLE - 1) as f64 * (v.len() - 1) as f64).round() as usize;
+                v[idx]
+            })
+            .collect()
+    };
+    let qa = prep(a);
+    let qb = prep(b);
+    qa.iter().zip(&qb).map(|(x, y)| (x - y).abs()).sum::<f64>() / RESAMPLE as f64
+}
+
+/// Marginal EMD between two traffic maps (all pixels, all steps).
+pub fn m_emd(real: &TrafficMap, synth: &TrafficMap) -> f64 {
+    let to64 = |m: &TrafficMap| m.data().iter().map(|&v| v as f64).collect::<Vec<_>>();
+    emd(&to64(real), &to64(synth))
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum vertical gap
+/// between the empirical CDFs, in `[0, 1]`. A third marginal lens next
+/// to [`m_tv`] (bin-sensitive) and [`emd`] (distance-weighted).
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS of empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() || j < sb.len() {
+        // Process one distinct value: consume every element equal to it
+        // from both samples, then measure the CDF gap.
+        let v = match (sa.get(i), sb.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        while i < sa.len() && sa[i] == v {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] == v {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Number of histogram bins M-TV uses (traffic is normalized to
+/// `[0, 1]`, so 50 bins of width 0.02).
+pub const M_TV_BINS: usize = 50;
+
+/// **M-TV** (§3.2): total-variation distance between the empirical
+/// marginal distributions of traffic volume across all pixels and time
+/// steps of the real and synthetic maps. Lower is better.
+pub fn m_tv(real: &TrafficMap, synth: &TrafficMap) -> f64 {
+    let hist = |m: &TrafficMap| {
+        histogram(m.data().iter().map(|&v| v as f64), 0.0, 1.0, M_TV_BINS)
+    };
+    total_variation(&hist(real), &hist(synth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_limits() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_is_normalized_and_clamped() {
+        let h = histogram([0.0, 0.5, 0.999, 2.0, -1.0].into_iter(), 0.0, 1.0, 10);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h[0], 0.4); // 0.0 and −1.0 (clamped)
+        assert_eq!(h[9], 0.4); // 0.999 and 2.0 (clamped)
+        assert_eq!(h[5], 0.2);
+    }
+
+    #[test]
+    fn tv_identical_is_zero_disjoint_is_one() {
+        let p = vec![0.5, 0.5, 0.0];
+        let q = vec![0.0, 0.0, 1.0];
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert_eq!(total_variation(&p, &q), 1.0);
+    }
+
+    #[test]
+    fn ks_basics() {
+        let a = vec![0.1, 0.2, 0.3, 0.4];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+        // Disjoint supports → KS = 1.
+        let b = vec![5.0, 6.0, 7.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+        // Half the mass shifted far away → KS = 0.5.
+        let c = vec![0.1, 0.2, 9.0, 9.5];
+        assert!((ks_statistic(&a, &c) - 0.5).abs() < 1e-9);
+        // Symmetry.
+        assert!((ks_statistic(&a, &c) - ks_statistic(&c, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_basics() {
+        let a = vec![0.0, 0.5, 1.0];
+        assert!(emd(&a, &a) < 1e-12);
+        // Shifting a distribution by δ moves EMD by ≈ δ.
+        let b: Vec<f64> = a.iter().map(|v| v + 0.25).collect();
+        assert!((emd(&a, &b) - 0.25).abs() < 1e-9);
+        // EMD is symmetric.
+        assert!((emd(&a, &b) - emd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_sees_distance_where_tv_saturates() {
+        // Two disjoint point masses: TV = 1 regardless of separation,
+        // EMD grows with it.
+        let a = vec![0.0; 64];
+        let near = vec![0.1; 64];
+        let far = vec![0.9; 64];
+        let h = |x: &[f64]| histogram(x.iter().cloned(), 0.0, 1.0, 50);
+        assert_eq!(total_variation(&h(&a), &h(&near)), 1.0);
+        assert_eq!(total_variation(&h(&a), &h(&far)), 1.0);
+        assert!(emd(&a, &far) > 5.0 * emd(&a, &near));
+    }
+
+    #[test]
+    fn m_tv_zero_for_identical_maps_positive_for_different() {
+        let a = TrafficMap::from_vec((0..100).map(|i| (i as f32) / 100.0).collect(), 4, 5, 5);
+        assert_eq!(m_tv(&a, &a), 0.0);
+        let b = TrafficMap::from_vec(vec![1.0; 100], 4, 5, 5);
+        assert!(m_tv(&a, &b) > 0.9);
+    }
+}

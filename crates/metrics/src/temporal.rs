@@ -1,0 +1,139 @@
+//! Temporal fidelity: the AC-L1 metric and the peak-hour distribution
+//! of Fig. 9.
+
+use spectragan_dsp::autocorrelation;
+use spectragan_geo::TrafficMap;
+
+/// **AC-L1** (§3.2): for every pixel, compute the autocorrelation
+/// function of the real and synthetic series up to `max_lag`, take the
+/// L1 distance between them, and average over pixels — then scale by
+/// the number of lags the paper implicitly sums over. Lower is better.
+///
+/// The paper reports sums over all lags of the (3-week) series; we
+/// follow that convention: the per-pixel distance is the *sum* of
+/// absolute differences over lags, averaged across pixels.
+///
+/// # Panics
+/// Panics if the maps' spatial extents differ.
+pub fn ac_l1(real: &TrafficMap, synth: &TrafficMap, max_lag: usize) -> f64 {
+    assert_eq!(
+        (real.height(), real.width()),
+        (synth.height(), synth.width()),
+        "AC-L1 maps must share a grid"
+    );
+    let lags = max_lag.min(real.len_t()).min(synth.len_t());
+    let mut total = 0.0;
+    let n_px = real.height() * real.width();
+    for y in 0..real.height() {
+        for x in 0..real.width() {
+            let ra = autocorrelation(&real.pixel_series(y, x), lags);
+            let rs = autocorrelation(&synth.pixel_series(y, x), lags);
+            total += ra
+                .iter()
+                .zip(&rs)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+        }
+    }
+    total / n_px as f64
+}
+
+/// Distribution of the hour-of-day at which each pixel's traffic peaks
+/// (Fig. 9): returns 24 fractions summing to 1. The peak hour of a
+/// pixel is the argmax of its average daily profile.
+///
+/// `steps_per_hour` converts series indices to hours; the series length
+/// is truncated to whole days.
+pub fn peak_hour_histogram(map: &TrafficMap, steps_per_hour: usize) -> [f64; 24] {
+    let steps_per_day = 24 * steps_per_hour;
+    let days = map.len_t() / steps_per_day;
+    assert!(days > 0, "need at least one full day of data");
+    let mut hist = [0.0f64; 24];
+    let n_px = (map.height() * map.width()) as f64;
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            let s = map.pixel_series(y, x);
+            let mut daily = vec![0.0f64; steps_per_day];
+            for d in 0..days {
+                for (i, slot) in daily.iter_mut().enumerate() {
+                    *slot += s[d * steps_per_day + i];
+                }
+            }
+            let (mut bi, mut bv) = (0usize, f64::MIN);
+            for (i, &v) in daily.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    bi = i;
+                }
+            }
+            hist[bi / steps_per_hour] += 1.0 / n_px;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_map(t: usize, phase_per_pixel: f64) -> TrafficMap {
+        let (h, w) = (3, 3);
+        let mut m = TrafficMap::zeros(t, h, w);
+        for ti in 0..t {
+            for y in 0..h {
+                for x in 0..w {
+                    let p = (y * w + x) as f64 * phase_per_pixel;
+                    *m.at_mut(ti, y, x) =
+                        (1.0 + (2.0 * std::f64::consts::PI * (ti as f64 - p) / 24.0).sin()) as f32;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn ac_l1_is_zero_for_identical_maps() {
+        let m = sine_map(96, 1.0);
+        assert!(ac_l1(&m, &m, 48) < 1e-9);
+    }
+
+    #[test]
+    fn ac_l1_grows_with_period_mismatch() {
+        let a = sine_map(96, 0.0);
+        // Different period → different autocorrelation structure.
+        let mut b = TrafficMap::zeros(96, 3, 3);
+        for ti in 0..96 {
+            for i in 0..9 {
+                b.data_mut()[ti * 9 + i] =
+                    (1.0 + (2.0 * std::f64::consts::PI * ti as f64 / 10.0).sin()) as f32;
+            }
+        }
+        let same = ac_l1(&a, &a, 48);
+        let diff = ac_l1(&a, &b, 48);
+        assert!(diff > same + 1.0, "diff {diff} same {same}");
+    }
+
+    #[test]
+    fn peak_hour_histogram_finds_the_phase() {
+        // Peak of (1 + sin(2π(t−p)/24)) is at t = p + 6.
+        let m = sine_map(48, 0.0);
+        let h = peak_hour_histogram(&m, 1);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((h[6] - 1.0).abs() < 1e-9, "hist {h:?}");
+    }
+
+    #[test]
+    fn peak_hours_spread_with_diverse_phases() {
+        let m = sine_map(48, 3.0);
+        let h = peak_hour_histogram(&m, 1);
+        let nonzero = h.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero >= 3, "hist {h:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "full day")]
+    fn histogram_requires_a_full_day() {
+        let m = TrafficMap::zeros(12, 2, 2);
+        peak_hour_histogram(&m, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the fidelity metrics.
+
+use proptest::prelude::*;
+use spectragan_metrics::linalg::{matmul_sq, solve, sym_sqrt, symmetric_eigen};
+use spectragan_metrics::{histogram, jain_index, m_tv, pearson, psnr, LogNormal};
+use spectragan_metrics::stats::total_variation;
+use spectragan_geo::TrafficMap;
+
+fn arb_vals(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, n)
+}
+
+proptest! {
+    /// Pearson is symmetric, bounded and scale-invariant.
+    #[test]
+    fn pearson_properties(a in arb_vals(3..50), scale in 0.1f64..10.0, shift in -5.0f64..5.0) {
+        let b: Vec<f64> = a.iter().map(|v| v * scale + shift).collect();
+        let r = pearson(&a, &b);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        // A positive affine image correlates perfectly (unless constant).
+        if pearson(&a, &a) == 1.0 {
+            prop_assert!((r - 1.0).abs() < 1e-6);
+        }
+        // Symmetry.
+        prop_assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-12);
+    }
+
+    /// Histograms are probability vectors; TV is a metric bounded by 1.
+    #[test]
+    fn histogram_and_tv(a in arb_vals(1..200), b in arb_vals(1..200)) {
+        let ha = histogram(a.iter().cloned(), 0.0, 1.0, 20);
+        let hb = histogram(b.iter().cloned(), 0.0, 1.0, 20);
+        prop_assert!((ha.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let d = total_variation(&ha, &hb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - total_variation(&hb, &ha)).abs() < 1e-12);
+        prop_assert!(total_variation(&ha, &ha) < 1e-12);
+    }
+
+    /// M-TV of a map with itself is 0; against anything else it is in
+    /// [0, 1].
+    #[test]
+    fn m_tv_bounds(a in arb_vals(36..37), b in arb_vals(36..37)) {
+        let ma = TrafficMap::from_vec(a.iter().map(|&v| v as f32).collect(), 4, 3, 3);
+        let mb = TrafficMap::from_vec(b.iter().map(|&v| v as f32).collect(), 4, 3, 3);
+        prop_assert_eq!(m_tv(&ma, &ma), 0.0);
+        let d = m_tv(&ma, &mb);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    /// Jain's index lies in (1/n, 1] and is scale-invariant.
+    #[test]
+    fn jain_properties(loads in prop::collection::vec(0.01f64..100.0, 1..20), s in 0.1f64..10.0) {
+        let j = jain_index(&loads);
+        let n = loads.len() as f64;
+        prop_assert!(j >= 1.0 / n - 1e-9 && j <= 1.0 + 1e-9);
+        let scaled: Vec<f64> = loads.iter().map(|v| v * s).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-9);
+    }
+
+    /// PSNR decreases (or stays equal) as uniform noise grows.
+    #[test]
+    fn psnr_monotone_in_noise(a in arb_vals(10..50), eps in 0.01f64..0.2) {
+        prop_assume!(a.iter().cloned().fold(0.0, f64::max) > 0.1);
+        let near: Vec<f64> = a.iter().map(|v| v + eps).collect();
+        let far: Vec<f64> = a.iter().map(|v| v + 2.0 * eps).collect();
+        prop_assert!(psnr(&a, &near) >= psnr(&a, &far) - 1e-9);
+    }
+
+    /// Log-normal fit round-trip: fitting samples of exp(mu + sigma z)
+    /// recovers a mu within the sample spread.
+    #[test]
+    fn lognormal_fit_is_sane(mu in -3.0f64..1.0, sigma in 0.05f64..1.0) {
+        let samples: Vec<f64> = (-20..=20)
+            .map(|i| (mu + sigma * (i as f64 / 10.0)).exp())
+            .collect();
+        let fit = LogNormal::fit(&samples, 1e-12);
+        prop_assert!((fit.mu - mu).abs() < 1e-9);
+        prop_assert!(fit.sigma > 0.0 && fit.sigma < 2.0 * sigma);
+    }
+
+    /// Gaussian elimination solves random diagonally-dominant systems.
+    #[test]
+    fn solver_solves(n in 1usize..6, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = rng.gen_range(-1.0..1.0);
+            }
+            a[i * n + i] += n as f64 + 1.0; // dominance → nonsingular
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum())
+            .collect();
+        let x = solve(&a, &b, n).expect("dominant system is solvable");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            prop_assert!((xs - xt).abs() < 1e-8);
+        }
+    }
+
+    /// Symmetric square root squares back to the original PSD matrix.
+    #[test]
+    fn sym_sqrt_squares_back(n in 1usize..5, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Build PSD as GᵀG.
+        let mut g = vec![0.0f64; n * n];
+        for v in &mut g {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = (0..n).map(|k| g[k * n + i] * g[k * n + j]).sum();
+            }
+        }
+        let r = sym_sqrt(&a, n);
+        let sq = matmul_sq(&r, &r, n);
+        for (x, y) in sq.iter().zip(&a) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+        // Eigenvalues of a PSD matrix are non-negative.
+        let (eig, _) = symmetric_eigen(&a, n);
+        for e in eig {
+            prop_assert!(e > -1e-9);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initializers.
+//!
+//! Xavier/Glorot for tanh/sigmoid layers, He/Kaiming for (leaky-)ReLU
+//! layers. Both are the uniform variants.
+
+use rand::Rng;
+use spectragan_tensor::{Shape, Tensor};
+
+/// Xavier/Glorot uniform: `U(−a, a)` with `a = √(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// He/Kaiming uniform: `U(−a, a)` with `a = √(6 / fan_in)`.
+pub fn he_uniform(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Fan-in/fan-out of a conv weight `[Cout, Cin, KH, KW]`.
+pub fn conv_fans(cout: usize, cin: usize, kh: usize, kw: usize) -> (usize, usize) {
+    (cin * kh * kw, cout * kh * kw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform([100, 100], 100, 100, &mut rng);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+        // Not degenerate.
+        assert!(t.max() > 0.5 * a && t.min() < -0.5 * a);
+    }
+
+    #[test]
+    fn he_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_uniform([64, 64], 64, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn conv_fans_formula() {
+        assert_eq!(conv_fans(8, 3, 3, 3), (27, 72));
+    }
+}

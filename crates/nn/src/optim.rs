@@ -1,0 +1,230 @@
+//! Optimizers: [`Adam`] (the paper's choice for GAN training) and
+//! plain [`Sgd`], both with optional global-norm gradient clipping.
+//!
+//! Optimizer state is keyed by [`ParamId`], so one optimizer instance
+//! can drive any subset of a [`ParamStore`] — which is how the GAN
+//! trainer alternates generator and discriminator updates from separate
+//! optimizers over one shared store.
+
+use crate::param::{ParamId, ParamStore};
+use spectragan_tensor::{Gradients, Tensor};
+use std::collections::HashMap;
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip_norm: Option<f32>,
+    /// Per-parameter `(m, v, t)` moments.
+    state: HashMap<ParamId, (Tensor, Tensor, u64)>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: None,
+            state: HashMap::new(),
+        }
+    }
+
+    /// GAN-style Adam (`β₁ = 0.5`), the setting conditional-GAN papers
+    /// including Pix2Pix use for stability.
+    pub fn gan(lr: f32) -> Self {
+        Adam { beta1: 0.5, ..Adam::new(lr) }
+    }
+
+    /// Enables global-norm gradient clipping at `max_norm`.
+    pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update using the gradients of the given bound
+    /// parameters (from [`crate::param::Binding::bound`], which ends the
+    /// store borrow so the store can be mutated here). Parameters
+    /// without a gradient are skipped.
+    pub fn step(&mut self, store: &mut ParamStore, bound: &[(ParamId, spectragan_tensor::Var)], grads: &Gradients) {
+        let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
+        for (id, var) in bound {
+            let (id, var) = (*id, var);
+            if let Some(g) = grads.get(var) {
+                updates.push((id, g.clone()));
+            }
+        }
+        apply_clip(&mut updates, self.clip_norm);
+        for (id, g) in updates {
+            let (m, v, t) = self.state.entry(id).or_insert_with(|| {
+                let shape = store.get(id).shape().clone();
+                (Tensor::zeros(shape.clone()), Tensor::zeros(shape), 0)
+            });
+            *t += 1;
+            let (b1, b2) = (self.beta1, self.beta2);
+            for ((mi, vi), &gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+            }
+            let bc1 = 1.0 - b1.powi(*t as i32);
+            let bc2 = 1.0 - b2.powi(*t as i32);
+            let lr = self.lr;
+            let eps = self.eps;
+            let param = store.get_mut(id);
+            for ((pi, &mi), &vi) in param
+                .data_mut()
+                .iter_mut()
+                .zip(m.data())
+                .zip(v.data())
+            {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *pi -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    lr: f32,
+    clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip_norm: None }
+    }
+
+    /// Enables global-norm gradient clipping at `max_norm`.
+    pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// Applies one descent step (see [`Adam::step`] for semantics).
+    pub fn step(&mut self, store: &mut ParamStore, bound: &[(ParamId, spectragan_tensor::Var)], grads: &Gradients) {
+        let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
+        for (id, var) in bound {
+            let (id, var) = (*id, var);
+            if let Some(g) = grads.get(var) {
+                updates.push((id, g.clone()));
+            }
+        }
+        apply_clip(&mut updates, self.clip_norm);
+        for (id, g) in updates {
+            store.get_mut(id).axpy(-self.lr, &g);
+        }
+    }
+}
+
+/// Scales all gradients so their joint L2 norm does not exceed
+/// `max_norm` (no-op when `None` or already within bounds).
+fn apply_clip(updates: &mut [(ParamId, Tensor)], clip: Option<f32>) {
+    let Some(max_norm) = clip else { return };
+    let total: f32 = updates
+        .iter()
+        .flat_map(|(_, g)| g.data())
+        .map(|&v| v * v)
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for (_, g) in updates.iter_mut() {
+            *g = g.scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectragan_tensor::Tape;
+
+    use crate::param::Binding;
+
+    /// Minimizes `(w − 3)²` with each optimizer.
+    fn converge<F: FnMut(&mut ParamStore, &[(ParamId, spectragan_tensor::Var)], &Gradients)>(
+        mut step: F,
+    ) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &store);
+            let wv = bind.var(w);
+            let loss = wv.add_scalar(-3.0).mul(&wv.add_scalar(-3.0)).sum();
+            let grads = tape.backward(&loss);
+            let bound = bind.bound();
+            step(&mut store, &bound, &grads);
+        }
+        store.get(w).item()
+    }
+
+    #[test]
+    fn adam_converges_to_minimum() {
+        let mut opt = Adam::new(5e-2);
+        let w = converge(|s, b, g| opt.step(s, b, g));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_converges_to_minimum() {
+        let mut opt = Sgd::new(1e-1);
+        let w = converge(|s, b, g| opt.step(s, b, g));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(1.0).with_clip_norm(0.5);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let wv = bind.var(w);
+        // Loss 100·w → gradient 100, clipped to 0.5.
+        let loss = wv.scale(100.0).sum();
+        let grads = tape.backward(&loss);
+        let bound = bind.bound();
+        opt.step(&mut store, &bound, &grads);
+        assert!((store.get(w).item() + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbound_params_are_untouched() {
+        let mut store = ParamStore::new();
+        let used = store.register("used", Tensor::scalar(1.0));
+        let unused = store.register("unused", Tensor::scalar(7.0));
+        let mut opt = Adam::new(0.1);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let loss = bind.var(used).sum();
+        let grads = tape.backward(&loss);
+        let bound = bind.bound();
+        opt.step(&mut store, &bound, &grads);
+        assert_eq!(store.get(unused).item(), 7.0);
+        assert!(store.get(used).item() < 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Persistent parameter storage and per-tape binding.
+//!
+//! An autodiff [`Tape`](spectragan_tensor::Tape) lives for one training
+//! step; model parameters live for the whole run. [`ParamStore`] owns
+//! the parameter tensors, [`ParamId`] is a stable handle that layers
+//! keep, and [`Binding`] lazily creates one leaf [`Var`] per parameter
+//! on the current tape so a forward pass can use them and the optimizer
+//! can look their gradients up afterwards.
+
+use serde::{Deserialize, Serialize};
+use spectragan_tensor::{Tape, Tensor, Var};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Stable handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The registration index (parameters are numbered in registration
+    /// order, so a model built after another occupies a contiguous
+    /// later range — which is how the GAN trainer partitions generator
+    /// and discriminator parameters).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns all trainable tensors of one or more models.
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle. Names are for
+    /// diagnostics and serialization; duplicates are allowed.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Tensor::numel).sum()
+    }
+
+    /// Read access to a parameter's current value.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter's current value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// The diagnostic name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Serializes the whole store (names + weights) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialization cannot fail")
+    }
+
+    /// Restores a store previously produced by [`ParamStore::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Copies all parameter values from `other` into this store. Used
+    /// to load saved weights into a freshly constructed model of the
+    /// same architecture.
+    ///
+    /// # Panics
+    /// Panics if the stores differ in parameter count or any shape.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "parameter count mismatch: {} vs {}",
+            self.len(),
+            other.len()
+        );
+        for i in 0..self.values.len() {
+            assert_eq!(
+                self.values[i].shape(),
+                other.values[i].shape(),
+                "shape mismatch for parameter {} ({})",
+                i,
+                self.names[i]
+            );
+            self.values[i] = other.values[i].clone();
+        }
+    }
+}
+
+/// Binds parameters of a [`ParamStore`] to leaf [`Var`]s on one tape.
+///
+/// Interior mutability lets layers bind parameters during a forward
+/// pass that only holds `&Binding`.
+pub struct Binding<'s> {
+    tape: Rc<Tape>,
+    store: &'s ParamStore,
+    vars: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'s> Binding<'s> {
+    /// Creates a binding of `store` onto `tape`.
+    pub fn new(tape: &Rc<Tape>, store: &'s ParamStore) -> Self {
+        Binding {
+            tape: Rc::clone(tape),
+            store,
+            vars: RefCell::new(vec![None; store.len()]),
+        }
+    }
+
+    /// The tape this binding records onto.
+    pub fn tape(&self) -> &Rc<Tape> {
+        &self.tape
+    }
+
+    /// Returns the leaf [`Var`] for `id`, creating it on first use.
+    pub fn var(&self, id: ParamId) -> Var {
+        let mut vars = self.vars.borrow_mut();
+        if let Some(v) = &vars[id.0] {
+            return v.clone();
+        }
+        let v = self.tape.leaf(self.store.get(id).clone());
+        vars[id.0] = Some(v.clone());
+        v
+    }
+
+    /// Iterates over the parameters that were actually bound (used)
+    /// during this pass, as `(id, var)` pairs.
+    pub fn bound(&self) -> Vec<(ParamId, Var)> {
+        self.vars
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (ParamId(i), v.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones([2, 2]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_weights(), 4);
+        assert_eq!(store.name(id), "w");
+        store.get_mut(id).data_mut()[0] = 5.0;
+        assert_eq!(store.get(id).data()[0], 5.0);
+    }
+
+    #[test]
+    fn binding_is_lazy_and_cached() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::scalar(1.0));
+        let _b = store.register("b", Tensor::scalar(2.0));
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        assert!(bind.bound().is_empty());
+        let v1 = bind.var(a);
+        let v2 = bind.var(a);
+        assert_eq!(tape.len(), 1, "second bind must reuse the leaf");
+        assert_eq!(v1.value().item(), v2.value().item());
+        assert_eq!(bind.bound().len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_weights() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.5, -2.5], [2]));
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.get(ParamId(id.0)).data(), &[1.5, -2.5]);
+        assert_eq!(restored.name(id), "w");
+    }
+}

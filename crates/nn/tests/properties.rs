@@ -1,0 +1,104 @@
+//! Property-based tests for layers and optimizers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spectragan_nn::layers::Activation;
+use spectragan_nn::{Adam, Binding, Linear, Lstm, Mlp, ParamStore, Sgd};
+use spectragan_tensor::{Tape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linear layers are affine: f(αx) − f(0) = α(f(x) − f(0)).
+    #[test]
+    fn linear_is_affine(n_in in 1usize..6, n_out in 1usize..6, alpha in -3.0f32..3.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, n_in, n_out, &mut rng);
+        let x = Tensor::randn([2, n_in], &mut rng);
+        let f = |t: &Tensor| layer.forward_infer(&store, t);
+        let f0 = f(&Tensor::zeros([2, n_in]));
+        let fx = f(&x);
+        let fax = f(&x.scale(alpha));
+        for i in 0..fx.numel() {
+            let lhs = fax.data()[i] - f0.data()[i];
+            let rhs = alpha * (fx.data()[i] - f0.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// Tape forward and inference forward agree for random MLPs.
+    #[test]
+    fn mlp_tape_matches_infer(w1 in 1usize..5, w2 in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &[3, w1, w2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Tensor::randn([4, 3], &mut rng);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let tape_out = mlp.forward(&bind, &tape.leaf(x.clone()));
+        let infer_out = mlp.forward_infer(&store, &x);
+        for (a, b) in tape_out.value().data().iter().zip(infer_out.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// LSTM state stays bounded (|h| ≤ 1, cell finite) under any input
+    /// magnitude and sequence length.
+    #[test]
+    fn lstm_state_is_bounded(scale in 0.1f32..50.0, steps in 1usize..40, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, 3, 4, &mut rng);
+        let (mut h, mut c) = lstm.zero_state_infer(2);
+        for _ in 0..steps {
+            let x = Tensor::randn([2, 3], &mut rng).scale(scale);
+            let (h2, c2) = lstm.step_infer(&store, &x, &h, &c);
+            h = h2;
+            c = c2;
+        }
+        prop_assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        prop_assert!(c.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// One optimizer step moves parameters opposite to the gradient
+    /// (descent direction) for both Adam and SGD.
+    #[test]
+    fn optimizers_descend(target in -5.0f32..5.0, lr in 0.001f32..0.1) {
+        for use_adam in [true, false] {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Tensor::scalar(0.0));
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &store);
+            let wv = bind.var(w);
+            // loss = (w − target)²; gradient at w=0 is −2·target.
+            let loss = wv.add_scalar(-target).mul(&wv.add_scalar(-target)).sum();
+            let before = loss.value().item();
+            let grads = tape.backward(&loss);
+            let bound = bind.bound();
+            if use_adam {
+                Adam::new(lr).step(&mut store, &bound, &grads);
+            } else {
+                Sgd::new(lr).step(&mut store, &bound, &grads);
+            }
+            let after = (store.get(w).item() - target).powi(2);
+            prop_assert!(after <= before + 1e-6, "adam={use_adam}: {before} -> {after}");
+        }
+    }
+
+    /// Weight serialization round-trips exactly.
+    #[test]
+    fn param_store_json_roundtrip(n in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        for i in 0..n {
+            store.register(format!("p{i}"), Tensor::randn([i + 1, 2], &mut rng));
+        }
+        let restored = ParamStore::from_json(&store.to_json()).unwrap();
+        prop_assert_eq!(restored.len(), store.len());
+        for (id, _, value) in store.iter() {
+            prop_assert_eq!(restored.get(id), value);
+        }
+    }
+}

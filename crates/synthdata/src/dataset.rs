@@ -1,0 +1,253 @@
+//! Dataset builders: the 13 reference cities.
+//!
+//! The paper's corpus is 9 cities in "Country 1" (CITY A–I) and 4 in
+//! "Country 2" (CITY 1–4), with grids from 33×33 to 50×48 pixels
+//! (§3.1). City extents here follow that range; [`DatasetConfig`]
+//! scales them down for CPU-sized experiments (`fast` preset) or keeps
+//! them at paper scale (`paper` preset).
+
+use crate::process::{build_context, build_traffic, Latents, TemporalParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spectragan_geo::{City, GridSpec};
+
+/// Configuration for one synthetic city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Display name, e.g. "CITY A".
+    pub name: String,
+    /// Grid height before scaling.
+    pub height: usize,
+    /// Grid width before scaling.
+    pub width: usize,
+    /// Seed for the city's hidden geography and traffic process.
+    pub seed: u64,
+}
+
+/// Configuration for a dataset build.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Duration of the series, in weeks.
+    pub weeks: usize,
+    /// Time steps per hour (1 = hourly, 2 = 30-min, 4 = 15-min).
+    pub steps_per_hour: usize,
+    /// Multiplier on city extents (1.0 = paper scale). The `fast`
+    /// preset uses 0.5 so a 40×40 city becomes 20×20.
+    pub size_scale: f64,
+}
+
+impl DatasetConfig {
+    /// CPU-friendly preset: 1 week hourly, half-size cities. Training
+    /// data in the paper's evaluation is also 1-week long (§4.1).
+    pub fn fast() -> Self {
+        DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 }
+    }
+
+    /// Paper-scale preset: 6 weeks at 15-minute granularity, full-size
+    /// cities (§3.1).
+    pub fn paper() -> Self {
+        DatasetConfig { weeks: 6, steps_per_hour: 4, size_scale: 1.0 }
+    }
+
+    /// Preset for the evaluation protocol of §4.1: 4 weeks hourly
+    /// (1 training week + 3 generated weeks to compare against),
+    /// half-size cities.
+    pub fn eval() -> Self {
+        DatasetConfig { weeks: 4, steps_per_hour: 1, size_scale: 0.5 }
+    }
+
+    /// Number of time steps this config produces.
+    pub fn steps(&self) -> usize {
+        self.weeks * 7 * 24 * self.steps_per_hour
+    }
+
+    fn scaled(&self, extent: usize) -> usize {
+        ((extent as f64 * self.size_scale).round() as usize).max(12)
+    }
+}
+
+/// Generates one city deterministically from its config.
+pub fn generate_city(cfg: &CityConfig, ds: &DatasetConfig) -> City {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = GridSpec::new(ds.scaled(cfg.height), ds.scaled(cfg.width));
+    let latents = Latents::sample(grid, &mut rng);
+    let context = build_context(&latents, &mut rng);
+    let traffic = build_traffic(
+        &latents,
+        TemporalParams::weeks(ds.weeks, ds.steps_per_hour),
+        &mut rng,
+    );
+    City::new(cfg.name.clone(), traffic, context)
+}
+
+/// Generates an *independent temporal realization* of the same city:
+/// identical geography and context (drawn from `cfg.seed`), but the
+/// traffic process re-rolled with `variant_seed`. This is how the
+/// evaluation's DATA reference is built — the paper compares two
+/// distinct real periods of one city; we compare two realizations of
+/// one city's hidden process.
+pub fn generate_city_variant(cfg: &CityConfig, ds: &DatasetConfig, variant_seed: u64) -> City {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = GridSpec::new(ds.scaled(cfg.height), ds.scaled(cfg.width));
+    let latents = Latents::sample(grid, &mut rng);
+    let context = build_context(&latents, &mut rng);
+    let mut vrng = StdRng::seed_from_u64(variant_seed ^ cfg.seed.rotate_left(17));
+    let traffic = build_traffic(
+        &latents,
+        TemporalParams::weeks(ds.weeks, ds.steps_per_hour),
+        &mut vrng,
+    );
+    City::new(cfg.name.clone(), traffic, context)
+}
+
+/// Grid extents for the 9 Country 1 cities (within the paper's
+/// 33×33 … 50×48 range).
+const COUNTRY1: [(&str, usize, usize, u64); 9] = [
+    ("CITY A", 33, 33, 0xA1),
+    ("CITY B", 50, 48, 0xB2),
+    ("CITY C", 40, 40, 0xC3),
+    ("CITY D", 36, 44, 0xD4),
+    ("CITY E", 38, 38, 0xE5),
+    ("CITY F", 42, 36, 0xF6),
+    ("CITY G", 45, 40, 0x07),
+    ("CITY H", 34, 42, 0x18),
+    ("CITY I", 39, 39, 0x29),
+];
+
+/// Grid extents for the 4 Country 2 cities.
+const COUNTRY2: [(&str, usize, usize, u64); 4] = [
+    ("CITY 1", 36, 36, 0x3A),
+    ("CITY 2", 44, 40, 0x4B),
+    ("CITY 3", 33, 38, 0x5C),
+    ("CITY 4", 40, 45, 0x6D),
+];
+
+/// The configurations of the 9 Country 1 cities (for callers that need
+/// variants via [`generate_city_variant`]).
+pub fn country1_configs() -> Vec<CityConfig> {
+    COUNTRY1
+        .iter()
+        .map(|&(name, h, w, seed)| CityConfig { name: name.into(), height: h, width: w, seed })
+        .collect()
+}
+
+/// The configurations of the 4 Country 2 cities.
+pub fn country2_configs() -> Vec<CityConfig> {
+    COUNTRY2
+        .iter()
+        .map(|&(name, h, w, seed)| CityConfig { name: name.into(), height: h, width: w, seed })
+        .collect()
+}
+
+/// Builds the 9-city Country 1 dataset.
+pub fn country1(ds: &DatasetConfig) -> Vec<City> {
+    COUNTRY1
+        .iter()
+        .map(|&(name, h, w, seed)| {
+            generate_city(
+                &CityConfig { name: name.into(), height: h, width: w, seed },
+                ds,
+            )
+        })
+        .collect()
+}
+
+/// Builds the 4-city Country 2 dataset. A different seed space (and a
+/// traffic-level offset via the seeds) stands in for the different
+/// operator; the two datasets are never mixed, as in §4.1.
+pub fn country2(ds: &DatasetConfig) -> Vec<City> {
+    COUNTRY2
+        .iter()
+        .map(|&(name, h, w, seed)| {
+            generate_city(
+                &CityConfig { name: name.into(), height: h, width: w, seed },
+                ds,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+        let cfg = CityConfig { name: "X".into(), height: 33, width: 33, seed: 7 };
+        let a = generate_city(&cfg, &ds);
+        let b = generate_city(&cfg, &ds);
+        assert_eq!(a.traffic.data(), b.traffic.data());
+        assert_eq!(a.context.data(), b.context.data());
+    }
+
+    #[test]
+    fn different_seeds_give_different_cities() {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+        let a = generate_city(
+            &CityConfig { name: "X".into(), height: 33, width: 33, seed: 1 },
+            &ds,
+        );
+        let b = generate_city(
+            &CityConfig { name: "Y".into(), height: 33, width: 33, seed: 2 },
+            &ds,
+        );
+        assert_ne!(a.traffic.data(), b.traffic.data());
+    }
+
+    #[test]
+    fn config_scales_extents_and_steps() {
+        let ds = DatasetConfig::fast();
+        assert_eq!(ds.steps(), 168);
+        let city = generate_city(
+            &CityConfig { name: "X".into(), height: 40, width: 40, seed: 3 },
+            &ds,
+        );
+        assert_eq!(city.traffic.height(), 20);
+        assert_eq!(city.traffic.len_t(), 168);
+        assert_eq!(city.context.channels(), 27);
+    }
+
+    #[test]
+    fn variant_shares_context_but_not_traffic() {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+        let cfg = CityConfig { name: "V".into(), height: 33, width: 33, seed: 9 };
+        let base = generate_city(&cfg, &ds);
+        let var = generate_city_variant(&cfg, &ds, 1234);
+        assert_eq!(base.context.data(), var.context.data());
+        assert_ne!(base.traffic.data(), var.traffic.data());
+        // Same hidden process: the time-averaged maps stay similar.
+        let a = base.traffic.mean_map();
+        let b = var.traffic.mean_map();
+        let mut cov = 0.0;
+        let (ma, mb) = (
+            a.iter().sum::<f64>() / a.len() as f64,
+            b.iter().sum::<f64>() / b.len() as f64,
+        );
+        let (mut va, mut vb) = (0.0, 0.0);
+        for (&x, &y) in a.iter().zip(&b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        let pcc = cov / (va.sqrt() * vb.sqrt());
+        assert!(pcc > 0.9, "realizations diverge spatially: {pcc}");
+    }
+
+    #[test]
+    fn country_datasets_have_paper_city_counts() {
+        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.35 };
+        let c1 = country1(&ds);
+        let c2 = country2(&ds);
+        assert_eq!(c1.len(), 9);
+        assert_eq!(c2.len(), 4);
+        assert_eq!(c1[0].name, "CITY A");
+        assert_eq!(c2[3].name, "CITY 4");
+        // Cities differ in extent (the paper's arbitrary-size property).
+        let sizes: std::collections::HashSet<(usize, usize)> = c1
+            .iter()
+            .map(|c| (c.traffic.height(), c.traffic.width()))
+            .collect();
+        assert!(sizes.len() > 3, "city sizes too uniform");
+    }
+}

@@ -1,0 +1,230 @@
+//! Smooth random scalar fields over a grid — the latent geography the
+//! simulator builds cities from.
+
+use rand::Rng;
+use spectragan_geo::GridSpec;
+
+/// A scalar field over a grid, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    grid: GridSpec,
+    data: Vec<f64>,
+}
+
+impl Field {
+    /// Zero field.
+    pub fn zeros(grid: GridSpec) -> Self {
+        Field { grid, data: vec![0.0; grid.num_pixels()] }
+    }
+
+    /// Field from a closure of pixel coordinates.
+    pub fn from_fn(grid: GridSpec, f: impl Fn(usize, usize) -> f64) -> Self {
+        let data = grid.iter().map(|(y, x)| f(y, x)).collect();
+        Field { grid, data }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// Read-only values, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Value at `(y, x)`.
+    #[inline]
+    pub fn at(&self, y: usize, x: usize) -> f64 {
+        self.data[self.grid.index(y, x)]
+    }
+
+    /// Mutable value at `(y, x)`.
+    #[inline]
+    pub fn at_mut(&mut self, y: usize, x: usize) -> &mut f64 {
+        let i = self.grid.index(y, x);
+        &mut self.data[i]
+    }
+
+    /// A mixture of isotropic Gaussian bumps: `centers` are
+    /// `(y, x, sigma, weight)`.
+    pub fn gaussian_bumps(grid: GridSpec, centers: &[(f64, f64, f64, f64)]) -> Self {
+        Field::from_fn(grid, |y, x| {
+            centers
+                .iter()
+                .map(|&(cy, cx, sigma, w)| {
+                    let d2 = (y as f64 - cy).powi(2) + (x as f64 - cx).powi(2);
+                    w * (-d2 / (2.0 * sigma * sigma)).exp()
+                })
+                .sum()
+        })
+    }
+
+    /// White noise `N(0, 1)` smoothed by `passes` of 3×3 box blur —
+    /// cheap correlated noise.
+    pub fn smooth_noise(grid: GridSpec, passes: usize, rng: &mut impl Rng) -> Self {
+        let mut f = Field::from_fn(grid, |_, _| 0.0);
+        for v in &mut f.data {
+            // Box–Muller for normality without distribution adapters.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            *v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+        for _ in 0..passes {
+            f = f.box_blur();
+        }
+        // Re-standardize: blurring shrinks the variance.
+        f.standardize();
+        f
+    }
+
+    /// One pass of 3×3 box blur (edge pixels average their in-grid
+    /// neighbourhood).
+    pub fn box_blur(&self) -> Field {
+        let g = self.grid;
+        Field::from_fn(g, |y, x| {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (yy, xx) = (y as i64 + dy, x as i64 + dx);
+                    if yy >= 0 && xx >= 0 && (yy as usize) < g.height && (xx as usize) < g.width {
+                        acc += self.at(yy as usize, xx as usize);
+                        n += 1.0;
+                    }
+                }
+            }
+            acc / n
+        })
+    }
+
+    /// Standardizes to zero mean and unit variance in place (no-op for
+    /// constant fields).
+    pub fn standardize(&mut self) {
+        let n = self.data.len() as f64;
+        let mean = self.data.iter().sum::<f64>() / n;
+        let var = self.data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        if std > 1e-12 {
+            for v in &mut self.data {
+                *v = (*v - mean) / std;
+            }
+        }
+    }
+
+    /// Rescales linearly so min → 0 and max → 1 (constant fields → 0).
+    pub fn normalize01(&mut self) {
+        let min = self.data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        if span > 1e-12 {
+            for v in &mut self.data {
+                *v = (*v - min) / span;
+            }
+        } else {
+            self.data.fill(0.0);
+        }
+    }
+
+    /// Pointwise linear combination `a·self + b·other`.
+    pub fn lin_comb(&self, a: f64, other: &Field, b: f64) -> Field {
+        assert_eq!(self.grid, other.grid, "field grids differ");
+        Field {
+            grid: self.grid,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&x, &y)| a * x + b * y)
+                .collect(),
+        }
+    }
+
+    /// Pointwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Field {
+        Field {
+            grid: self.grid,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Pearson correlation with another field on the same grid
+    /// (0 when either field is constant).
+    pub fn pearson(&self, other: &Field) -> f64 {
+        assert_eq!(self.grid, other.grid, "field grids differ");
+        let n = self.data.len() as f64;
+        let ma = self.data.iter().sum::<f64>() / n;
+        let mb = other.data.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            cov += (a - ma) * (b - mb);
+            va += (a - ma) * (a - ma);
+            vb += (b - mb) * (b - mb);
+        }
+        if va <= 1e-12 || vb <= 1e-12 {
+            return 0.0;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(20, 20)
+    }
+
+    #[test]
+    fn gaussian_bump_peaks_at_center() {
+        let f = Field::gaussian_bumps(grid(), &[(10.0, 10.0, 3.0, 2.0)]);
+        assert!((f.at(10, 10) - 2.0).abs() < 1e-9);
+        assert!(f.at(0, 0) < 0.01);
+        assert!(f.at(10, 11) < f.at(10, 10));
+    }
+
+    #[test]
+    fn smooth_noise_is_standardized_and_correlated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Field::smooth_noise(grid(), 3, &mut rng);
+        let mean = f.data().iter().sum::<f64>() / 400.0;
+        let var = f.data().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 400.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+        // Neighbouring pixels must correlate after blurring: shift by one.
+        let shifted = Field::from_fn(grid(), |y, x| f.at(y, (x + 1).min(19)));
+        assert!(f.pearson(&shifted) > 0.5, "pcc {}", f.pearson(&shifted));
+    }
+
+    #[test]
+    fn normalize01_bounds() {
+        let mut f = Field::from_fn(grid(), |y, x| (y + x) as f64);
+        f.normalize01();
+        assert!((f.at(0, 0)).abs() < 1e-12);
+        assert!((f.at(19, 19) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_self_is_one_and_of_negation_is_minus_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Field::smooth_noise(grid(), 1, &mut rng);
+        assert!((f.pearson(&f) - 1.0).abs() < 1e-9);
+        let neg = f.map(|v| -v);
+        assert!((f.pearson(&neg) + 1.0).abs() < 1e-9);
+        let constant = Field::zeros(grid());
+        assert_eq!(f.pearson(&constant), 0.0);
+    }
+
+    #[test]
+    fn lin_comb_is_pointwise() {
+        let a = Field::from_fn(grid(), |_, _| 2.0);
+        let b = Field::from_fn(grid(), |_, _| 3.0);
+        let c = a.lin_comb(0.5, &b, 2.0);
+        assert!((c.at(5, 5) - 7.0).abs() < 1e-12);
+    }
+}

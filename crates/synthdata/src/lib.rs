@@ -1,0 +1,44 @@
+//! Ground-truth city simulator — the stand-in for the paper's
+//! proprietary operator measurements.
+//!
+//! The paper evaluates on mobile traffic recorded by two European
+//! operators in 13 cities (9 in "Country 1", 4 in "Country 2"), on a
+//! 250 m grid at 15-minute granularity over 6 weeks, normalized per
+//! city by the peak pixel (§3.1). That data is NDA-gated, so this crate
+//! implements a *hidden generative process* with exactly the
+//! statistical properties the paper measures and the models exploit:
+//!
+//! * **Context** (27 attributes of Table 1) is derived from shared
+//!   latent urbanization fields so that each attribute's Pearson
+//!   correlation with time-averaged traffic lands near the mean PCC the
+//!   paper reports — census strongest (≈0.6), barren lands most
+//!   negative (≈−0.28), etc.
+//! * **Traffic** at each pixel is a small sum of the significant
+//!   frequency components the paper identifies (weekly, daily and
+//!   intra-day harmonics; Fig. 1d), with context-dependent amplitude
+//!   (log-normal across space, Appendix A) and context-dependent phase
+//!   (commercial areas peak near noon, residential in the evening —
+//!   the source of the peak-hour diversity in Fig. 9).
+//! * **Traffic flows** (Fig. 2): a commuter corridor moves a localized
+//!   traffic bump across the city through the day, so the peak
+//!   *location* shifts hour to hour — the spatiotemporal correlation
+//!   DoppelGANger-style per-pixel models cannot capture.
+//! * **Residual**: per-pixel AR(1) noise models the small non-periodic
+//!   fluctuations (Fig. 1f).
+//!
+//! Because the process is *context → periodic + residual traffic*, it
+//! exercises the same code paths real data would: every fidelity metric
+//! in `spectragan-metrics`, every model in `spectragan-core` and
+//! `spectragan-baselines`, and every use case in `spectragan-apps`
+//! operates on these maps exactly as it would on operator exports.
+
+pub mod dataset;
+pub mod fields;
+pub mod process;
+
+pub use dataset::{
+    country1, country1_configs, country2, country2_configs, generate_city,
+    generate_city_variant, CityConfig, DatasetConfig,
+};
+pub use fields::Field;
+pub use process::inject_event;

@@ -1,0 +1,436 @@
+//! The hidden context → traffic process.
+//!
+//! This module is the "operator" of the simulation: it decides the true
+//! relationship between a city's geography and its mobile traffic. The
+//! generative models under evaluation never see these internals — only
+//! the resulting [`ContextMap`]s and [`TrafficMap`]s — mirroring how
+//! the paper's models only see measurement exports.
+
+use crate::fields::Field;
+use rand::Rng;
+use spectragan_geo::context::{ATTRIBUTES, NUM_ATTRIBUTES};
+use spectragan_geo::{ContextMap, GridSpec, TrafficMap};
+
+/// Latent geography of a city: everything the hidden process derives
+/// context and traffic from.
+pub struct Latents {
+    /// Urbanization intensity in `[0, 1]` (bumps at city centers).
+    pub urban: Field,
+    /// Standardized urbanization (zero mean, unit variance).
+    pub urban_std: Field,
+    /// Industrial/commercial intensity in `[0, 1]`.
+    pub industrial: Field,
+    /// Commuter corridor endpoints `(residential, business)` in pixel
+    /// coordinates, driving the daily traffic flow of Fig. 2.
+    pub corridor: ((f64, f64), (f64, f64)),
+}
+
+impl Latents {
+    /// Draws latent geography for a grid: 2–4 urban centers, one
+    /// industrial zone, and a commuter corridor between the strongest
+    /// residential bump and the main center.
+    pub fn sample(grid: GridSpec, rng: &mut impl Rng) -> Latents {
+        let (h, w) = (grid.height as f64, grid.width as f64);
+        let n_centers = rng.gen_range(2..=4);
+        let mut centers = Vec::with_capacity(n_centers);
+        // Main center near the middle; secondaries anywhere.
+        centers.push((
+            h * rng.gen_range(0.4..0.6),
+            w * rng.gen_range(0.4..0.6),
+            (h.min(w)) * rng.gen_range(0.18..0.28),
+            1.0,
+        ));
+        for _ in 1..n_centers {
+            centers.push((
+                h * rng.gen_range(0.15..0.85),
+                w * rng.gen_range(0.15..0.85),
+                (h.min(w)) * rng.gen_range(0.08..0.16),
+                rng.gen_range(0.35..0.7),
+            ));
+        }
+        let mut urban = Field::gaussian_bumps(grid, &centers);
+        let rough = Field::smooth_noise(grid, 2, rng);
+        urban = urban.lin_comb(1.0, &rough, 0.08);
+        urban.normalize01();
+        let mut urban_std = urban.clone();
+        urban_std.standardize();
+
+        let ind_center = (
+            h * rng.gen_range(0.2..0.8),
+            w * rng.gen_range(0.2..0.8),
+            (h.min(w)) * rng.gen_range(0.1..0.2),
+            1.0,
+        );
+        let mut industrial = Field::gaussian_bumps(grid, &[ind_center]);
+        industrial.normalize01();
+
+        let residential = (
+            centers.last().expect("centers non-empty").0,
+            centers.last().expect("centers non-empty").1,
+        );
+        let business = (centers[0].0, centers[0].1);
+        Latents {
+            urban,
+            urban_std,
+            industrial,
+            corridor: (residential, business),
+        }
+    }
+}
+
+/// Builds the 27-attribute context map from the latents so that each
+/// attribute correlates with urbanization (and hence with traffic) at
+/// roughly its Table 1 PCC: `attr = ρ·U_std + √(1−ρ²)·noise`, with a
+/// pinch of the industrial field for the work-related attributes.
+pub fn build_context(latents: &Latents, rng: &mut impl Rng) -> ContextMap {
+    let grid = latents.urban.grid();
+    let mut ctx = ContextMap::zeros(NUM_ATTRIBUTES, grid.height, grid.width);
+    let mut ind_std = latents.industrial.clone();
+    ind_std.standardize();
+    for (k, (name, pcc)) in ATTRIBUTES.iter().enumerate() {
+        let noise = Field::smooth_noise(grid, 1, rng);
+        let rho = *pcc;
+        let mut field = latents
+            .urban_std
+            .lin_comb(rho, &noise, (1.0 - rho * rho).max(0.0).sqrt());
+        if matches!(
+            *name,
+            "Industrial/Commercial" | "Office" | "Parking" | "Air/Sea Ports"
+        ) {
+            // Work attributes also track the industrial zone; the extra
+            // term is small enough not to destroy the target PCC.
+            field = field.lin_comb(1.0, &ind_std, 0.25);
+        }
+        for (y, x) in grid.iter() {
+            *ctx.at_mut(k, y, x) = field.at(y, x) as f32;
+        }
+    }
+    ctx
+}
+
+/// Temporal parameters of the hidden process.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalParams {
+    /// Number of time steps to generate.
+    pub steps: usize,
+    /// Time steps per hour (1 = hourly, 4 = 15-minute).
+    pub steps_per_hour: usize,
+}
+
+impl TemporalParams {
+    /// `weeks` of data at `steps_per_hour` resolution.
+    pub fn weeks(weeks: usize, steps_per_hour: usize) -> Self {
+        TemporalParams {
+            steps: weeks * 7 * 24 * steps_per_hour,
+            steps_per_hour,
+        }
+    }
+}
+
+/// Weekly modulation: weekdays full load, Saturday 0.85, Sunday 0.7 —
+/// the weekday/weekend dichotomy of §2.1.3.
+pub fn weekday_factor(hour: f64) -> f64 {
+    match ((hour / 24.0).floor() as usize) % 7 {
+        5 => 0.85,
+        6 => 0.70,
+        _ => 1.0,
+    }
+}
+
+/// Diurnal profile at `hour` (hours since series start) for a pixel
+/// with peak phase `phase` (hour of day of its main peak): DC plus the
+/// daily fundamental and its first harmonic — exactly the "few
+/// significant components" structure of Fig. 1d.
+pub fn diurnal_profile(hour: f64, phase: f64) -> f64 {
+    let omega = 2.0 * std::f64::consts::PI / 24.0;
+    let v = 1.0 + 0.85 * (omega * (hour - phase)).cos() + 0.25 * (2.0 * omega * (hour - phase)).cos();
+    v.max(0.0)
+}
+
+/// Position of the commuter bump at `hour`, moving from the
+/// residential end (overnight) to the business end (working hours) and
+/// back — the moving peak of Fig. 2.
+pub fn corridor_position(corridor: &((f64, f64), (f64, f64)), hour: f64) -> (f64, f64) {
+    let h = hour.rem_euclid(24.0);
+    // 0 at night (residential), 1 during 10:00–16:00 (business).
+    let s = if h < 6.0 {
+        0.0
+    } else if h < 10.0 {
+        (h - 6.0) / 4.0
+    } else if h < 16.0 {
+        1.0
+    } else if h < 21.0 {
+        1.0 - (h - 16.0) / 5.0
+    } else {
+        0.0
+    };
+    let (res, biz) = corridor;
+    (
+        res.0 + s * (biz.0 - res.0),
+        res.1 + s * (biz.1 - res.1),
+    )
+}
+
+/// Builds the traffic tensor from the latents. See the module docs for
+/// the composition: log-normal spatial amplitude × diurnal profile ×
+/// weekly factor + commuter flow + AR(1) residual, clipped at zero and
+/// peak-normalized.
+pub fn build_traffic(latents: &Latents, tp: TemporalParams, rng: &mut impl Rng) -> TrafficMap {
+    let grid = latents.urban.grid();
+    let (h, w) = (grid.height, grid.width);
+    let n_px = grid.num_pixels();
+
+    // --- Static per-pixel structure -----------------------------------
+    // Log-normal amplitude: exp(1.4·U + 0.25·z) — strongly urban pixels
+    // carry orders of magnitude more traffic (Appendix A marginals).
+    let amp_noise = Field::smooth_noise(grid, 1, rng);
+    let amp: Vec<f64> = grid
+        .iter()
+        .map(|(y, x)| (1.4 * latents.urban.at(y, x) * 2.0 + 0.25 * amp_noise.at(y, x)).exp() - 0.85)
+        .map(|v| v.max(0.02))
+        .collect();
+    // Peak phase: residential pixels peak ~19:00, industrial ~12:30.
+    let phase_noise = Field::smooth_noise(grid, 1, rng);
+    let phase: Vec<f64> = grid
+        .iter()
+        .map(|(y, x)| {
+            19.0 - 6.5 * latents.industrial.at(y, x) + 0.6 * phase_noise.at(y, x)
+        })
+        .collect();
+
+    // --- Time loop ------------------------------------------------------
+    let sigma_f = (h.min(w) as f64) * 0.12;
+    let flow_amp = 0.9;
+    let mut residual = vec![0.0f64; n_px];
+    let mut out = TrafficMap::zeros(tp.steps, h, w);
+    for t in 0..tp.steps {
+        let hour = t as f64 / tp.steps_per_hour as f64;
+        let wk = weekday_factor(hour);
+        let (fy, fx) = corridor_position(&latents.corridor, hour);
+        // The corridor only carries traffic while people are moving or
+        // at work (06:00–21:00).
+        let hod = hour.rem_euclid(24.0);
+        let gate = if (6.0..21.0).contains(&hod) { 1.0 } else { 0.15 };
+        for (i, (y, x)) in grid.iter().enumerate() {
+            // AR(1) residual, updated per step.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let eps = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            residual[i] = 0.7 * residual[i] + 0.05 * eps;
+
+            let periodic = amp[i] * diurnal_profile(hour, phase[i]) * wk;
+            let d2 = (y as f64 - fy).powi(2) + (x as f64 - fx).powi(2);
+            let flow = flow_amp * gate * wk * (-d2 / (2.0 * sigma_f * sigma_f)).exp();
+            let v = (periodic + flow + amp[i] * residual[i]).max(0.0);
+            *out.at_mut(t, y, x) = v as f32;
+        }
+    }
+    out.normalize_peak();
+    out
+}
+
+/// Injects a special event into existing traffic: a localized surge at
+/// `(y, x)` with spatial spread `sigma` pixels, active during
+/// `start..start + duration` steps, with peak relative magnitude
+/// `magnitude` (1.0 doubles traffic at the epicenter mid-event).
+///
+/// Events are *anomalies* relative to the periodic process — the kind
+/// of input a downstream anomaly detector (or a robustness study of
+/// the generative models) needs. The temporal envelope is a raised
+/// cosine, so the surge ramps in and out smoothly.
+pub fn inject_event(
+    traffic: &TrafficMap,
+    epicenter: (usize, usize),
+    sigma: f64,
+    start: usize,
+    duration: usize,
+    magnitude: f64,
+) -> TrafficMap {
+    assert!(duration > 0, "event must last at least one step");
+    assert!(start < traffic.len_t(), "event starts beyond the series");
+    let mut out = traffic.clone();
+    let end = (start + duration).min(traffic.len_t());
+    let (ey, ex) = epicenter;
+    for t in start..end {
+        let phase = (t - start) as f64 / duration as f64;
+        let envelope = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * phase).cos();
+        for y in 0..traffic.height() {
+            for x in 0..traffic.width() {
+                let d2 = (y as f64 - ey as f64).powi(2) + (x as f64 - ex as f64).powi(2);
+                let spatial = (-d2 / (2.0 * sigma * sigma)).exp();
+                let boost = 1.0 + magnitude * envelope * spatial;
+                *out.at_mut(t, y, x) = (traffic.at(t, y, x) as f64 * boost) as f32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spectragan_dsp::{magnitude, rfft};
+
+    fn small_city() -> (Latents, ContextMap, TrafficMap) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let grid = GridSpec::new(20, 20);
+        let latents = Latents::sample(grid, &mut rng);
+        let ctx = build_context(&latents, &mut rng);
+        let traffic = build_traffic(&latents, TemporalParams::weeks(1, 1), &mut rng);
+        (latents, ctx, traffic)
+    }
+
+    fn mean_field(traffic: &TrafficMap) -> Field {
+        let mm = traffic.mean_map();
+        let grid = traffic.grid();
+        Field::from_fn(grid, |y, x| mm[grid.index(y, x)])
+    }
+
+    #[test]
+    fn census_correlates_strongly_with_traffic() {
+        let (_, ctx, traffic) = small_city();
+        let grid = traffic.grid();
+        let census = Field::from_fn(grid, |y, x| ctx.at(0, y, x) as f64);
+        let pcc = census.pearson(&mean_field(&traffic));
+        assert!(pcc > 0.35, "census PCC too weak: {pcc}");
+    }
+
+    #[test]
+    fn barren_lands_anticorrelate_with_traffic() {
+        let (_, ctx, traffic) = small_city();
+        let grid = traffic.grid();
+        // Channel 11 is "Barren Lands" (target −0.281).
+        let barren = Field::from_fn(grid, |y, x| ctx.at(11, y, x) as f64);
+        let pcc = barren.pearson(&mean_field(&traffic));
+        assert!(pcc < -0.05, "barren PCC should be negative: {pcc}");
+    }
+
+    #[test]
+    fn traffic_is_normalized_and_nonnegative() {
+        let (_, _, traffic) = small_city();
+        let max = traffic.data().iter().copied().fold(0.0f32, f32::max);
+        let min = traffic.data().iter().copied().fold(1.0f32, f32::min);
+        assert!((max - 1.0).abs() < 1e-6);
+        assert!(min >= 0.0);
+    }
+
+    #[test]
+    fn spectrum_is_dominated_by_daily_and_weekly_bins() {
+        let (_, _, traffic) = small_city();
+        let series = traffic.city_series();
+        let spec = rfft(&series);
+        let mags = magnitude(&spec[1..]); // skip DC
+        let daily_bin = 7 - 1; // 168-hour series: bin 7 = 24 h period (index 6 after skip)
+        let top: f64 = mags[daily_bin];
+        let median = {
+            let mut m = mags.clone();
+            m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            m[m.len() / 2]
+        };
+        assert!(top > 10.0 * median, "daily bin {top} vs median {median}");
+    }
+
+    #[test]
+    fn weekend_traffic_is_lower_than_weekday() {
+        let (_, _, traffic) = small_city();
+        let series = traffic.city_series();
+        let weekday: f64 = series[0..24].iter().sum();
+        let sunday: f64 = series[144..168].iter().sum();
+        assert!(sunday < 0.9 * weekday, "sunday {sunday} vs weekday {weekday}");
+    }
+
+    #[test]
+    fn peak_location_moves_between_morning_and_midday() {
+        // Fig. 2: the argmax pixel must move as the corridor activates.
+        let (_, _, traffic) = small_city();
+        let argmax = |t: usize| {
+            let f = traffic.frame(t);
+            let (mut bi, mut bv) = (0usize, f32::MIN);
+            for (i, &v) in f.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    bi = i;
+                }
+            }
+            (bi / traffic.width(), bi % traffic.width())
+        };
+        let night = argmax(3); // 03:00
+        let noon = argmax(12); // 12:00
+        let dist = ((night.0 as f64 - noon.0 as f64).powi(2)
+            + (night.1 as f64 - noon.1 as f64).powi(2))
+        .sqrt();
+        assert!(dist > 1.0, "peak did not move: night {night:?} noon {noon:?}");
+    }
+
+    #[test]
+    fn peak_hours_are_diverse_across_pixels() {
+        // Fig. 9: industrial pixels peak near noon, residential in the
+        // evening — the per-pixel peak-hour distribution must spread.
+        let (_, _, traffic) = small_city();
+        let mut hours = Vec::new();
+        for y in 0..traffic.height() {
+            for x in 0..traffic.width() {
+                let s = traffic.pixel_series(y, x);
+                let day: Vec<f64> = (0..24)
+                    .map(|h| (0..5).map(|d| s[d * 24 + h]).sum::<f64>())
+                    .collect();
+                let (mut bi, mut bv) = (0usize, f64::MIN);
+                for (i, &v) in day.iter().enumerate() {
+                    if v > bv {
+                        bv = v;
+                        bi = i;
+                    }
+                }
+                hours.push(bi);
+            }
+        }
+        let min = *hours.iter().min().unwrap();
+        let max = *hours.iter().max().unwrap();
+        assert!(max - min >= 4, "peak hours not diverse: {min}..{max}");
+    }
+
+    #[test]
+    fn injected_event_is_local_in_space_and_time() {
+        let (_, _, traffic) = small_city();
+        let boosted = inject_event(&traffic, (10, 10), 2.0, 50, 10, 2.0);
+        // Mid-event at the epicenter: strongly boosted.
+        let before = traffic.at(55, 10, 10);
+        let after = boosted.at(55, 10, 10);
+        if before > 0.0 {
+            assert!(after > 1.5 * before, "{before} -> {after}");
+        }
+        // Outside the window: untouched.
+        assert_eq!(boosted.at(10, 10, 10), traffic.at(10, 10, 10));
+        assert_eq!(boosted.at(70, 10, 10), traffic.at(70, 10, 10));
+        // Far away in space: barely touched.
+        let far_before = traffic.at(55, 0, 0);
+        let far_after = boosted.at(55, 0, 0);
+        assert!((far_after - far_before).abs() <= 0.01 * far_before.max(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the series")]
+    fn event_start_is_validated() {
+        let (_, _, traffic) = small_city();
+        inject_event(&traffic, (0, 0), 1.0, 10_000, 5, 1.0);
+    }
+
+    #[test]
+    fn corridor_position_is_at_endpoints_overnight_and_midday() {
+        let corridor = ((0.0, 0.0), (10.0, 10.0));
+        assert_eq!(corridor_position(&corridor, 2.0), (0.0, 0.0));
+        assert_eq!(corridor_position(&corridor, 12.0), (10.0, 10.0));
+        let (y, x) = corridor_position(&corridor, 8.0);
+        assert!(y > 0.0 && y < 10.0 && x > 0.0 && x < 10.0);
+    }
+
+    #[test]
+    fn weekday_factor_cycle() {
+        assert_eq!(weekday_factor(0.0), 1.0); // Monday
+        assert_eq!(weekday_factor(5.0 * 24.0), 0.85); // Saturday
+        assert_eq!(weekday_factor(6.0 * 24.0 + 12.0), 0.70); // Sunday
+        assert_eq!(weekday_factor(7.0 * 24.0), 1.0); // next Monday
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the hidden city process: the invariants the
+//! evaluation relies on must hold for *any* seed, not just the 13
+//! reference cities.
+
+use proptest::prelude::*;
+use spectragan_geo::context::NUM_ATTRIBUTES;
+use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
+
+fn ds() -> DatasetConfig {
+    DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every generated city is well-formed: traffic in [0, 1] with peak
+    /// exactly 1, full context stack, matching grids.
+    #[test]
+    fn cities_are_well_formed(seed in 0u64..5000) {
+        let city = generate_city(
+            &CityConfig { name: "P".into(), height: 34, width: 38, seed },
+            &ds(),
+        );
+        prop_assert_eq!(city.context.channels(), NUM_ATTRIBUTES);
+        prop_assert_eq!(city.traffic.height(), city.context.height());
+        prop_assert_eq!(city.traffic.width(), city.context.width());
+        prop_assert_eq!(city.traffic.len_t(), 168);
+        let max = city.traffic.data().iter().cloned().fold(0.0f32, f32::max);
+        let min = city.traffic.data().iter().cloned().fold(1.0f32, f32::min);
+        prop_assert!((max - 1.0).abs() < 1e-6);
+        prop_assert!(min >= 0.0);
+    }
+
+    /// The census↔traffic correlation is positive for any seed — the
+    /// learnable signal every model depends on is always present.
+    #[test]
+    fn census_signal_always_present(seed in 0u64..5000) {
+        let city = generate_city(
+            &CityConfig { name: "P".into(), height: 33, width: 33, seed },
+            &ds(),
+        );
+        let mean_map = city.traffic.mean_map();
+        let census: Vec<f64> = city.context.channel(0).iter().map(|&v| v as f64).collect();
+        let n = census.len() as f64;
+        let (mc, mt) = (
+            census.iter().sum::<f64>() / n,
+            mean_map.iter().sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut vc = 0.0;
+        let mut vt = 0.0;
+        for (c, t) in census.iter().zip(&mean_map) {
+            cov += (c - mc) * (t - mt);
+            vc += (c - mc) * (c - mc);
+            vt += (t - mt) * (t - mt);
+        }
+        let pcc = cov / (vc.sqrt() * vt.sqrt());
+        prop_assert!(pcc > 0.2, "census PCC {pcc} for seed {seed}");
+    }
+
+    /// Day and night differ: the diurnal signal exists for any seed.
+    #[test]
+    fn diurnal_signal_always_present(seed in 0u64..5000) {
+        let city = generate_city(
+            &CityConfig { name: "P".into(), height: 33, width: 33, seed },
+            &ds(),
+        );
+        let series = city.traffic.city_series();
+        // Average 13:00 vs 04:00 over the five weekdays.
+        let day: f64 = (0..5).map(|d| series[d * 24 + 13]).sum();
+        let night: f64 = (0..5).map(|d| series[d * 24 + 4]).sum();
+        prop_assert!(day > 1.3 * night, "day {day} night {night} (seed {seed})");
+    }
+
+    /// Variants share geography but not noise, for any variant seed.
+    #[test]
+    fn variants_differ_only_temporally(seed in 0u64..1000, vseed in 1u64..1000) {
+        let cfg = CityConfig { name: "P".into(), height: 33, width: 33, seed };
+        let a = generate_city(&cfg, &ds());
+        let b = generate_city_variant(&cfg, &ds(), vseed);
+        prop_assert_eq!(a.context.data(), b.context.data());
+        prop_assert_ne!(a.traffic.data(), b.traffic.data());
+    }
+}

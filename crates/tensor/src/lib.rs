@@ -1,0 +1,35 @@
+//! Dense `f32` tensors with tape-based reverse-mode automatic
+//! differentiation — the deep-learning substrate of the SpectraGAN
+//! reproduction.
+//!
+//! The paper trains its models with a GPU deep-learning framework; this
+//! crate is the from-scratch CPU equivalent, scoped to exactly what the
+//! SpectraGAN architecture needs:
+//!
+//! * [`Tensor`] — a contiguous row-major `f32` array with a shape, plus
+//!   the non-differentiable numerics (creation, elementwise maps,
+//!   matmul, conv2d, reductions).
+//! * [`Tape`] / [`Var`] — a dynamic computation graph. Every
+//!   differentiable op appends a node holding the result and, per
+//!   parent, a closure that maps the upstream gradient to that parent's
+//!   gradient contribution. [`Tape::backward`] walks nodes in reverse
+//!   creation order, which is always a valid reverse topological order.
+//!
+//! Differentiable ops live on [`Var`]: arithmetic, activations, matmul,
+//! 2-D convolution, reductions, losses, concat/reshape/slice. The
+//! inverse real FFT the generator needs is *linear*, so it is expressed
+//! as a matmul with a constant basis matrix (built in `spectragan-core`)
+//! rather than a bespoke op.
+//!
+//! Design notes (following the smoltcp ethos the workspace adopts):
+//! simplicity and robustness over cleverness — no type-level shape
+//! tricks, shapes are checked at runtime with precise panic messages,
+//! and every op has a numerical gradient check in the test suite.
+
+pub mod shape;
+pub mod tape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::Tensor;

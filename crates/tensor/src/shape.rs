@@ -1,0 +1,157 @@
+//! Tensor shapes: dimension lists with element counts and row-major
+//! offset computation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor: a list of dimension sizes, row-major.
+///
+/// A scalar has the empty shape `[]` and one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension sizes as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= ndim()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.0.len(),
+            "index rank {} does not match shape {self}",
+            index.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in index.iter().zip(&strides).enumerate() {
+            assert!(i < self.0[d], "index {i} out of range for dim {d} of {self}");
+            off += i * s;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_ndim() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.ndim(), 3);
+        let scalar = Shape::new(&[]);
+        assert_eq!(scalar.numel(), 1);
+        assert_eq!(scalar.ndim(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offsets_enumerate_row_major() {
+        let s = Shape::from([2, 3]);
+        let mut seen = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                seen.push(s.offset(&[i, j]));
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_bounds_checked() {
+        Shape::from([2, 3]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn offset_rank_checked() {
+        Shape::from([2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

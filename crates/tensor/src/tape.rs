@@ -1,0 +1,894 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a dynamic computation graph: every differentiable
+//! op appends one node holding its result value and, for each parent, a
+//! closure mapping the upstream gradient to that parent's gradient
+//! contribution. [`Tape::backward`] seeds the output gradient and walks
+//! nodes in reverse creation order — a valid reverse topological order
+//! by construction, since an op can only consume already-created nodes.
+//!
+//! [`Var`] is a cheap handle (tape pointer + node index). Values are
+//! stored as `Rc<Tensor>`, so capturing an operand in a backward
+//! closure never copies the buffer.
+//!
+//! The op set is exactly what the SpectraGAN models need: arithmetic,
+//! activations, matmul, conv2d, bias broadcasts, concat/narrow/reshape,
+//! reductions and GAN losses. Every op has a finite-difference gradient
+//! check in this module's tests.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Closure mapping the upstream gradient of a node to the gradient
+/// contribution for one of its parents.
+type GradFn = Box<dyn Fn(&Tensor) -> Tensor>;
+
+struct Node {
+    value: Rc<Tensor>,
+    /// `(parent index, gradient closure)` pairs.
+    parents: Vec<(usize, GradFn)>,
+}
+
+/// A recording of a differentiable computation.
+///
+/// Create leaves with [`Tape::leaf`], combine them with the ops on
+/// [`Var`], then call [`Tape::backward`] on a scalar output.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape, wrapped for shared ownership by [`Var`]s.
+    pub fn new() -> Rc<Tape> {
+        Rc::new(Tape::default())
+    }
+
+    /// Registers `value` as a leaf (no parents) and returns its handle.
+    pub fn leaf(self: &Rc<Self>, value: Tensor) -> Var {
+        self.push(value, Vec::new())
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(self: &Rc<Self>, value: Tensor, parents: Vec<(usize, GradFn)>) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node {
+            value: Rc::new(value),
+            parents,
+        });
+        Var {
+            tape: Rc::clone(self),
+            id: nodes.len() - 1,
+        }
+    }
+
+    /// Runs reverse-mode differentiation from `root`, which must be a
+    /// scalar (one-element) node, and returns the gradients of every
+    /// node with respect to it.
+    ///
+    /// # Panics
+    /// Panics if `root` is not scalar or belongs to another tape.
+    pub fn backward(self: &Rc<Self>, root: &Var) -> Gradients {
+        assert!(
+            Rc::ptr_eq(self, &root.tape),
+            "backward called with a Var from a different tape"
+        );
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[root.id].value.numel(),
+            1,
+            "backward root must be scalar, got shape {}",
+            nodes[root.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[root.id] = Some(Tensor::full(nodes[root.id].value.shape().clone(), 1.0));
+
+        for id in (0..=root.id).rev() {
+            let Some(grad_out) = grads[id].take() else {
+                continue;
+            };
+            for (parent, grad_fn) in &nodes[id].parents {
+                let contrib = grad_fn(&grad_out);
+                match &mut grads[*parent] {
+                    Some(existing) => existing.add_assign(&contrib),
+                    slot @ None => *slot = Some(contrib),
+                }
+            }
+            grads[id] = Some(grad_out);
+        }
+        Gradients { grads }
+    }
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the backward root with respect to `var`, or `None`
+    /// if `var` did not influence the root.
+    pub fn get(&self, var: &Var) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+}
+
+/// A handle to one node of a [`Tape`].
+///
+/// Cloning a `Var` clones the handle, not the tensor.
+#[derive(Clone)]
+pub struct Var {
+    tape: Rc<Tape>,
+    id: usize,
+}
+
+impl Var {
+    /// The node's value (cheap `Rc` clone).
+    pub fn value(&self) -> Rc<Tensor> {
+        Rc::clone(&self.tape.nodes.borrow()[self.id].value)
+    }
+
+    /// Shape of the node's value.
+    pub fn shape(&self) -> Shape {
+        self.value().shape().clone()
+    }
+
+    /// The tape this variable belongs to.
+    pub fn tape(&self) -> &Rc<Tape> {
+        &self.tape
+    }
+
+    fn unary(&self, value: Tensor, grad: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
+        self.tape
+            .push(value, vec![(self.id, Box::new(grad) as GradFn)])
+    }
+
+    fn binary(
+        &self,
+        other: &Var,
+        value: Tensor,
+        grad_self: impl Fn(&Tensor) -> Tensor + 'static,
+        grad_other: impl Fn(&Tensor) -> Tensor + 'static,
+    ) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape, &other.tape),
+            "binary op on Vars from different tapes"
+        );
+        self.tape.push(
+            value,
+            vec![
+                (self.id, Box::new(grad_self) as GradFn),
+                (other.id, Box::new(grad_other) as GradFn),
+            ],
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Var) -> Var {
+        let v = self.value().add(&other.value());
+        self.binary(other, v, |g| g.clone(), |g| g.clone())
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Var) -> Var {
+        let v = self.value().sub(&other.value());
+        self.binary(other, v, |g| g.clone(), |g| g.scale(-1.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let v = a.mul(&b);
+        let (ga, gb) = (b, a);
+        self.binary(other, v, move |g| g.mul(&ga), move |g| g.mul(&gb))
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&self, s: f32) -> Var {
+        let v = self.value().scale(s);
+        self.unary(v, move |g| g.scale(s))
+    }
+
+    /// Addition of a constant scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        let v = self.value().map(|x| x + s);
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.scale(-1.0)
+    }
+
+    /// Adds a row vector `bias [M]` to every row of a `[N, M]` matrix.
+    pub fn add_rowvec(&self, bias: &Var) -> Var {
+        let x = self.value();
+        assert_eq!(x.shape().ndim(), 2, "add_rowvec lhs must be rank 2");
+        let (n, m) = (x.shape().dim(0), x.shape().dim(1));
+        let b = bias.value();
+        assert_eq!(
+            b.shape().dims(),
+            &[m],
+            "bias shape {} does not match row width {m}",
+            b.shape()
+        );
+        let mut out = (*x).clone();
+        for row in 0..n {
+            for col in 0..m {
+                out.data_mut()[row * m + col] += b.data()[col];
+            }
+        }
+        self.binary(
+            bias,
+            out,
+            |g| g.clone(),
+            move |g| {
+                let mut gb = Tensor::zeros([m]);
+                for row in 0..n {
+                    for col in 0..m {
+                        gb.data_mut()[col] += g.data()[row * m + col];
+                    }
+                }
+                gb
+            },
+        )
+    }
+
+    /// Adds a per-channel bias `[C]` to a `[N, C, H, W]` tensor.
+    pub fn add_channel_bias(&self, bias: &Var) -> Var {
+        let x = self.value();
+        assert_eq!(x.shape().ndim(), 4, "add_channel_bias input must be rank 4");
+        let (n, c, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        );
+        let b = bias.value();
+        assert_eq!(
+            b.shape().dims(),
+            &[c],
+            "bias shape {} does not match channels {c}",
+            b.shape()
+        );
+        let hw = h * w;
+        let mut out = (*x).clone();
+        for bi in 0..n {
+            for ci in 0..c {
+                let base = (bi * c + ci) * hw;
+                let bv = b.data()[ci];
+                for v in &mut out.data_mut()[base..base + hw] {
+                    *v += bv;
+                }
+            }
+        }
+        self.binary(
+            bias,
+            out,
+            |g| g.clone(),
+            move |g| {
+                let mut gb = Tensor::zeros([c]);
+                for bi in 0..n {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * hw;
+                        gb.data_mut()[ci] += g.data()[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                gb
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = Rc::new(v.clone());
+        self.unary(v, move |g| g.zip(&out, |gi, y| gi * y * (1.0 - y)))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let v = self.value().map(f32::tanh);
+        let out = Rc::new(v.clone());
+        self.unary(v, move |g| g.zip(&out, |gi, y| gi * (1.0 - y * y)))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let x = self.value();
+        let v = x.map(|v| v.max(0.0));
+        self.unary(v, move |g| g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 }))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Var {
+        let x = self.value();
+        let v = x.map(|v| if v > 0.0 { v } else { alpha * v });
+        self.unary(v, move |g| {
+            g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { alpha * gi })
+        })
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let v = self.value().map(f32::exp);
+        let out = Rc::new(v.clone());
+        self.unary(v, move |g| g.mul(&out))
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x)`.
+    pub fn softplus(&self) -> Var {
+        let x = self.value();
+        let v = x.map(softplus_scalar);
+        self.unary(v, move |g| {
+            g.zip(&x, |gi, xi| gi / (1.0 + (-xi).exp()))
+        })
+    }
+
+    /// Elementwise division `self / other` (no zero handling — caller
+    /// guarantees the denominator is bounded away from zero).
+    pub fn div(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let v = a.zip(&b, |x, y| x / y);
+        let (b2, a2, b3) = (b.clone(), a, b);
+        self.binary(
+            other,
+            v,
+            move |g| g.zip(&b2, |gi, yi| gi / yi),
+            move |g| {
+                g.zip(&a2, |gi, xi| gi * xi)
+                    .zip(&b3, |t, yi| -t / (yi * yi))
+            },
+        )
+    }
+
+    /// Elementwise square root of a positive tensor, stabilized as
+    /// `sqrt(x + eps)`.
+    pub fn sqrt_eps(&self, eps: f32) -> Var {
+        let v = self.value().map(|x| (x + eps).sqrt());
+        let out = Rc::new(v.clone());
+        self.unary(v, move |g| g.zip(&out, |gi, y| gi * 0.5 / y))
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self) -> Var {
+        let x = self.value();
+        let v = x.map(f32::abs);
+        self.unary(v, move |g| {
+            g.zip(&x, |gi, xi| {
+                if xi > 0.0 {
+                    gi
+                } else if xi < 0.0 {
+                    -gi
+                } else {
+                    0.0
+                }
+            })
+        })
+    }
+
+    /// Clamps every element into `[lo, hi]`; the gradient is passed
+    /// through inside the interval and zeroed outside (straight-through
+    /// at the boundary is not used).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Var {
+        assert!(lo <= hi, "clamp bounds reversed");
+        let x = self.value();
+        let v = x.map(|e| e.clamp(lo, hi));
+        self.unary(v, move |g| {
+            g.zip(&x, |gi, xi| if xi > lo && xi < hi { gi } else { 0.0 })
+        })
+    }
+
+    /// Elementwise square (cheaper than `mul` with itself: one parent).
+    pub fn square(&self) -> Var {
+        let x = self.value();
+        let v = x.map(|e| e * e);
+        self.unary(v, move |g| g.zip(&x, |gi, xi| 2.0 * gi * xi))
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra & convolution
+    // ------------------------------------------------------------------
+
+    /// Matrix product `[m, k] @ [k, n] → [m, n]`.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let v = a.matmul(&b);
+        let (a2, b2) = (Rc::clone(&a), Rc::clone(&b));
+        self.binary(
+            other,
+            v,
+            move |g| g.matmul(&b2.transpose2()),
+            move |g| a2.transpose2().matmul(g),
+        )
+    }
+
+    /// Matrix product with a *constant* right operand — records a single
+    /// parent, so gradients never flow into `matrix`. Used for the fixed
+    /// inverse-rFFT basis in the spectrum generator.
+    pub fn matmul_const(&self, matrix: &Tensor) -> Var {
+        let v = self.value().matmul(matrix);
+        let m = matrix.clone();
+        self.unary(v, move |g| g.matmul(&m.transpose2()))
+    }
+
+    /// 2-D cross-correlation (see [`Tensor::conv2d`]) with trainable
+    /// input and weight, stride 1, zero padding `pad`.
+    pub fn conv2d(&self, weight: &Var, pad: usize) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let v = x.conv2d(&w, pad);
+        let x_shape = x.shape().clone();
+        let w_shape = w.shape().clone();
+        let (x2, w2) = (Rc::clone(&x), Rc::clone(&w));
+        self.binary(
+            weight,
+            v,
+            move |g| Tensor::conv2d_grad_input(g, &w2, &x_shape, pad),
+            move |g| Tensor::conv2d_grad_weight(g, &x2, &w_shape, pad),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Reshape preserving element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Var {
+        let shape = shape.into();
+        let old = self.shape();
+        let v = self.value().reshape(shape);
+        self.unary(v, move |g| g.reshape(old.clone()))
+    }
+
+    /// Permutes axes (see [`Tensor::permute`]); the gradient applies
+    /// the inverse permutation.
+    pub fn permute(&self, perm: &[usize]) -> Var {
+        let v = self.value().permute(perm);
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        self.unary(v, move |g| g.permute(&inverse))
+    }
+
+    /// 2×2 average pooling, stride 2 (see [`Tensor::avg_pool2`]); the
+    /// gradient spreads each pooled gradient over its 2×2 window.
+    pub fn avg_pool2(&self) -> Var {
+        let x = self.value();
+        let v = x.avg_pool2();
+        let in_shape = x.shape().clone();
+        self.unary(v, move |g| {
+            let (n, c) = (in_shape.dim(0), in_shape.dim(1));
+            let (h, w) = (in_shape.dim(2), in_shape.dim(3));
+            let (oh, ow) = (h / 2, w / 2);
+            let mut out = Tensor::zeros(in_shape.clone());
+            for b in 0..n {
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let gv = 0.25 * g.at(&[b, ch, oy, ox]);
+                            let base = ((b * c + ch) * h + 2 * oy) * w + 2 * ox;
+                            out.data_mut()[base] += gv;
+                            out.data_mut()[base + 1] += gv;
+                            out.data_mut()[base + w] += gv;
+                            out.data_mut()[base + w + 1] += gv;
+                        }
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Contiguous slice `start..start+len` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
+        let x = self.value();
+        let v = x.narrow(axis, start, len);
+        let full = x.shape().clone();
+        self.unary(v, move |g| {
+            // Scatter the slice gradient back into a zero tensor.
+            let mut out = Tensor::zeros(full.clone());
+            let dims = full.dims();
+            let outer: usize = dims[..axis].iter().product();
+            let inner: usize = dims[axis + 1..].iter().product();
+            for o in 0..outer {
+                let dst = (o * dims[axis] + start) * inner;
+                let src = o * len * inner;
+                out.data_mut()[dst..dst + len * inner]
+                    .copy_from_slice(&g.data()[src..src + len * inner]);
+            }
+            out
+        })
+    }
+
+    /// Concatenates variables along `axis`.
+    ///
+    /// # Panics
+    /// Panics on an empty list or mismatched tapes/shapes.
+    pub fn concat(parts: &[Var], axis: usize) -> Var {
+        assert!(!parts.is_empty(), "concat of zero Vars");
+        let tape = Rc::clone(&parts[0].tape);
+        let values: Vec<Rc<Tensor>> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
+        let out = Tensor::concat(&refs, axis);
+        let mut parents: Vec<(usize, GradFn)> = Vec::with_capacity(parts.len());
+        let mut start = 0usize;
+        for (p, v) in parts.iter().zip(&values) {
+            assert!(
+                Rc::ptr_eq(&p.tape, &tape),
+                "concat on Vars from different tapes"
+            );
+            let len = v.shape().dim(axis);
+            let s = start;
+            parents.push((
+                p.id,
+                Box::new(move |g: &Tensor| g.narrow(axis, s, len)) as GradFn,
+            ));
+            start += len;
+        }
+        tape.push(out, parents)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions & losses
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var {
+        let x = self.value();
+        let shape = x.shape().clone();
+        let v = Tensor::scalar(x.sum());
+        self.unary(v, move |g| Tensor::full(shape.clone(), g.item()))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var {
+        let x = self.value();
+        let n = x.numel() as f32;
+        let shape = x.shape().clone();
+        let v = Tensor::scalar(x.mean());
+        self.unary(v, move |g| Tensor::full(shape.clone(), g.item() / n))
+    }
+
+    /// Mean absolute error against a constant target.
+    pub fn l1_to(&self, target: &Tensor) -> Var {
+        let x = self.value();
+        assert_eq!(
+            x.shape(),
+            target.shape(),
+            "l1_to target shape {} vs value {}",
+            target.shape(),
+            x.shape()
+        );
+        let n = x.numel() as f32;
+        let v = Tensor::scalar(x.zip(target, |a, b| (a - b).abs()).mean());
+        let t = target.clone();
+        let x2 = Rc::clone(&x);
+        self.unary(v, move |g| {
+            let gi = g.item() / n;
+            x2.zip(&t, |a, b| {
+                if a > b {
+                    gi
+                } else if a < b {
+                    -gi
+                } else {
+                    0.0
+                }
+            })
+        })
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse_to(&self, target: &Tensor) -> Var {
+        let x = self.value();
+        assert_eq!(
+            x.shape(),
+            target.shape(),
+            "mse_to target shape {} vs value {}",
+            target.shape(),
+            x.shape()
+        );
+        let n = x.numel() as f32;
+        let v = Tensor::scalar(x.zip(target, |a, b| (a - b) * (a - b)).mean());
+        let t = target.clone();
+        let x2 = Rc::clone(&x);
+        self.unary(v, move |g| {
+            let gi = 2.0 * g.item() / n;
+            x2.zip(&t, |a, b| gi * (a - b))
+        })
+    }
+
+    /// Binary cross-entropy with logits against a constant label `y`
+    /// (broadcast scalar): `mean(softplus(x) − y·x)`.
+    ///
+    /// This is the standard numerically-stable GAN discriminator /
+    /// generator loss; `y = 1` for "real", `y = 0` for "fake".
+    pub fn bce_with_logits(&self, y: f32) -> Var {
+        let x = self.value();
+        let n = x.numel() as f32;
+        let v = Tensor::scalar(x.map(|xi| softplus_scalar(xi) - y * xi).mean());
+        let x2 = Rc::clone(&x);
+        self.unary(v, move |g| {
+            let gi = g.item() / n;
+            // d/dx [softplus(x) − y·x] = σ(x) − y.
+            x2.map(|xi| gi * (1.0 / (1.0 + (-xi).exp()) - y))
+        })
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central-difference gradient check: builds the graph with `f`,
+    /// runs backward, and compares against finite differences on every
+    /// input tensor.
+    fn grad_check(inputs: &[Tensor], f: impl Fn(&Rc<Tape>, &[Var]) -> Var) {
+        let tape = Tape::new();
+        let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = f(&tape, &vars);
+        assert_eq!(out.value().numel(), 1, "grad_check output must be scalar");
+        let grads = tape.backward(&out);
+
+        let eps = 3e-3f32;
+        for (vi, input) in inputs.iter().enumerate() {
+            let analytic = grads
+                .get(&vars[vi])
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(input.shape().clone()));
+            for e in 0..input.numel() {
+                let mut plus = input.clone();
+                plus.data_mut()[e] += eps;
+                let mut minus = input.clone();
+                minus.data_mut()[e] -= eps;
+
+                let eval = |perturbed: &Tensor| -> f32 {
+                    let t2 = Tape::new();
+                    let vs: Vec<Var> = inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| t2.leaf(if i == vi { perturbed.clone() } else { t.clone() }))
+                        .collect();
+                    f(&t2, &vs).value().item()
+                };
+                let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+                let a = analytic.data()[e];
+                let tol = 2e-2 * numeric.abs().max(a.abs()).max(1.0);
+                assert!(
+                    (a - numeric).abs() < tol,
+                    "input {vi} elem {e}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn backward_of_simple_expression() {
+        // z = sum(a*b + a) → dz/da = b + 1, dz/db = a.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, -4.0], [2]));
+        let z = a.mul(&b).add(&a).sum();
+        assert_eq!(z.value().item(), 1.0 * 3.0 + 1.0 + 2.0 * -4.0 + 2.0);
+        let g = tape.backward(&z);
+        assert_eq!(g.get(&a).unwrap().data(), &[4.0, -3.0]);
+        assert_eq!(g.get(&b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_of_unused_leaf_is_none() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.0));
+        let b = tape.leaf(Tensor::scalar(2.0));
+        let z = a.scale(3.0).sum();
+        let g = tape.backward(&z);
+        assert!(g.get(&b).is_none());
+        assert_eq!(g.get(&a).unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn diamond_dependency_accumulates() {
+        // z = sum(a + a) → dz/da = 2.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 1.0], [2]));
+        let z = a.add(&a).sum();
+        let g = tape.backward(&z);
+        assert_eq!(g.get(&a).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros([2]));
+        tape.backward(&a);
+    }
+
+    #[test]
+    fn gc_arithmetic() {
+        let mut r = rng();
+        let a = Tensor::randn([2, 3], &mut r);
+        let b = Tensor::randn([2, 3], &mut r);
+        grad_check(&[a, b], |_, v| {
+            v[0].mul(&v[1]).add(&v[0]).sub(&v[1].scale(0.5)).add_scalar(1.0).mean()
+        });
+    }
+
+    #[test]
+    fn gc_activations() {
+        let mut r = rng();
+        let a = Tensor::randn([8], &mut r);
+        grad_check(&[a.clone()], |_, v| v[0].sigmoid().sum());
+        grad_check(&[a.clone()], |_, v| v[0].tanh().sum());
+        grad_check(&[a.clone()], |_, v| v[0].softplus().sum());
+        grad_check(&[a.clone()], |_, v| v[0].exp().mean());
+        // Shift away from 0 where relu is non-differentiable.
+        let shifted = a.map(|x| x + if x >= 0.0 { 0.5 } else { -0.5 });
+        grad_check(&[shifted.clone()], |_, v| v[0].relu().sum());
+        grad_check(&[shifted], |_, v| v[0].leaky_relu(0.2).sum());
+    }
+
+    #[test]
+    fn gc_matmul() {
+        let mut r = rng();
+        let a = Tensor::randn([3, 4], &mut r);
+        let b = Tensor::randn([4, 2], &mut r);
+        grad_check(&[a.clone(), b.clone()], |_, v| v[0].matmul(&v[1]).sum());
+        grad_check(&[a], |_, v| v[0].matmul_const(&b).mean());
+    }
+
+    #[test]
+    fn gc_conv2d() {
+        let mut r = rng();
+        let x = Tensor::randn([1, 2, 5, 5], &mut r);
+        let w = Tensor::randn([3, 2, 3, 3], &mut r);
+        for pad in [0usize, 1] {
+            grad_check(&[x.clone(), w.clone()], move |_, v| {
+                v[0].conv2d(&v[1], pad).mean()
+            });
+        }
+    }
+
+    #[test]
+    fn gc_bias_broadcasts() {
+        let mut r = rng();
+        let x = Tensor::randn([3, 4], &mut r);
+        let b = Tensor::randn([4], &mut r);
+        grad_check(&[x, b], |_, v| v[0].add_rowvec(&v[1]).sum());
+        let x4 = Tensor::randn([2, 3, 2, 2], &mut r);
+        let c = Tensor::randn([3], &mut r);
+        grad_check(&[x4, c], |_, v| v[0].add_channel_bias(&v[1]).sum());
+    }
+
+    #[test]
+    fn gc_structure_ops() {
+        let mut r = rng();
+        let a = Tensor::randn([2, 6], &mut r);
+        let b = Tensor::randn([2, 3], &mut r);
+        grad_check(&[a.clone()], |_, v| v[0].reshape([3, 4]).sigmoid().sum());
+        grad_check(&[a.clone()], |_, v| v[0].narrow(1, 2, 3).sum());
+        grad_check(&[a, b], |_, v| {
+            Var::concat(&[v[0].clone(), v[1].clone()], 1).tanh().sum()
+        });
+    }
+
+    #[test]
+    fn gc_elementwise_extras() {
+        let mut r = rng();
+        let a = Tensor::randn([6], &mut r);
+        // Denominator bounded away from zero.
+        let b = Tensor::randn([6], &mut r).map(|v| v.signum() * (v.abs() + 1.0));
+        grad_check(&[a.clone(), b], |_, v| v[0].div(&v[1]).sum());
+        let pos = a.map(|v| v.abs() + 0.5);
+        grad_check(&[pos], |_, v| v[0].sqrt_eps(1e-6).sum());
+        // Keep away from the |·| kink and clamp boundaries.
+        let shifted = a.map(|v| if v >= 0.0 { v + 0.3 } else { v - 0.3 });
+        grad_check(&[shifted.clone()], |_, v| v[0].abs().sum());
+        grad_check(&[shifted.clone()], |_, v| v[0].clamp(-0.8, 0.8).square().sum());
+        grad_check(&[shifted], |_, v| v[0].square().mean());
+    }
+
+    #[test]
+    fn clamp_zeroes_gradient_outside_range() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-2.0, 0.0, 2.0], [3]));
+        let loss = x.clamp(-1.0, 1.0).sum();
+        let g = tape.backward(&loss);
+        assert_eq!(g.get(&x).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gc_permute_and_pool() {
+        let mut r = rng();
+        let x = Tensor::randn([2, 3, 4, 4], &mut r);
+        grad_check(&[x.clone()], |_, v| {
+            v[0].permute(&[0, 2, 3, 1]).sigmoid().sum()
+        });
+        grad_check(&[x], |_, v| v[0].avg_pool2().tanh().sum());
+    }
+
+    #[test]
+    fn gc_losses() {
+        let mut r = rng();
+        let x = Tensor::randn([2, 5], &mut r);
+        let t = Tensor::randn([2, 5], &mut r);
+        grad_check(&[x.clone()], {
+            let t = t.clone();
+            move |_, v| v[0].mse_to(&t)
+        });
+        // l1 is non-differentiable at 0 — nudge apart.
+        let apart = x.zip(&t, |a, b| if (a - b).abs() < 0.1 { a + 0.3 } else { a });
+        grad_check(&[apart], {
+            let t = t.clone();
+            move |_, v| v[0].l1_to(&t)
+        });
+        grad_check(&[x.clone()], |_, v| v[0].bce_with_logits(1.0));
+        grad_check(&[x], |_, v| v[0].bce_with_logits(0.0));
+    }
+
+    #[test]
+    fn gc_composed_mlp() {
+        // A miniature MLP forward pass, checking the whole chain.
+        let mut r = rng();
+        let x = Tensor::randn([2, 3], &mut r);
+        let w1 = Tensor::randn([3, 4], &mut r);
+        let b1 = Tensor::randn([4], &mut r);
+        let w2 = Tensor::randn([4, 1], &mut r);
+        grad_check(&[x, w1, b1, w2], |_, v| {
+            v[0].matmul(&v[1])
+                .add_rowvec(&v[2])
+                .tanh()
+                .matmul(&v[3])
+                .bce_with_logits(1.0)
+        });
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(0.0));
+        // softplus(0) − 1·0 = ln 2.
+        let loss = x.bce_with_logits(1.0);
+        assert!((loss.value().item() - 0.693147).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+until grep -q REMAINDER_DONE /tmp/run_rem.log; do sleep 10; done
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -5
+echo TESTS_DONE
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -3
+echo BENCH_DONE

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Records every table/figure reproduction at the budgets documented in
+# EXPERIMENTS.md. Logs land in repro_out/logs/.
+set -x
+mkdir -p repro_out/logs
+B=./target/release
+$B/repro_table1                                > repro_out/logs/table1.log   2>&1
+$B/repro_table9_10                             > repro_out/logs/table9_10.log 2>&1
+$B/repro_fig1                                  > repro_out/logs/fig1.log     2>&1
+$B/repro_fig6                                  > repro_out/logs/fig6.log     2>&1
+$B/repro_fig12                                 > repro_out/logs/fig12.log    2>&1
+$B/repro_table2   --folds 2 --steps 500        > repro_out/logs/table2.log   2>&1
+$B/repro_table3   --folds 1 --steps 400        > repro_out/logs/table3.log   2>&1
+$B/repro_table4   --folds 1 --steps 400 --noise > repro_out/logs/table4.log  2>&1
+$B/repro_table5   --folds 1 --steps 300        > repro_out/logs/table5.log   2>&1
+$B/repro_table7   --folds 2 --steps 300        > repro_out/logs/table7.log   2>&1
+$B/repro_table8   --folds 2 --steps 400        > repro_out/logs/table8.log   2>&1
+$B/repro_table11  --steps 300                  > repro_out/logs/table11.log  2>&1
+$B/repro_fig9     --steps 300                  > repro_out/logs/fig9.log     2>&1
+$B/repro_country1 --folds 2 --steps 300        > repro_out/logs/country1.log 2>&1
+$B/repro_usecases --folds 3 --steps 300        > repro_out/logs/usecases.log 2>&1
+echo ALL_EXPERIMENTS_DONE

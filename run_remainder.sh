@@ -1,0 +1,13 @@
+#!/bin/sh
+set -x
+mkdir -p repro_out/logs
+B=./target/release
+$B/repro_table4   --folds 1 --steps 250 --noise > repro_out/logs/table4.log  2>&1
+$B/repro_table5   --folds 1 --steps 250        > repro_out/logs/table5.log  2>&1
+$B/repro_table7   --folds 2 --steps 250        > repro_out/logs/table7.log  2>&1
+$B/repro_table8   --folds 2 --steps 300        > repro_out/logs/table8.log  2>&1
+$B/repro_table11  --steps 250                  > repro_out/logs/table11.log 2>&1
+$B/repro_fig9     --steps 250                  > repro_out/logs/fig9.log    2>&1
+$B/repro_country1 --folds 2 --steps 250        > repro_out/logs/country1.log 2>&1
+$B/repro_usecases --folds 3 --steps 250        > repro_out/logs/usecases.log 2>&1
+echo REMAINDER_DONE

@@ -1,0 +1,35 @@
+//! # spectragan
+//!
+//! A from-scratch Rust reproduction of **"SpectraGAN: Spectrum based
+//! Generation of City Scale Spatiotemporal Mobile Network Traffic
+//! Data"** (CoNEXT 2021) — a conditional GAN that synthesizes mobile
+//! network traffic for arbitrary urban regions and durations from
+//! publicly available context (census, land use, points of interest).
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `spectragan-core` | the SpectraGAN model, training, generation |
+//! | [`tensor`] | `spectragan-tensor` | dense tensors + reverse-mode autodiff |
+//! | [`nn`] | `spectragan-nn` | layers, optimizers, parameter store |
+//! | [`dsp`] | `spectragan-dsp` | FFT, spectrum masking, k-expansion |
+//! | [`geo`] | `spectragan-geo` | grids, traffic/context maps, patches |
+//! | [`synthdata`] | `spectragan-synthdata` | the calibrated city simulator |
+//! | [`baselines`] | `spectragan-baselines` | FDAS, Pix2Pix, DoppelGANger, Conv{3D+LSTM} |
+//! | [`metrics`] | `spectragan-metrics` | M-TV, SSIM, AC-L1, TSTR, FVD, PSNR, Jain |
+//! | [`apps`] | `spectragan-apps` | BS sleeping, vRAN balancing, population tracking |
+//!
+//! See `examples/quickstart.rs` for the 30-line train-and-generate
+//! flow, DESIGN.md for the system inventory and substitutions, and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+pub use spectragan_apps as apps;
+pub use spectragan_baselines as baselines;
+pub use spectragan_core as core;
+pub use spectragan_dsp as dsp;
+pub use spectragan_geo as geo;
+pub use spectragan_metrics as metrics;
+pub use spectragan_nn as nn;
+pub use spectragan_synthdata as synthdata;
+pub use spectragan_tensor as tensor;

@@ -1,0 +1,95 @@
+//! Cross-crate integration tests: the full SpectraGAN pipeline from
+//! synthetic data through training, generation, metrics and use cases.
+
+use spectragan::core::{SpectraGan, SpectraGanConfig, TrainConfig, Variant};
+use spectragan_apps::power;
+use spectragan_apps::vran;
+use spectragan_metrics::{ac_l1, fvd, m_tv, ssim_mean_maps, tstr_r2};
+use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
+
+fn tiny_ds() -> DatasetConfig {
+    DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 }
+}
+
+fn city(seed: u64) -> spectragan_geo::City {
+    generate_city(
+        &CityConfig { name: format!("IT{seed}"), height: 33, width: 33, seed },
+        &tiny_ds(),
+    )
+}
+
+#[test]
+fn train_generate_evaluate_roundtrip() {
+    let train: Vec<_> = (0..3).map(|i| city(50 + i)).collect();
+    let test = city(99);
+    let cfg = SpectraGanConfig::tiny();
+    let mut model = SpectraGan::new(cfg, 0);
+    let tc = TrainConfig { steps: 25, batch_patches: 2, lr: 3e-3, seed: 0 };
+    model.train(&train, &tc);
+    let synth = model.generate(&test.context, 48, 1);
+    // All five metrics must be computable and finite on the output.
+    let real = test.traffic.slice_time(0, 48);
+    assert!(m_tv(&real, &synth).is_finite());
+    assert!(ssim_mean_maps(&real, &synth).is_finite());
+    assert!(ac_l1(&real, &synth, 48).is_finite());
+    assert!(tstr_r2(&real, &synth, 1).is_finite());
+    assert!(fvd(&real, &synth, 1).is_finite());
+}
+
+#[test]
+fn generated_data_feeds_every_use_case() {
+    let test = city(7);
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+    let synth = model.generate(&test.context, 48, 2);
+    let real = test.traffic.slice_time(0, 48);
+
+    // §5.1 power.
+    let report = power::evaluate(&synth, &real);
+    assert!(report.always_on > 0.0 && report.with_sleeping > 0.0);
+
+    // §5.2 vRAN.
+    let plan = synth.slice_time(0, 24);
+    let eval = real.slice_time(24, 48);
+    let a = vran::assess(&plan, &eval, 4);
+    assert!(a.mean() > 0.0 && a.mean() <= 1.0);
+
+    // §5.3 population.
+    let p = spectragan_apps::population_map(
+        &synth,
+        12,
+        &spectragan_apps::PopulationModel::default_urban(),
+        &spectragan_apps::ActivityProfile::default_urban(),
+        1,
+    );
+    assert_eq!(p.len(), synth.height() * synth.width());
+    assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+#[test]
+fn data_reference_scores_best_on_marginals() {
+    // The DATA row of Table 2: an independent realization of the same
+    // city should beat an *untrained* model on every metric.
+    let cfg = CityConfig { name: "REF".into(), height: 33, width: 33, seed: 5 };
+    let base = generate_city(&cfg, &tiny_ds());
+    let variant = generate_city_variant(&cfg, &tiny_ds(), 999);
+    let untrained = SpectraGan::new(SpectraGanConfig::tiny(), 0)
+        .generate(&base.context, base.traffic.len_t(), 0);
+    let m_ref = m_tv(&base.traffic, &variant.traffic);
+    let m_unt = m_tv(&base.traffic, &untrained);
+    assert!(m_ref < m_unt, "reference {m_ref} vs untrained {m_unt}");
+    let s_ref = ssim_mean_maps(&base.traffic, &variant.traffic);
+    let s_unt = ssim_mean_maps(&base.traffic, &untrained);
+    assert!(s_ref > s_unt, "reference {s_ref} vs untrained {s_unt}");
+}
+
+#[test]
+fn ablation_variants_generate_distinct_outputs() {
+    let test = city(11);
+    let mut outputs = Vec::new();
+    for variant in [Variant::Full, Variant::SpecOnly, Variant::TimeOnly] {
+        let model = SpectraGan::new(SpectraGanConfig::tiny().with_variant(variant), 4);
+        outputs.push(model.generate(&test.context, 24, 1));
+    }
+    assert_ne!(outputs[0].data(), outputs[1].data());
+    assert_ne!(outputs[0].data(), outputs[2].data());
+}

@@ -1,0 +1,90 @@
+//! Integration tests pinning the *protocol-level* behaviour of the
+//! metric suite: the DATA reference must dominate simple distortions,
+//! and each metric must isolate its own axis of fidelity.
+
+use spectragan_metrics::{ac_l1, m_emd, m_tv, psnr, ssim_mean_maps, tstr_r2};
+use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
+use spectragan_geo::TrafficMap;
+
+fn base_city() -> (spectragan_geo::City, spectragan_geo::City) {
+    let ds = DatasetConfig { weeks: 2, steps_per_hour: 1, size_scale: 0.4 };
+    let cfg = CityConfig { name: "MP".into(), height: 36, width: 36, seed: 21 };
+    (generate_city(&cfg, &ds), generate_city_variant(&cfg, &ds, 77))
+}
+
+/// Shuffle time: destroys temporal metrics, leaves marginal intact.
+fn time_shuffled(map: &TrafficMap) -> TrafficMap {
+    let (t, h, w) = (map.len_t(), map.height(), map.width());
+    let mut out = TrafficMap::zeros(t, h, w);
+    // Deterministic permutation: stride through time with a coprime step.
+    let step = 89 % t.max(1);
+    for ti in 0..t {
+        let src = (ti * step.max(1)) % t;
+        let hw = h * w;
+        out.data_mut()[ti * hw..(ti + 1) * hw]
+            .copy_from_slice(&map.data()[src * hw..(src + 1) * hw]);
+    }
+    out
+}
+
+/// Shuffle space: destroys spatial metrics, leaves marginal and each
+/// series' *set of values over time* related.
+fn space_shuffled(map: &TrafficMap) -> TrafficMap {
+    let (t, h, w) = (map.len_t(), map.height(), map.width());
+    let mut out = TrafficMap::zeros(t, h, w);
+    let hw = h * w;
+    for ti in 0..t {
+        for px in 0..hw {
+            let src = (px * 101 + 7) % hw;
+            out.data_mut()[ti * hw + px] = map.data()[ti * hw + src];
+        }
+    }
+    out
+}
+
+#[test]
+fn marginal_metrics_ignore_shuffles_spatial_and_temporal_do_not() {
+    let (city, _) = base_city();
+    let real = city.traffic.slice_time(0, 168);
+    let tsh = time_shuffled(&real);
+    let ssh = space_shuffled(&real);
+
+    // Shuffles preserve the marginal exactly.
+    assert!(m_tv(&real, &tsh) < 1e-9);
+    assert!(m_emd(&real, &tsh) < 1e-9);
+    assert!(m_tv(&real, &ssh) < 1e-9);
+
+    // Time shuffle wrecks AC-L1 but not SSIM.
+    assert!(ac_l1(&real, &tsh, 168) > 10.0);
+    assert!(ssim_mean_maps(&real, &tsh) > 0.99);
+
+    // Space shuffle wrecks SSIM but leaves the city-wide temporal
+    // structure (TSTR stays informative).
+    assert!(ssim_mean_maps(&real, &ssh) < 0.9);
+    assert!(tstr_r2(&real, &ssh, 1) > 0.3);
+}
+
+#[test]
+fn data_reference_beats_distortions_on_every_metric() {
+    let (city, variant) = base_city();
+    let real = city.traffic.slice_time(0, 168);
+    let reference = variant.traffic.slice_time(0, 168);
+    let tsh = time_shuffled(&real);
+
+    assert!(ac_l1(&real, &reference, 168) < ac_l1(&real, &tsh, 168));
+    let ssh = space_shuffled(&real);
+    assert!(ssim_mean_maps(&real, &reference) > ssim_mean_maps(&real, &ssh));
+}
+
+#[test]
+fn psnr_tracks_population_map_similarity() {
+    let (city, variant) = base_city();
+    let model = spectragan_apps::PopulationModel::default_urban();
+    let act = spectragan_apps::ActivityProfile::default_urban();
+    let p_real = spectragan_apps::population_map(&city.traffic, 12, &model, &act, 1);
+    let p_ref = spectragan_apps::population_map(&variant.traffic, 12, &model, &act, 1);
+    let p_wrong = spectragan_apps::population_map(&city.traffic, 3, &model, &act, 1);
+    // Same hour of an independent realization resembles reality more
+    // than a different hour of the same realization (day/night swing).
+    assert!(psnr(&p_real, &p_ref) > psnr(&p_real, &p_wrong));
+}
