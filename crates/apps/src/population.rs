@@ -61,7 +61,12 @@ impl PopulationModel {
     /// signs and magnitudes: activity raises the scale and slightly
     /// sub-linear traffic exponent).
     pub fn default_urban() -> Self {
-        PopulationModel { k1: 0.3, k2: 1.0, k3: 0.15, k4: 0.45 }
+        PopulationModel {
+            k1: 0.3,
+            k2: 1.0,
+            k3: 0.15,
+            k4: 0.45,
+        }
     }
 
     /// Estimated population at one pixel given traffic `x ≥ 0` and

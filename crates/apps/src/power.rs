@@ -37,10 +37,20 @@ impl BsParams {
 }
 
 /// Macro BS parameters (Table 6).
-pub const MACRO_BS: BsParams = BsParams { n_trx: 6.0, p_max: 20.0, p0: 84.0, delta_p: 2.8 };
+pub const MACRO_BS: BsParams = BsParams {
+    n_trx: 6.0,
+    p_max: 20.0,
+    p0: 84.0,
+    delta_p: 2.8,
+};
 
 /// Micro BS parameters (Table 6).
-pub const MICRO_BS: BsParams = BsParams { n_trx: 2.0, p_max: 6.3, p0: 56.0, delta_p: 2.6 };
+pub const MICRO_BS: BsParams = BsParams {
+    n_trx: 2.0,
+    p_max: 6.3,
+    p0: 56.0,
+    delta_p: 2.6,
+};
 
 /// Sleep threshold `ρ_min` recommended by Dalmasso et al. [23].
 pub const RHO_MIN: f64 = 0.37;
@@ -220,7 +230,11 @@ mod tests {
         let (t, h, w) = (48, 15, 15);
         let mut m = TrafficMap::zeros(t, h, w);
         for ti in 0..t {
-            let load = if (ti % 24) >= 8 && (ti % 24) < 22 { 0.6 } else { 0.05 };
+            let load = if (ti % 24) >= 8 && (ti % 24) < 22 {
+                0.6
+            } else {
+                0.05
+            };
             for v in 0..h * w {
                 m.data_mut()[ti * h * w + v] = load;
             }

@@ -206,7 +206,11 @@ impl VranAssessment {
     /// Standard deviation of the per-step Jain indices.
     pub fn std(&self) -> f64 {
         let m = self.mean();
-        (self.jain_per_step.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+        (self
+            .jain_per_step
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
             / self.jain_per_step.len() as f64)
             .sqrt()
     }
@@ -225,18 +229,22 @@ pub fn assess(
     num_cu: usize,
 ) -> VranAssessment {
     assert_eq!(
-        (planning_day.len_t(), planning_day.height(), planning_day.width()),
-        (evaluation_day.len_t(), evaluation_day.height(), evaluation_day.width()),
+        (
+            planning_day.len_t(),
+            planning_day.height(),
+            planning_day.width()
+        ),
+        (
+            evaluation_day.len_t(),
+            evaluation_day.height(),
+            evaluation_day.width()
+        ),
         "planning and evaluation maps must be congruent"
     );
     let (h, w) = (planning_day.height(), planning_day.width());
     let jain_per_step = (0..planning_day.len_t())
         .map(|t| {
-            let plan_loads: Vec<f64> = planning_day
-                .frame(t)
-                .iter()
-                .map(|&v| v as f64)
-                .collect();
+            let plan_loads: Vec<f64> = planning_day.frame(t).iter().map(|&v| v as f64).collect();
             let partition = partition_rus(&plan_loads, h, w, num_cu);
             jain_index(&cu_loads(&partition, evaluation_day, t, num_cu))
         })

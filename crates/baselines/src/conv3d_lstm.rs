@@ -188,9 +188,7 @@ impl Conv3dLstmLite {
                 let c = layout.extract_context(&ctx, pos);
                 let x = layout.extract_traffic(&city.traffic, pos, 0, cfg.train_len);
                 // Series rows [px, T].
-                let rows = x
-                    .permute(&[1, 2, 0])
-                    .reshape([cfg.pixels(), cfg.train_len]);
+                let rows = x.permute(&[1, 2, 0]).reshape([cfg.pixels(), cfg.train_len]);
                 samples.push((c, rows));
             }
         }
@@ -205,7 +203,12 @@ impl Conv3dLstmLite {
                 let refs: Vec<&Tensor> = batch.iter().map(|(_, r)| r).collect();
                 Tensor::concat(&refs, 0)
             };
-            let mut z = Tensor::zeros([tc.batch, cfg.noise_dim, cfg.patch_traffic, cfg.patch_traffic]);
+            let mut z = Tensor::zeros([
+                tc.batch,
+                cfg.noise_dim,
+                cfg.patch_traffic,
+                cfg.patch_traffic,
+            ]);
             for p in 0..tc.batch {
                 for d in 0..cfg.noise_dim {
                     let v = randn1(&mut rng);
@@ -228,7 +231,11 @@ impl Conv3dLstmLite {
             } else {
                 cfg.disc_time_window.min(t_full)
             };
-            let w0 = if win < t_full { rng.gen_range(0..=t_full - win) } else { 0 };
+            let w0 = if win < t_full {
+                rng.gen_range(0..=t_full - win)
+            } else {
+                0
+            };
             let d_loss = self
                 .disc_logits(&bind, &real_var.narrow(1, w0, win), &ctx_rows)
                 .bce_with_logits(1.0)
@@ -274,9 +281,9 @@ impl Conv3dLstmLite {
             let h = lrelu(self.enc1.forward_infer(&self.store, &ctx_b)).avg_pool2();
             let h = lrelu(self.enc2.forward_infer(&self.store, &h));
             let mut z = Tensor::zeros([1, cfg.noise_dim, side, side]);
-            for dd in 0..cfg.noise_dim {
+            for (dd, &zv) in z_vec.iter().enumerate() {
                 for e in 0..px {
-                    z.data_mut()[dd * px + e] = z_vec[dd];
+                    z.data_mut()[dd * px + e] = zv;
                 }
             }
             let hz = Tensor::concat(&[&h, &z], 1);
@@ -289,7 +296,9 @@ impl Conv3dLstmLite {
                 let (h2, c2) = self.lstm.step_infer_projected(&self.store, &xw, &hh, &cc);
                 hh = h2;
                 cc = c2;
-                let hid = hh.reshape([1, side, side, cfg.hidden]).permute(&[0, 3, 1, 2]);
+                let hid = hh
+                    .reshape([1, side, side, cfg.hidden])
+                    .permute(&[0, 3, 1, 2]);
                 let frame = self.mix.forward_infer(&self.store, &hid);
                 for yy in 0..side {
                     for xx in 0..side {
@@ -313,9 +322,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn city(seed: u64) -> City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.36 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.36,
+        };
         generate_city(
-            &CityConfig { name: "C3".into(), height: 33, width: 33, seed },
+            &CityConfig {
+                name: "C3".into(),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -324,8 +342,13 @@ mod tests {
     fn trains_and_generates() {
         let c = city(1);
         let mut model = Conv3dLstmLite::new(Conv3dLstmConfig::tiny(), 0);
-        let tc = BaselineTrainConfig { steps: 3, batch: 1, lr: 1e-3, seed: 0 };
-        model.train(&[c.clone()], &tc);
+        let tc = BaselineTrainConfig {
+            steps: 3,
+            batch: 1,
+            lr: 1e-3,
+            seed: 0,
+        };
+        model.train(std::slice::from_ref(&c), &tc);
         let out = model.generate(&c.context, 30, 0);
         assert_eq!(out.len_t(), 30);
         assert_eq!(out.height(), c.traffic.height());

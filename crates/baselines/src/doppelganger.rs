@@ -175,7 +175,10 @@ impl DoppelGangerLite {
             let mut real = Tensor::zeros([rows_per_step, t]);
             for i in 0..rows_per_step {
                 let px = &pixels[rng.gen_range(0..pixels.len())];
-                assert!(px.series.len() >= t, "training series shorter than train_len");
+                assert!(
+                    px.series.len() >= t,
+                    "training series shorter than train_len"
+                );
                 cond.data_mut()[i * (c + z_dim)..i * (c + z_dim) + c].copy_from_slice(&px.ctx);
                 for d in 0..z_dim {
                     cond.data_mut()[i * (c + z_dim) + c + d] = randn1(&mut rng);
@@ -195,7 +198,11 @@ impl DoppelGangerLite {
             } else {
                 self.cfg.disc_time_window.min(t)
             };
-            let w0 = if win < t { rng.gen_range(0..=t - win) } else { 0 };
+            let w0 = if win < t {
+                rng.gen_range(0..=t - win)
+            } else {
+                0
+            };
             let d_loss = self
                 .disc_logits(&bind, &real_var.narrow(1, w0, win), &ctx_var)
                 .bce_with_logits(1.0)
@@ -274,9 +281,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn city(seed: u64) -> City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.36 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.36,
+        };
         generate_city(
-            &CityConfig { name: "D".into(), height: 33, width: 33, seed },
+            &CityConfig {
+                name: "D".into(),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -285,8 +301,13 @@ mod tests {
     fn trains_and_generates() {
         let c = city(1);
         let mut model = DoppelGangerLite::new(DoppelGangerConfig::tiny(), 0);
-        let tc = BaselineTrainConfig { steps: 3, batch: 1, lr: 1e-3, seed: 0 };
-        model.train(&[c.clone()], &tc);
+        let tc = BaselineTrainConfig {
+            steps: 3,
+            batch: 1,
+            lr: 1e-3,
+            seed: 0,
+        };
+        model.train(std::slice::from_ref(&c), &tc);
         let out = model.generate(&c.context, 30, 0);
         assert_eq!(out.len_t(), 30);
         assert_eq!(out.height(), c.traffic.height());

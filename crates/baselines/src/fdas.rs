@@ -44,7 +44,10 @@ impl Fdas {
                 LogNormal::fit(&b, 1e-4)
             })
             .collect();
-        Fdas { hourly, steps_per_hour }
+        Fdas {
+            hourly,
+            steps_per_hour,
+        }
     }
 
     /// The fitted distribution for a given hour of day.
@@ -79,9 +82,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn city(seed: u64) -> City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.4,
+        };
         generate_city(
-            &CityConfig { name: "F".into(), height: 33, width: 33, seed },
+            &CityConfig {
+                name: "F".into(),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -89,17 +101,20 @@ mod tests {
     #[test]
     fn fits_and_generates_requested_shape() {
         let c = city(1);
-        let model = Fdas::fit(&[c.clone()], 1);
+        let model = Fdas::fit(std::slice::from_ref(&c), 1);
         let out = model.generate(&c.context, 48, 0);
         assert_eq!(out.len_t(), 48);
-        assert_eq!((out.height(), out.width()), (c.traffic.height(), c.traffic.width()));
+        assert_eq!(
+            (out.height(), out.width()),
+            (c.traffic.height(), c.traffic.width())
+        );
         assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
     fn hourly_means_follow_the_diurnal_cycle() {
         let c = city(2);
-        let model = Fdas::fit(&[c.clone()], 1);
+        let model = Fdas::fit(std::slice::from_ref(&c), 1);
         // The real data has a pronounced day/night difference; the
         // per-hour fits must reflect it.
         let series = c.traffic.city_series();
@@ -118,8 +133,7 @@ mod tests {
             })
             .unwrap();
         assert!(
-            model.distribution(real_peak_hour).mean()
-                > model.distribution(real_trough_hour).mean()
+            model.distribution(real_peak_hour).mean() > model.distribution(real_trough_hour).mean()
         );
     }
 
@@ -127,7 +141,7 @@ mod tests {
     fn generated_pixels_are_spatially_uncorrelated() {
         // The defining failure: neighbouring pixels share no structure.
         let c = city(3);
-        let model = Fdas::fit(&[c.clone()], 1);
+        let model = Fdas::fit(std::slice::from_ref(&c), 1);
         let out = model.generate(&c.context, 168, 1);
         let a = out.pixel_series(2, 2);
         let b = out.pixel_series(2, 3);

@@ -47,11 +47,21 @@ pub struct BaselineTrainConfig {
 impl BaselineTrainConfig {
     /// Short run for tests.
     pub fn smoke() -> Self {
-        BaselineTrainConfig { steps: 5, batch: 2, lr: 2e-3, seed: 0 }
+        BaselineTrainConfig {
+            steps: 5,
+            batch: 2,
+            lr: 2e-3,
+            seed: 0,
+        }
     }
 
     /// Harness-scale run.
     pub fn eval() -> Self {
-        BaselineTrainConfig { steps: 160, batch: 4, lr: 2e-3, seed: 0 }
+        BaselineTrainConfig {
+            steps: 160,
+            batch: 4,
+            lr: 2e-3,
+            seed: 0,
+        }
     }
 }

@@ -178,7 +178,12 @@ impl Pix2PixLite {
             }
             let ctx_batch = stack(&ctxs.iter().collect::<Vec<_>>());
             let frame_batch = stack(&frames.iter().collect::<Vec<_>>());
-            let mut z = Tensor::zeros([tc.batch, cfg.noise_dim, cfg.patch_traffic, cfg.patch_traffic]);
+            let mut z = Tensor::zeros([
+                tc.batch,
+                cfg.noise_dim,
+                cfg.patch_traffic,
+                cfg.patch_traffic,
+            ]);
             for v in z.data_mut() {
                 *v = randn1(&mut rng);
             }
@@ -192,7 +197,11 @@ impl Pix2PixLite {
             let d_loss = self
                 .disc_logits(&bind, &real_var, &ctx_var)
                 .bce_with_logits(1.0)
-                .add(&self.disc_logits(&bind, &fake_det, &ctx_var).bce_with_logits(0.0));
+                .add(
+                    &self
+                        .disc_logits(&bind, &fake_det, &ctx_var)
+                        .bce_with_logits(0.0),
+                );
             let g_loss = self
                 .disc_logits(&bind, &fake, &ctx_var)
                 .bce_with_logits(1.0)
@@ -244,8 +253,7 @@ impl Pix2PixLite {
                 let pick = rng.gen_range(0..pool);
                 for yy in 0..side {
                     for xx in 0..side {
-                        *patch.at_mut(&[t, yy, xx]) =
-                            frames.at(&[pick, 0, yy, xx]).max(0.0);
+                        *patch.at_mut(&[t, yy, xx]) = frames.at(&[pick, 0, yy, xx]).max(0.0);
                     }
                 }
             }
@@ -265,9 +273,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn city(seed: u64) -> City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.36 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.36,
+        };
         generate_city(
-            &CityConfig { name: "P".into(), height: 33, width: 33, seed },
+            &CityConfig {
+                name: "P".into(),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -276,7 +293,7 @@ mod tests {
     fn trains_and_generates() {
         let c = city(1);
         let mut model = Pix2PixLite::new(Pix2PixConfig::tiny(), 0);
-        model.train(&[c.clone()], &BaselineTrainConfig::smoke());
+        model.train(std::slice::from_ref(&c), &BaselineTrainConfig::smoke());
         let out = model.generate(&c.context, 12, 0);
         assert_eq!(out.len_t(), 12);
         assert_eq!(out.height(), c.traffic.height());
@@ -287,7 +304,7 @@ mod tests {
     fn output_has_no_diurnal_autocorrelation() {
         let c = city(2);
         let mut model = Pix2PixLite::new(Pix2PixConfig::tiny(), 0);
-        model.train(&[c.clone()], &BaselineTrainConfig::smoke());
+        model.train(std::slice::from_ref(&c), &BaselineTrainConfig::smoke());
         let out = model.generate(&c.context, 96, 1);
         let series = out.city_series();
         let ac = spectragan_dsp_autocorr(&series);

@@ -52,5 +52,10 @@ fn bench_mask_and_expand(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_rfft_roundtrip, bench_mask_and_expand);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_rfft_roundtrip,
+    bench_mask_and_expand
+);
 criterion_main!(benches);

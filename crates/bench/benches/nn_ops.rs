@@ -57,16 +57,30 @@ fn bench_lstm(c: &mut Criterion) {
 }
 
 fn bench_train_step(c: &mut Criterion) {
-    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
     let city = generate_city(
-        &CityConfig { name: "B".into(), height: 40, width: 40, seed: 1 },
+        &CityConfig {
+            name: "B".into(),
+            height: 40,
+            width: 40,
+            seed: 1,
+        },
         &ds,
     );
     c.bench_function("spectragan_train_step", |b| {
         // One optimizer step (fresh model per iteration batch to keep
         // the cost measured stable); batch 3 patches at T = 168.
         let mut model = SpectraGan::new(SpectraGanConfig::default_hourly(), 0);
-        let tc = TrainConfig { steps: 1, batch_patches: 3, lr: 2e-3, seed: 0 };
+        let tc = TrainConfig {
+            steps: 1,
+            batch_patches: 3,
+            lr: 2e-3,
+            seed: 0,
+        };
         let cities = vec![city.clone()];
         b.iter(|| model.train(black_box(&cities), &tc))
     });

@@ -1,0 +1,88 @@
+//! Serial-vs-parallel benches for the deterministic compute pool:
+//! conv2d forward/backward at model shapes and full-city generation,
+//! swept over worker counts. Because the pool guarantees bit-identical
+//! results at every count, these benches measure pure scheduling —
+//! the speedup table in EXPERIMENTS.md comes from this file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spectragan_core::{SpectraGan, SpectraGanConfig};
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+use spectragan_tensor::{pool, Tensor};
+use std::hint::black_box;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_conv2d_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn([4, 27, 16, 16], &mut rng);
+    let w = Tensor::randn([12, 27, 3, 3], &mut rng);
+    let grad_out = Tensor::randn([4, 12, 16, 16], &mut rng);
+
+    let mut g = c.benchmark_group("conv2d_forward");
+    for &t in &THREAD_SWEEP {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            pool::set_threads(Some(t));
+            b.iter(|| black_box(&x).conv2d(black_box(&w), 1));
+            pool::set_threads(None);
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("conv2d_grad_input");
+    for &t in &THREAD_SWEEP {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            pool::set_threads(Some(t));
+            b.iter(|| Tensor::conv2d_grad_input(black_box(&grad_out), &w, x.shape(), 1));
+            pool::set_threads(None);
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("conv2d_grad_weight");
+    for &t in &THREAD_SWEEP {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            pool::set_threads(Some(t));
+            b.iter(|| Tensor::conv2d_grad_weight(black_box(&grad_out), &x, w.shape(), 1));
+            pool::set_threads(None);
+        });
+    }
+    g.finish();
+}
+
+fn bench_generate_threads(c: &mut Criterion) {
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
+    let city = generate_city(
+        &CityConfig {
+            name: "P".into(),
+            height: 40,
+            width: 40,
+            seed: 2,
+        },
+        &ds,
+    );
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+
+    let mut g = c.benchmark_group("generate_city_40px_24steps");
+    g.sample_size(10);
+    for &t in &THREAD_SWEEP {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            pool::set_threads(Some(t));
+            b.iter(|| model.generate(black_box(&city.context), 24, 7));
+            pool::set_threads(None);
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_conv2d_threads, bench_generate_threads
+}
+criterion_main!(benches);

@@ -11,9 +11,18 @@ use spectragan_tensor::Tensor;
 use std::hint::black_box;
 
 fn bench_patches(c: &mut Criterion) {
-    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
     let city = generate_city(
-        &CityConfig { name: "P".into(), height: 40, width: 40, seed: 2 },
+        &CityConfig {
+            name: "P".into(),
+            height: 40,
+            width: 40,
+            seed: 2,
+        },
         &ds,
     );
     let layout = PatchLayout::new(city.grid(), PatchSpec::new(8, 16, 4));
@@ -38,9 +47,18 @@ fn bench_patches(c: &mut Criterion) {
 }
 
 fn bench_generation(c: &mut Criterion) {
-    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
     let city = generate_city(
-        &CityConfig { name: "G".into(), height: 33, width: 33, seed: 3 },
+        &CityConfig {
+            name: "G".into(),
+            height: 33,
+            width: 33,
+            seed: 3,
+        },
         &ds,
     );
     let model = SpectraGan::new(SpectraGanConfig::default_hourly(), 0);
@@ -56,9 +74,18 @@ fn bench_generation(c: &mut Criterion) {
 }
 
 fn bench_metrics(c: &mut Criterion) {
-    let ds = DatasetConfig { weeks: 2, steps_per_hour: 1, size_scale: 0.5 };
+    let ds = DatasetConfig {
+        weeks: 2,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
     let city = generate_city(
-        &CityConfig { name: "M".into(), height: 33, width: 33, seed: 4 },
+        &CityConfig {
+            name: "M".into(),
+            height: 33,
+            width: 33,
+            seed: 4,
+        },
         &ds,
     );
     let a = city.traffic.slice_time(0, 168);

@@ -24,7 +24,11 @@ fn main() {
     let ds = scale.dataset();
     let city = generate_city(&country1_configs()[0], &ds);
     let out = OutDir::create();
-    let (h, w, t) = (city.traffic.height(), city.traffic.width(), city.traffic.len_t());
+    let (h, w, t) = (
+        city.traffic.height(),
+        city.traffic.width(),
+        city.traffic.len_t(),
+    );
 
     // (a) time-averaged map + (b) census map.
     let mean_map = city.traffic.mean_map();
@@ -37,14 +41,26 @@ fn main() {
         &out.path("fig1b_census_map.csv"),
         "y,x,census",
         (0..h * w).map(|i| {
-            format!("{},{},{:.6}", i / w, i % w, city.context.at(CENSUS, i / w, i % w))
+            format!(
+                "{},{},{:.6}",
+                i / w,
+                i % w,
+                city.context.at(CENSUS, i / w, i % w)
+            )
         }),
     );
 
     // (c) weekly series: city mean, max pixel, median pixel.
     let city_series = city.traffic.city_series();
     let mut totals: Vec<(usize, f64)> = (0..h * w)
-        .map(|i| (i, (0..t).map(|ti| city.traffic.at(ti, i / w, i % w) as f64).sum()))
+        .map(|i| {
+            (
+                i,
+                (0..t)
+                    .map(|ti| city.traffic.at(ti, i / w, i % w) as f64)
+                    .sum(),
+            )
+        })
         .collect();
     totals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     let median_px = totals[totals.len() / 2].0;
@@ -69,7 +85,11 @@ fn main() {
         &out.path("fig1d_spectrum.csv"),
         "bin,period_hours,city_avg,max_pixel",
         (0..spec_city.len()).map(|k| {
-            let period = if k == 0 { f64::INFINITY } else { t as f64 / k as f64 };
+            let period = if k == 0 {
+                f64::INFINITY
+            } else {
+                t as f64 / k as f64
+            };
             format!("{k},{period:.2},{:.6},{:.6}", spec_city[k], spec_max[k])
         }),
     );
@@ -79,7 +99,11 @@ fn main() {
     order.sort_by(|&a, &b| spec_city[b].partial_cmp(&spec_city[a]).expect("finite"));
     println!("top spectral components (excluding DC):");
     for &k in order.iter().take(5) {
-        println!("  bin {k}: period {:.1} h, magnitude {:.3}", t as f64 / k as f64, spec_city[k]);
+        println!(
+            "  bin {k}: period {:.1} h, magnitude {:.3}",
+            t as f64 / k as f64,
+            spec_city[k]
+        );
     }
 
     // (e)+(f) reconstruction from 5 components and residual.
@@ -103,10 +127,18 @@ fn main() {
         .zip(&recon)
         .map(|(a, b)| (a - b) * (a - b))
         .sum();
-    println!("5-component reconstruction captures {:.2}% of energy", 100.0 * (1.0 - err / energy));
+    println!(
+        "5-component reconstruction captures {:.2}% of energy",
+        100.0 * (1.0 - err / energy)
+    );
 
     // Census–traffic correlation headline (ties Fig. 1a to 1b).
-    let census: Vec<f64> = city.context.channel(CENSUS).iter().map(|&v| v as f64).collect();
+    let census: Vec<f64> = city
+        .context
+        .channel(CENSUS)
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
     println!("census↔traffic PCC: {:.3}", pearson(&census, &mean_map));
 
     // Fig. 2: hourly argmax location (the moving peak).

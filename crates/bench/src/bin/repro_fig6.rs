@@ -37,9 +37,8 @@ fn main() {
     write_csv(
         &out.path("fig6a_fdas_series_cityA.csv"),
         "hour,fdas_city_mean,real_city_mean",
-        (0..series.len()).map(|t| {
-            format!("{t},{:.6},{:.6}", series[t], a.traffic.city_series()[t])
-        }),
+        (0..series.len())
+            .map(|t| format!("{t},{:.6},{:.6}", series[t], a.traffic.city_series()[t])),
     );
     // Headline numbers: FDAS destroys the diurnal autocorrelation.
     // City-wide averaging partially restores the hourly means, so the
@@ -75,9 +74,7 @@ fn main() {
         write_csv(
             &out.path(&format!("fig6_fdas_map_{tag}.csv")),
             "y,x,fdas,real",
-            (0..mm.len()).map(|i| {
-                format!("{},{},{:.6},{:.6}", i / w, i % w, mm[i], real_mm[i])
-            }),
+            (0..mm.len()).map(|i| format!("{},{},{:.6},{:.6}", i / w, i % w, mm[i], real_mm[i])),
         );
         let pcc = spectragan_metrics::pearson(&mm, &real_mm);
         println!("{name}: FDAS mean-map spatial PCC with real = {pcc:.3} (≈0 expected)");

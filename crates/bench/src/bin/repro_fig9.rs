@@ -21,18 +21,29 @@ fn main() {
     let out = OutDir::create();
 
     eprintln!("training SpectraGAN (fold CITY B)…");
-    let (real, synth_sg) =
-        train_and_generate(spectragan_bench::ModelKind::SpectraGan, &cities, fold, &scale);
+    let (real, synth_sg) = train_and_generate(
+        spectragan_bench::ModelKind::SpectraGan,
+        &cities,
+        fold,
+        &scale,
+    );
     eprintln!("training DoppelGANger (fold CITY B)…");
-    let (_, synth_dg) =
-        train_and_generate(spectragan_bench::ModelKind::DoppelGanger, &cities, fold, &scale);
+    let (_, synth_dg) = train_and_generate(
+        spectragan_bench::ModelKind::DoppelGanger,
+        &cities,
+        fold,
+        &scale,
+    );
 
     let h_real = peak_hour_histogram(&real, scale.steps_per_hour);
     let h_sg = peak_hour_histogram(&synth_sg, scale.steps_per_hour);
     let h_dg = peak_hour_histogram(&synth_dg, scale.steps_per_hour);
 
     println!("\nFig. 9: peak-hour distribution for CITY B (fraction of pixels)");
-    println!("{:<6} {:>8} {:>12} {:>12}", "hour", "real", "SpectraGAN", "DoppelGANger");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12}",
+        "hour", "real", "SpectraGAN", "DoppelGANger"
+    );
     for hr in 0..24 {
         println!(
             "{:<6} {:>8.3} {:>12.3} {:>12.3}",
@@ -47,9 +58,8 @@ fn main() {
 
     // L1 distances to the real distribution — SpectraGAN should be
     // closer (the paper's qualitative claim).
-    let l1 = |a: &[f64; 24], b: &[f64; 24]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-    };
+    let l1 =
+        |a: &[f64; 24], b: &[f64; 24]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
     println!(
         "\nL1 to real peak distribution: SpectraGAN {:.3}, DoppelGANger {:.3}",
         l1(&h_sg, &h_real),

@@ -35,7 +35,10 @@ fn main() {
     let n = per_city.len() as f64;
 
     println!("\nTable 1: context attribute PCC with traffic (13 cities)");
-    println!("{:<24} {:>10} {:>10} {:>10}", "Attribute", "Mean", "Std", "Paper");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "Attribute", "Mean", "Std", "Paper"
+    );
     let mut records = Vec::new();
     for (k, (name, paper_mean)) in ATTRIBUTES.iter().enumerate() {
         let vals: Vec<f64> = per_city.iter().map(|c| c[k]).collect();
@@ -53,5 +56,7 @@ fn main() {
     // positive attribute, barren lands the most negative.
     let census_mean: f64 = per_city.iter().map(|c| c[0]).sum::<f64>() / n;
     let barren_mean: f64 = per_city.iter().map(|c| c[11]).sum::<f64>() / n;
-    println!("\ncensus mean PCC {census_mean:.3} (paper 0.597), barren {barren_mean:.3} (paper -0.281)");
+    println!(
+        "\ncensus mean PCC {census_mean:.3} (paper 0.597), barren {barren_mean:.3} (paper -0.281)"
+    );
 }

@@ -9,8 +9,8 @@
 
 use spectragan_bench::data::country1_with_reference;
 use spectragan_bench::{
-    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord,
-    ModelKind, OutDir,
+    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord, ModelKind,
+    OutDir,
 };
 
 fn main() {

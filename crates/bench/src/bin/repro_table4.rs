@@ -12,18 +12,22 @@
 
 use spectragan_bench::data::country1_with_reference;
 use spectragan_bench::{
-    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord,
-    ModelKind, OutDir, Scale, TrainedModel,
+    average_by_model, leave_one_out, parse_scale, print_table, write_json, MetricRecord, ModelKind,
+    OutDir, Scale, TrainedModel,
 };
 use spectragan_geo::City;
 
 fn noise_ablation(cities: &[City], scale: &Scale) {
     println!("\nNoise-sharing ablation (§2.2.4): sample diversity across noise seeds");
     println!("(fresh per-patch noise + Eq. 2 averaging collapses every sample toward the");
-    println!(" expected traffic — low inter-seed spread means over-smoothed, expectation-like maps)");
+    println!(
+        " expected traffic — low inter-seed spread means over-smoothed, expectation-like maps)"
+    );
     let train_cities: Vec<City> = cities[1..].to_vec();
     let model = TrainedModel::train(ModelKind::SpectraGan, &train_cities, scale, 7);
-    let TrainedModel::Spectra(sg) = &model else { unreachable!() };
+    let TrainedModel::Spectra(sg) = &model else {
+        unreachable!()
+    };
     let test = &cities[0];
     let seeds: Vec<u64> = (0..5).map(|s| 300 + s).collect();
     for (label, shared) in [("shared noise", true), ("fresh noise per patch", false)] {
@@ -40,11 +44,13 @@ fn noise_ablation(cities: &[City], scale: &Scale) {
         for px in 0..n_px {
             let vals: Vec<f64> = maps.iter().map(|m| m[px]).collect();
             let mu = vals.iter().sum::<f64>() / vals.len() as f64;
-            spread += (vals.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>()
-                / vals.len() as f64)
-                .sqrt();
+            spread +=
+                (vals.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / vals.len() as f64).sqrt();
         }
-        println!("  {label:<24} mean inter-seed std per pixel {:.6}", spread / n_px as f64);
+        println!(
+            "  {label:<24} mean inter-seed std per pixel {:.6}",
+            spread / n_px as f64
+        );
     }
 }
 

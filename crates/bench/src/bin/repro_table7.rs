@@ -21,14 +21,22 @@ fn main() {
     let day = 24 * scale.steps_per_hour;
 
     println!("\nTable 7: Jain's fairness of RU-to-CU associations (mean ± std)");
-    println!("{:<6} {:<12} {:<10} {:<18}", "CUs", "Method", "City", "Jain");
+    println!(
+        "{:<6} {:<12} {:<10} {:<18}",
+        "CUs", "Method", "City", "Jain"
+    );
     let mut records = Vec::new();
     // Cache per-fold generated maps — the same synthetic data drives
     // all three CU counts.
     let mut maps = Vec::new();
     for fold in 0..folds {
         eprintln!("[fold {}/{folds}] {}", fold + 1, cities[fold].name);
-        maps.push(train_and_generate(ModelKind::SpectraGan, &cities, fold, &scale));
+        maps.push(train_and_generate(
+            ModelKind::SpectraGan,
+            &cities,
+            fold,
+            &scale,
+        ));
     }
     for num_cu in [4usize, 6, 8] {
         for fold in 0..folds {
@@ -56,7 +64,9 @@ fn main() {
             }
         }
     }
-    println!("\nPaper (Table 7): SpectraGAN ≈ 0.80–0.99, Real Data ≈ 0.95–1.0; gap ≈ 0.059 on average.");
+    println!(
+        "\nPaper (Table 7): SpectraGAN ≈ 0.80–0.99, Real Data ≈ 0.95–1.0; gap ≈ 0.059 on average."
+    );
     let out = OutDir::create();
     write_json(&out, "table7.json", &records);
 }

@@ -40,9 +40,8 @@ fn main() {
             }
         }
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let std = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / vals.len() as f64)
-            .sqrt();
+        let std =
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
         println!("{name:<10} {mean:.1} ± {std:.2}");
         records.push(serde_json::json!({
             "city": name, "psnr_mean": mean, "psnr_std": std,
@@ -52,17 +51,14 @@ fn main() {
         // for the first fold.
         if fold == 0 {
             for &hour in &[3usize, 9, 13, 18, 22] {
-                let p_synth =
-                    population_map(&synth, hour, &model, &activity, scale.steps_per_hour);
-                let p_real =
-                    population_map(&real, hour, &model, &activity, scale.steps_per_hour);
+                let p_synth = population_map(&synth, hour, &model, &activity, scale.steps_per_hour);
+                let p_real = population_map(&real, hour, &model, &activity, scale.steps_per_hour);
                 let w = real.width();
                 write_csv(
                     &out.path(&format!("fig11_presence_h{hour:02}.csv")),
                     "y,x,real,synthetic",
-                    (0..p_real.len()).map(|i| {
-                        format!("{},{},{:.5},{:.5}", i / w, i % w, p_real[i], p_synth[i])
-                    }),
+                    (0..p_real.len())
+                        .map(|i| format!("{},{},{:.5},{:.5}", i / w, i % w, p_real[i], p_synth[i])),
                 );
             }
         }

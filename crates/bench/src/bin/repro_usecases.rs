@@ -30,8 +30,10 @@ fn main() {
     let folds = cities.len().min(scale.max_folds);
     let out = OutDir::create();
     println!("\nFig. 10: average power per unit area (always-on / sleep-real / sleep-synthetic)");
-    println!("{:<10} {:>10} {:>12} {:>12} {:>10} {:>10}",
-        "City", "AlwaysOn", "SleepReal", "SleepSynth", "SaveReal", "SaveSynth");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "City", "AlwaysOn", "SleepReal", "SleepSynth", "SaveReal", "SaveSynth"
+    );
     let mut records = Vec::new();
     for fold in 0..folds {
         let name = cities[fold].name.clone();

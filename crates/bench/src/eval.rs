@@ -57,6 +57,12 @@ pub struct FoldResult {
 /// `data_reference` supplies, per city index, an independent temporal
 /// realization used for the DATA rows (pass city variants from
 /// `spectragan_synthdata::generate_city_variant`).
+///
+/// Folds run in parallel on the [`spectragan_tensor::pool`] pool: each
+/// fold already owns an independent training/generation seed pair
+/// (`7 + fold`, `100 + fold`), so results are identical to the serial
+/// protocol, and they are returned — and the progress log printed — in
+/// fold order regardless of completion order.
 pub fn leave_one_out(
     cities: &[City],
     data_reference: &[City],
@@ -64,47 +70,70 @@ pub fn leave_one_out(
     scale: &Scale,
     with_fvd: bool,
 ) -> Vec<FoldResult> {
-    assert_eq!(cities.len(), data_reference.len(), "reference set size mismatch");
+    assert_eq!(
+        cities.len(),
+        data_reference.len(),
+        "reference set size mismatch"
+    );
     let train_len = scale.train_len();
     let gen_len = scale.gen_len();
-    let mut out = Vec::new();
     let folds = cities.len().min(scale.max_folds);
-    for fold in 0..folds {
-        let test = &cities[fold];
-        let train_cities: Vec<City> = cities
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != fold)
-            .map(|(_, c)| c.clone())
-            .collect();
-        let real = test.traffic.slice_time(
-            train_len,
-            (train_len + gen_len).min(test.traffic.len_t()),
-        );
-        eprintln!("[fold {}/{folds}] test city {}", fold + 1, test.name);
-        for &kind in kinds {
-            let model = TrainedModel::train(kind, &train_cities, scale, 7 + fold as u64);
-            let synth = model.generate(&test.context, real.len_t(), 100 + fold as u64);
-            let metrics = evaluate_pair(&real, &synth, scale.steps_per_hour, with_fvd);
-            eprintln!("    {:<14} m-tv {:.4} ssim {:.3} ac-l1 {:.1} tstr {:.3}",
-                kind.name(), metrics.m_tv, metrics.ssim, metrics.ac_l1, metrics.tstr);
-            out.push(FoldResult {
+    let per_fold: Vec<(Vec<String>, Vec<FoldResult>)> =
+        spectragan_tensor::pool::par_map(folds, |fold| {
+            let mut log = Vec::new();
+            let mut rows = Vec::new();
+            let test = &cities[fold];
+            let train_cities: Vec<City> = cities
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != fold)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let real = test
+                .traffic
+                .slice_time(train_len, (train_len + gen_len).min(test.traffic.len_t()));
+            log.push(format!(
+                "[fold {}/{folds}] test city {}",
+                fold + 1,
+                test.name
+            ));
+            for &kind in kinds {
+                let model = TrainedModel::train(kind, &train_cities, scale, 7 + fold as u64);
+                let synth = model.generate(&test.context, real.len_t(), 100 + fold as u64);
+                let metrics = evaluate_pair(&real, &synth, scale.steps_per_hour, with_fvd);
+                log.push(format!(
+                    "    {:<14} m-tv {:.4} ssim {:.3} ac-l1 {:.1} tstr {:.3}",
+                    kind.name(),
+                    metrics.m_tv,
+                    metrics.ssim,
+                    metrics.ac_l1,
+                    metrics.tstr
+                ));
+                rows.push(FoldResult {
+                    test_city: test.name.clone(),
+                    model: kind.name().to_string(),
+                    metrics,
+                });
+            }
+            // DATA reference: an independent realization of the same weeks.
+            let reference = data_reference[fold].traffic.slice_time(
+                train_len,
+                (train_len + gen_len).min(data_reference[fold].traffic.len_t()),
+            );
+            let metrics = evaluate_pair(&real, &reference, scale.steps_per_hour, with_fvd);
+            rows.push(FoldResult {
                 test_city: test.name.clone(),
-                model: kind.name().to_string(),
+                model: "Data".to_string(),
                 metrics,
             });
-        }
-        // DATA reference: an independent realization of the same weeks.
-        let reference = data_reference[fold].traffic.slice_time(
-            train_len,
-            (train_len + gen_len).min(data_reference[fold].traffic.len_t()),
-        );
-        let metrics = evaluate_pair(&real, &reference, scale.steps_per_hour, with_fvd);
-        out.push(FoldResult {
-            test_city: test.name.clone(),
-            model: "Data".to_string(),
-            metrics,
+            (log, rows)
         });
+    let mut out = Vec::new();
+    for (log, rows) in per_fold {
+        for line in log {
+            eprintln!("{line}");
+        }
+        out.extend(rows);
     }
     out
 }
@@ -128,10 +157,9 @@ pub fn train_and_generate(
         .filter(|(i, _)| *i != fold)
         .map(|(_, c)| c.clone())
         .collect();
-    let real = test.traffic.slice_time(
-        train_len,
-        (train_len + gen_len).min(test.traffic.len_t()),
-    );
+    let real = test
+        .traffic
+        .slice_time(train_len, (train_len + gen_len).min(test.traffic.len_t()));
     let model = TrainedModel::train(kind, &train_cities, scale, 7 + fold as u64);
     let synth = model.generate(&test.context, real.len_t(), 100 + fold as u64);
     (real, synth)
@@ -210,7 +238,13 @@ mod tests {
         let mk = |model: &str, v: f64| FoldResult {
             test_city: "X".into(),
             model: model.into(),
-            metrics: MetricSet { m_tv: v, ssim: v, ac_l1: v, tstr: v, fvd: Some(v) },
+            metrics: MetricSet {
+                m_tv: v,
+                ssim: v,
+                ac_l1: v,
+                tstr: v,
+                fvd: Some(v),
+            },
         };
         let rows = vec![mk("A", 1.0), mk("B", 3.0), mk("A", 2.0)];
         let avg = average_by_model(&rows);

@@ -1,12 +1,12 @@
 //! Uniform wrapper over every generative model under evaluation.
 
 use crate::scale::Scale;
-use spectragan_baselines::{
-    BaselineTrainConfig, Conv3dLstmLite, DoppelGangerLite, Fdas, Pix2PixLite,
-};
 use spectragan_baselines::conv3d_lstm::Conv3dLstmConfig;
 use spectragan_baselines::doppelganger::DoppelGangerConfig;
 use spectragan_baselines::pix2pix::Pix2PixConfig;
+use spectragan_baselines::{
+    BaselineTrainConfig, Conv3dLstmLite, DoppelGangerLite, Fdas, Pix2PixLite,
+};
 use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig, Variant};
 use spectragan_geo::{City, ContextMap, TrafficMap};
 
@@ -122,9 +122,7 @@ impl TrainedModel {
                 model.train(&training, &tc);
                 TrainedModel::Spectra(Box::new(model))
             }
-            ModelKind::Fdas => {
-                TrainedModel::Fdas(Fdas::fit(&training, scale.steps_per_hour))
-            }
+            ModelKind::Fdas => TrainedModel::Fdas(Fdas::fit(&training, scale.steps_per_hour)),
             ModelKind::Pix2Pix => {
                 let mut model = Pix2PixLite::new(Pix2PixConfig::default_hourly(), seed);
                 model.train(&training, &btc);

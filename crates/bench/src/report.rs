@@ -50,7 +50,9 @@ pub fn print_table(title: &str, rows: &[(String, MetricSet)]) {
             m.ssim,
             m.ac_l1,
             m.tstr,
-            m.fvd.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into())
+            m.fvd
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into())
         );
     }
 }

@@ -23,7 +23,11 @@ pub enum ArgError {
     /// A required option is absent.
     Required(String),
     /// A value failed to parse.
-    BadValue { flag: String, value: String, expected: &'static str },
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
     /// Unexpected extra positional argument.
     UnexpectedPositional(String),
 }
@@ -33,7 +37,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(flag) => write!(f, "--{flag} expects a value"),
             ArgError::Required(flag) => write!(f, "--{flag} is required"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} got '{value}', expected {expected}")
             }
             ArgError::UnexpectedPositional(tok) => {
@@ -87,7 +95,8 @@ impl Args {
 
     /// A required string option.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError::Required(name.into()))
+        self.get(name)
+            .ok_or_else(|| ArgError::Required(name.into()))
     }
 
     /// An optional parsed option with a default.

@@ -15,8 +15,12 @@ use std::path::Path;
 /// corpus as a dataset directory.
 pub fn cmd_dataset(args: &Args) -> Result<(), String> {
     let out = Path::new(args.require("out").map_err(|e| e.to_string())?);
-    let weeks = args.get_parsed("weeks", 4usize, "integer").map_err(|e| e.to_string())?;
-    let scale = args.get_parsed("scale", 0.5f64, "float").map_err(|e| e.to_string())?;
+    let weeks = args
+        .get_parsed("weeks", 4usize, "integer")
+        .map_err(|e| e.to_string())?;
+    let scale = args
+        .get_parsed("scale", 0.5f64, "float")
+        .map_err(|e| e.to_string())?;
     let granularity = args
         .get_parsed("granularity", 60usize, "minutes (60, 30 or 15)")
         .map_err(|e| e.to_string())?;
@@ -24,9 +28,17 @@ pub fn cmd_dataset(args: &Args) -> Result<(), String> {
         60 => 1,
         30 => 2,
         15 => 4,
-        other => return Err(format!("unsupported granularity {other} (use 60, 30 or 15)")),
+        other => {
+            return Err(format!(
+                "unsupported granularity {other} (use 60, 30 or 15)"
+            ))
+        }
     };
-    let ds = DatasetConfig { weeks, steps_per_hour, size_scale: scale };
+    let ds = DatasetConfig {
+        weeks,
+        steps_per_hour,
+        size_scale: scale,
+    };
     let cities = match args.get("country").unwrap_or("all") {
         "1" => country1(&ds),
         "2" => country2(&ds),
@@ -65,9 +77,15 @@ fn parse_variant(name: &str) -> Result<Variant, String> {
 pub fn cmd_train(args: &Args) -> Result<(), String> {
     let data = Path::new(args.require("data").map_err(|e| e.to_string())?);
     let out = args.require("out").map_err(|e| e.to_string())?;
-    let steps = args.get_parsed("steps", 200usize, "integer").map_err(|e| e.to_string())?;
-    let lr = args.get_parsed("lr", 2e-3f32, "float").map_err(|e| e.to_string())?;
-    let seed = args.get_parsed("seed", 0u64, "integer").map_err(|e| e.to_string())?;
+    let steps = args
+        .get_parsed("steps", 200usize, "integer")
+        .map_err(|e| e.to_string())?;
+    let lr = args
+        .get_parsed("lr", 2e-3f32, "float")
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed("seed", 0u64, "integer")
+        .map_err(|e| e.to_string())?;
     let variant = parse_variant(args.get("variant").unwrap_or("full"))?;
 
     let (manifest, mut cities) = read_dataset(data)?;
@@ -90,8 +108,11 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             context: c.context.clone(),
         })
         .collect();
-    let cfg = SpectraGanConfig { train_len, ..SpectraGanConfig::default_hourly() }
-        .with_variant(variant);
+    let cfg = SpectraGanConfig {
+        train_len,
+        ..SpectraGanConfig::default_hourly()
+    }
+    .with_variant(variant);
     let mut model = SpectraGan::new(cfg, seed);
     if !args.switch("quiet") {
         println!(
@@ -100,7 +121,15 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             steps
         );
     }
-    let stats = model.train(&training, &TrainConfig { steps, batch_patches: 3, lr, seed });
+    let stats = model.train(
+        &training,
+        &TrainConfig {
+            steps,
+            batch_patches: 3,
+            lr,
+            seed,
+        },
+    );
     fs::write(out, model.to_model_json()).map_err(|e| format!("write {out}: {e}"))?;
     println!(
         "saved {out} (final L1 {:.4})",
@@ -115,8 +144,12 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let ctx_path = args.require("context").map_err(|e| e.to_string())?;
     let out = args.require("out").map_err(|e| e.to_string())?;
-    let hours = args.get_parsed("hours", 168usize, "integer").map_err(|e| e.to_string())?;
-    let seed = args.get_parsed("seed", 0u64, "integer").map_err(|e| e.to_string())?;
+    let hours = args
+        .get_parsed("hours", 168usize, "integer")
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed("seed", 0u64, "integer")
+        .map_err(|e| e.to_string())?;
 
     let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let model = SpectraGan::from_model_json(&json)?;
@@ -159,7 +192,10 @@ pub fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let synth = synth.slice_time(0, t);
     println!("M-TV   {:.4}  (lower better)", m_tv(&real, &synth));
     println!("M-EMD  {:.4}  (lower better)", m_emd(&real, &synth));
-    println!("SSIM   {:.4}  (higher better)", ssim_mean_maps(&real, &synth));
+    println!(
+        "SSIM   {:.4}  (higher better)",
+        ssim_mean_maps(&real, &synth)
+    );
     println!("AC-L1  {:.2}  (lower better)", ac_l1(&real, &synth, t));
     println!("TSTR   {:.4}  (higher better)", tstr_r2(&real, &synth, sph));
     println!("FVD    {:.4}  (lower better)", fvd(&real, &synth, sph));
@@ -172,7 +208,12 @@ pub fn cmd_info(args: &Args) -> Result<(), String> {
     if path.ends_with(".sgtm") {
         let m = load_traffic(path).map_err(|e| format!("{path}: {e}"))?;
         let series = m.city_series();
-        println!("traffic map: {} steps × {}×{} pixels", m.len_t(), m.height(), m.width());
+        println!(
+            "traffic map: {} steps × {}×{} pixels",
+            m.len_t(),
+            m.height(),
+            m.width()
+        );
         println!(
             "  city-mean traffic: min {:.4}, max {:.4}",
             series.iter().cloned().fold(f64::INFINITY, f64::min),

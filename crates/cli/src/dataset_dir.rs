@@ -29,13 +29,12 @@ pub struct Manifest {
 
 /// Writes `cities` into `dir` (created if needed): binary map files
 /// plus `manifest.json`.
-pub fn write_dataset(
-    dir: &Path,
-    cities: &[City],
-    steps_per_hour: usize,
-) -> Result<(), String> {
+pub fn write_dataset(dir: &Path, cities: &[City], steps_per_hour: usize) -> Result<(), String> {
     fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let mut manifest = Manifest { steps_per_hour, cities: Vec::new() };
+    let mut manifest = Manifest {
+        steps_per_hour,
+        cities: Vec::new(),
+    };
     for city in cities {
         let stem = city.name.to_lowercase().replace(' ', "_");
         let traffic_file = format!("{stem}.sgtm");
@@ -51,8 +50,7 @@ pub fn write_dataset(
         });
     }
     let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
-    fs::write(dir.join("manifest.json"), json)
-        .map_err(|e| format!("write manifest: {e}"))?;
+    fs::write(dir.join("manifest.json"), json).map_err(|e| format!("write manifest: {e}"))?;
     Ok(())
 }
 
@@ -81,11 +79,20 @@ mod tests {
 
     #[test]
     fn dataset_dir_roundtrip() {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.35 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.35,
+        };
         let cities: Vec<City> = (0..2)
             .map(|i| {
                 generate_city(
-                    &CityConfig { name: format!("CITY {i}"), height: 33, width: 33, seed: i },
+                    &CityConfig {
+                        name: format!("CITY {i}"),
+                        height: 33,
+                        width: 33,
+                        seed: i,
+                    },
                     &ds,
                 )
             })

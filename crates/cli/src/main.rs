@@ -32,7 +32,10 @@ fn main() -> ExitCode {
         "generate" => commands::cmd_generate(&parsed),
         "evaluate" => commands::cmd_evaluate(&parsed),
         "info" => commands::cmd_info(&parsed),
-        other => Err(format!("unknown command \'{other}\'\n\n{}", commands::USAGE)),
+        other => Err(format!(
+            "unknown command \'{other}\'\n\n{}",
+            commands::USAGE
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

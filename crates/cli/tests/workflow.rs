@@ -96,7 +96,11 @@ fn full_workflow_runs() {
 fn bad_inputs_give_clean_errors() {
     let err = run(cmd_train, "train --data /nonexistent --out /tmp/x.json").unwrap_err();
     assert!(err.contains("manifest"), "{err}");
-    let err = run(cmd_generate, "generate --model /nonexistent --context /n --hours 1 --out /tmp/x").unwrap_err();
+    let err = run(
+        cmd_generate,
+        "generate --model /nonexistent --context /n --hours 1 --out /tmp/x",
+    )
+    .unwrap_err();
     assert!(err.contains("read"), "{err}");
     let err = run(cmd_dataset, "dataset --out /tmp/sg_bad --granularity 45").unwrap_err();
     assert!(err.contains("granularity"), "{err}");

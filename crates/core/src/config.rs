@@ -158,12 +158,22 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// Short training run, enough for the loss to move — used by tests.
     pub fn smoke() -> Self {
-        TrainConfig { steps: 10, batch_patches: 2, lr: 2e-3, seed: 0 }
+        TrainConfig {
+            steps: 10,
+            batch_patches: 2,
+            lr: 2e-3,
+            seed: 0,
+        }
     }
 
     /// Evaluation-scale run used by the benchmark harness.
     pub fn eval() -> Self {
-        TrainConfig { steps: 160, batch_patches: 4, lr: 2e-3, seed: 0 }
+        TrainConfig {
+            steps: 160,
+            batch_patches: 4,
+            lr: 2e-3,
+            seed: 0,
+        }
     }
 }
 

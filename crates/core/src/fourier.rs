@@ -147,16 +147,16 @@ mod tests {
     fn basis_matmul_matches_dsp_irfft() {
         for t in [24usize, 25, 168] {
             let x = demo_series(t);
-            let spec: Vec<Complex> = rfft(&x).into_iter().map(|z| z.scale(1.0 / t as f64)).collect();
+            let spec: Vec<Complex> = rfft(&x)
+                .into_iter()
+                .map(|z| z.scale(1.0 / t as f64))
+                .collect();
             let row = complex_to_row(&spec);
             let basis = irfft_basis(t);
             let rows = Tensor::from_vec(row, [1, 2 * (t / 2 + 1)]);
             let back = rows.matmul(&basis);
             for (a, b) in back.data().iter().zip(&x) {
-                assert!(
-                    (*a as f64 - b).abs() < 1e-3,
-                    "t={t}: {a} vs {b}"
-                );
+                assert!((*a as f64 - b).abs() < 1e-3, "t={t}: {a} vs {b}");
             }
         }
     }
@@ -205,15 +205,18 @@ mod tests {
     fn expanded_rows_repeat_the_signal() {
         let t = 24;
         let x = demo_series(t);
-        let spec: Vec<Complex> = rfft(&x).into_iter().map(|z| z.scale(1.0 / t as f64)).collect();
+        let spec: Vec<Complex> = rfft(&x)
+            .into_iter()
+            .map(|z| z.scale(1.0 / t as f64))
+            .collect();
         let row = complex_to_row(&spec);
         let rows = Tensor::from_vec(row, [1, 2 * 13]);
         let long = expand_rows_to_series(&rows, t, 3);
         assert_eq!(long.shape().dims(), &[1, 72]);
         for rep in 0..3 {
-            for i in 0..t {
+            for (i, &xv) in x.iter().enumerate().take(t) {
                 assert!(
-                    (long.at(&[0, rep * t + i]) as f64 - x[i]).abs() < 1e-3,
+                    (long.at(&[0, rep * t + i]) as f64 - xv).abs() < 1e-3,
                     "rep {rep} i {i}"
                 );
             }

@@ -34,6 +34,13 @@ impl SpectraGan {
     /// patch, the configuration §2.2.4 warns against (the Eq. 2
     /// averaging then acts as an expectation and oversmooths the maps).
     /// Kept public to power the noise ablation bench.
+    ///
+    /// Patch batches run in parallel on the [`spectragan_tensor::pool`]
+    /// pool. Batch `i` always covers the same patches and feeds
+    /// [`PatchLayout::sew`] at the same indices, and fresh noise is
+    /// derived from `(seed, global patch index)` rather than a shared
+    /// sequential stream — so the output is bit-identical for a given
+    /// seed at every thread count and batch size.
     pub fn generate_opts(
         &self,
         context: &ContextMap,
@@ -53,21 +60,17 @@ impl SpectraGan {
 
         // One noise vector for the whole city, spatially constant.
         let mut rng = StdRng::seed_from_u64(seed);
-        let draw = move |rng: &mut StdRng| -> f32 {
-            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-        };
         let mut z_vec = vec![0.0f32; cfg.noise_dim];
         for v in &mut z_vec {
-            *v = draw(&mut rng);
+            *v = gauss(&mut rng);
         }
 
         let positions = layout.positions().to_vec();
         let px = cfg.pixels_per_patch();
         let side = cfg.patch_traffic;
-        let mut patches: Vec<Tensor> = Vec::with_capacity(positions.len());
-        for chunk in positions.chunks(GEN_BATCH) {
+        let chunks: Vec<_> = positions.chunks(GEN_BATCH).collect();
+        let per_chunk: Vec<Vec<Tensor>> = spectragan_tensor::pool::par_map(chunks.len(), |ci| {
+            let chunk = chunks[ci];
             let p = chunk.len();
             // Stack context patches.
             let ctx_parts: Vec<Tensor> = chunk
@@ -80,29 +83,39 @@ impl SpectraGan {
                 .collect();
             let refs: Vec<&Tensor> = ctx_parts.iter().collect();
             let ctx_batch = Tensor::concat(&refs, 0);
-            // Broadcast the shared noise (or draw per-patch noise when
-            // the ablation asks for it).
+            // Broadcast the shared noise (or derive per-patch noise
+            // from the global patch index when the ablation asks
+            // for it).
             let mut z = Tensor::zeros([p, cfg.noise_dim, side, side]);
             for pi in 0..p {
                 let patch_noise: Vec<f32> = if shared_noise {
                     z_vec.clone()
                 } else {
-                    (0..cfg.noise_dim).map(|_| draw(&mut rng)).collect()
+                    let patch_index = (ci * GEN_BATCH + pi) as u64;
+                    let mut patch_rng = StdRng::seed_from_u64(per_patch_seed(seed, patch_index));
+                    (0..cfg.noise_dim).map(|_| gauss(&mut patch_rng)).collect()
                 };
-                for d in 0..cfg.noise_dim {
+                for (d, &nv) in patch_noise.iter().enumerate() {
                     let base = (pi * cfg.noise_dim + d) * side * side;
                     for e in 0..side * side {
-                        z.data_mut()[base + e] = patch_noise[d];
+                        z.data_mut()[base + e] = nv;
                     }
                 }
             }
             let rows = gen.infer(store, &ctx_batch, &z, k);
             let t_gen = rows.shape().dim(1);
-            for pi in 0..p {
-                let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out.min(t_gen));
-                patches.push(crate::fourier::rows_to_patch(&patch_rows, side, side));
-            }
-        }
+            assert!(
+                t_gen >= t_out,
+                "generator produced {t_gen} steps, fewer than the requested {t_out}"
+            );
+            (0..p)
+                .map(|pi| {
+                    let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out);
+                    crate::fourier::rows_to_patch(&patch_rows, side, side)
+                })
+                .collect()
+        });
+        let patches: Vec<Tensor> = per_chunk.into_iter().flatten().collect();
         let mut map = layout.sew(&patches);
         for v in map.data_mut() {
             if *v < 0.0 {
@@ -113,6 +126,25 @@ impl SpectraGan {
     }
 }
 
+/// One standard-normal draw via Box–Muller (the same transform the
+/// training path uses, kept here so generation does not depend on the
+/// trainer's RNG plumbing).
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Mixes the generation seed with a patch index (SplitMix64 finalizer)
+/// so every patch owns a decorrelated noise stream that does not depend
+/// on batch size, iteration order or thread count.
+fn per_patch_seed(seed: u64, patch_index: u64) -> u64 {
+    let mut z = seed ^ patch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,9 +152,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn tiny_city(seed: u64, scale: f64) -> spectragan_geo::City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: scale };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: scale,
+        };
         generate_city(
-            &CityConfig { name: format!("G{seed}"), height: 33, width: 33, seed },
+            &CityConfig {
+                name: format!("G{seed}"),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -161,6 +202,42 @@ mod tests {
         assert_ne!(a.data(), c.data(), "different seeds must differ");
     }
 
+    /// Full-city generation — including a non-multiple `t_out`, which
+    /// exercises the exact-`t_out` narrowing — is bit-identical at
+    /// every worker count.
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 10);
+        let city = tiny_city(6, 0.36);
+        spectragan_tensor::pool::set_threads(Some(1));
+        let reference = model.generate(&city.context, 30, 17);
+        assert_eq!(reference.len_t(), 30);
+        for t in [2, 3, 5, 8] {
+            spectragan_tensor::pool::set_threads(Some(t));
+            let got = model.generate(&city.context, 30, 17);
+            assert_eq!(got.data(), reference.data(), "threads={t}");
+        }
+        spectragan_tensor::pool::set_threads(None);
+    }
+
+    #[test]
+    fn fresh_noise_ablation_is_thread_and_seed_deterministic() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 9);
+        let city = tiny_city(5, 0.36);
+        spectragan_tensor::pool::set_threads(Some(1));
+        let serial = model.generate_opts(&city.context, 24, 21, false);
+        spectragan_tensor::pool::set_threads(Some(4));
+        let parallel = model.generate_opts(&city.context, 24, 21, false);
+        spectragan_tensor::pool::set_threads(None);
+        assert_eq!(
+            serial.data(),
+            parallel.data(),
+            "fresh noise must not depend on threads"
+        );
+        let other = model.generate_opts(&city.context, 24, 22, false);
+        assert_ne!(serial.data(), other.data(), "different seeds must differ");
+    }
+
     #[test]
     fn handles_city_sizes_other_than_training() {
         // Train-free structural test: generate for two different grid
@@ -183,11 +260,18 @@ mod tests {
         // eight) so the context→traffic mapping generalizes rather than
         // memorizing one city's patch layouts — with a single small
         // city the GAN memorizes and test-city correlation collapses.
-        let train_cities: Vec<_> =
-            [10u64, 12, 13, 14].iter().map(|&s| tiny_city(s, 0.45)).collect();
+        let train_cities: Vec<_> = [10u64, 12, 13, 14]
+            .iter()
+            .map(|&s| tiny_city(s, 0.45))
+            .collect();
         let test_city = tiny_city(11, 0.45);
         let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 6);
-        let tc = TrainConfig { steps: 120, batch_patches: 3, lr: 4e-3, seed: 0 };
+        let tc = TrainConfig {
+            steps: 120,
+            batch_patches: 3,
+            lr: 4e-3,
+            seed: 0,
+        };
         model.train(&train_cities, &tc);
         let synth = model.generate(&test_city.context, 24, 3);
         let real_mean = test_city.traffic.mean_map();

@@ -52,8 +52,7 @@ impl Generator {
             // masked L1 raise the significant components.
             spec_head = Some(Linear::new_scaled(store, cs, 2 * cfg.f_bins(), 0.1, rng));
         }
-        let (mut time_feat, mut time_lstm, mut time_head, mut amp_head) =
-            (None, None, None, None);
+        let (mut time_feat, mut time_lstm, mut time_head, mut amp_head) = (None, None, None, None);
         if cfg.variant.has_time() {
             time_feat = Some(Conv2d::new(store, feat_in, cs, 3, 1, rng));
             time_lstm = Some(Lstm::new(store, cs, cfg.lstm_hidden, rng));
@@ -245,7 +244,14 @@ impl Discriminators {
         });
         let time_lstm = Lstm::new(store, 1 + ch, hd, rng);
         let time_head = Linear::new(store, hd, 1, rng);
-        Discriminators { cfg, enc1, enc2, spec_mlp, time_lstm, time_head }
+        Discriminators {
+            cfg,
+            enc1,
+            enc2,
+            spec_mlp,
+            time_lstm,
+            time_head,
+        }
     }
 
     /// Encoder `E^R` → pixel rows `[N_px, C_h]` of context features.
@@ -302,7 +308,12 @@ mod tests {
     fn demo_inputs(cfg: &SpectraGanConfig, p: usize) -> (Tensor, Tensor) {
         let mut rng = StdRng::seed_from_u64(1);
         let ctx = Tensor::randn(
-            [p, cfg.context_channels, cfg.patch_context(), cfg.patch_context()],
+            [
+                p,
+                cfg.context_channels,
+                cfg.patch_context(),
+                cfg.patch_context(),
+            ],
             &mut rng,
         );
         let z = Tensor::randn(

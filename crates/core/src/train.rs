@@ -64,7 +64,13 @@ impl SpectraGan {
         let gen = Generator::new(cfg, &mut store, &mut rng);
         let gen_param_end = store.len();
         let disc = Discriminators::new(cfg, &mut store, &mut rng);
-        SpectraGan { cfg, store, gen, disc, gen_param_end }
+        SpectraGan {
+            cfg,
+            store,
+            gen,
+            disc,
+            gen_param_end,
+        }
     }
 
     /// The model configuration.
@@ -166,7 +172,11 @@ impl SpectraGan {
                 } else {
                     Tensor::zeros([0])
                 };
-                samples.push(Sample { ctx: ctx_patch, series, spec });
+                samples.push(Sample {
+                    ctx: ctx_patch,
+                    series,
+                    spec,
+                });
             }
         }
         assert!(!samples.is_empty(), "no training patches extracted");
@@ -197,8 +207,7 @@ impl SpectraGan {
             let batch: Vec<&Sample> = (0..tc.batch_patches)
                 .map(|_| &samples[rng.gen_range(0..samples.len())])
                 .collect();
-            let ctx_batch =
-                Self::stack(&batch.iter().map(|s| &s.ctx).collect::<Vec<_>>());
+            let ctx_batch = Self::stack(&batch.iter().map(|s| &s.ctx).collect::<Vec<_>>());
             let series_real = {
                 let refs: Vec<&Tensor> = batch.iter().map(|s| &s.series).collect();
                 Tensor::concat(&refs, 0)
@@ -319,16 +328,17 @@ impl SpectraGan {
 
             stats.d_loss.push(d_loss.value().item());
             stats.g_adv.push(g_adv.value().item());
-            stats.l1.push(l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0));
+            stats
+                .l1
+                .push(l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0));
 
             // ---- Updates ------------------------------------------------
             let grads_d = tape.backward(&d_loss);
             let grads_g = tape.backward(&g_loss);
             let bound = bind.bound();
             let boundary = self.gen_param_end;
-            let (g_bound, d_bound): (Vec<_>, Vec<_>) = bound
-                .into_iter()
-                .partition(|(id, _)| id.index() < boundary);
+            let (g_bound, d_bound): (Vec<_>, Vec<_>) =
+                bound.into_iter().partition(|(id, _)| id.index() < boundary);
             opt_d.step(&mut self.store, &d_bound, &grads_d);
             opt_g.step(&mut self.store, &g_bound, &grads_g);
         }
@@ -342,9 +352,18 @@ mod tests {
     use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
     fn tiny_city(seed: u64) -> City {
-        let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.36 };
+        let ds = DatasetConfig {
+            weeks: 1,
+            steps_per_hour: 1,
+            size_scale: 0.36,
+        };
         generate_city(
-            &CityConfig { name: format!("T{seed}"), height: 33, width: 33, seed },
+            &CityConfig {
+                name: format!("T{seed}"),
+                height: 33,
+                width: 33,
+                seed,
+            },
             &ds,
         )
     }
@@ -358,15 +377,17 @@ mod tests {
     fn training_runs_and_reduces_l1() {
         let city = tiny_city(5);
         let mut model = SpectraGan::new(tiny_cfg(), 0);
-        let tc = TrainConfig { steps: 30, batch_patches: 2, lr: 3e-3, seed: 1 };
+        let tc = TrainConfig {
+            steps: 30,
+            batch_patches: 2,
+            lr: 3e-3,
+            seed: 1,
+        };
         let stats = model.train(&[city], &tc);
         assert_eq!(stats.d_loss.len(), 30);
         let head: f32 = stats.l1[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = stats.l1[25..].iter().sum::<f32>() / 5.0;
-        assert!(
-            tail < head,
-            "L1 did not decrease: head {head} tail {tail}"
-        );
+        assert!(tail < head, "L1 did not decrease: head {head} tail {tail}");
         assert!(stats.d_loss.iter().all(|v| v.is_finite()));
         assert!(stats.g_adv.iter().all(|v| v.is_finite()));
     }
@@ -382,8 +403,13 @@ mod tests {
             Variant::PixelContext,
         ] {
             let mut model = SpectraGan::new(tiny_cfg().with_variant(variant), 0);
-            let tc = TrainConfig { steps: 2, batch_patches: 1, lr: 1e-3, seed: 2 };
-            let stats = model.train(&[city.clone()], &tc);
+            let tc = TrainConfig {
+                steps: 2,
+                batch_patches: 1,
+                lr: 1e-3,
+                seed: 2,
+            };
+            let stats = model.train(std::slice::from_ref(&city), &tc);
             assert_eq!(stats.d_loss.len(), 2, "{variant:?}");
             assert!(stats.d_loss[0].is_finite(), "{variant:?}");
         }
@@ -415,8 +441,13 @@ mod tests {
         let gb = b.generate(&city.context, 24, 9);
         assert_eq!(ga.data(), gb.data());
         // Re-loading into a model trained differently also matches.
-        let tc = TrainConfig { steps: 1, batch_patches: 1, lr: 1e-3, seed: 3 };
-        a.train(&[city.clone()], &tc);
+        let tc = TrainConfig {
+            steps: 1,
+            batch_patches: 1,
+            lr: 1e-3,
+            seed: 3,
+        };
+        a.train(std::slice::from_ref(&city), &tc);
         a.load_weights_json(&json).unwrap();
         let ga2 = a.generate(&city.context, 24, 9);
         assert_eq!(ga2.data(), gb.data());

@@ -39,7 +39,11 @@ pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
 /// a nonzero lag means one location leads the other (Fig. 2's moving
 /// peak in correlation form). Constant series yield zeros.
 pub fn cross_correlation(a: &[f64], b: &[f64], max_lag: usize) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "cross-correlation inputs differ in length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cross-correlation inputs differ in length"
+    );
     let n = a.len();
     let lags = max_lag.min(n.saturating_sub(1));
     let ma = a.iter().sum::<f64>() / n as f64;
@@ -54,10 +58,10 @@ pub fn cross_correlation(a: &[f64], b: &[f64], max_lag: usize) -> Vec<f64> {
             continue;
         }
         let mut acc = 0.0;
-        for t in 0..n {
+        for (t, &av) in a.iter().enumerate() {
             let u = t as isize + h;
             if u >= 0 && (u as usize) < n {
-                acc += (a[t] - ma) * (b[u as usize] - mb);
+                acc += (av - ma) * (b[u as usize] - mb);
             }
         }
         out.push(acc / denom);
@@ -152,7 +156,9 @@ mod tests {
         let mut state = 0x853c49e6748fea9bu64;
         let x: Vec<f64> = (0..2000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect();

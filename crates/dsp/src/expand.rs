@@ -60,7 +60,7 @@ pub fn expand_spectrum_fractional(spec: &[Complex], t_in: usize, t_out: usize) -
         "spectrum length {} does not match signal length {t_in}",
         spec.len()
     );
-    if t_out % t_in == 0 {
+    if t_out.is_multiple_of(t_in) {
         return expand_spectrum(spec, t_in, t_out / t_in);
     }
     let f_out = t_out / 2 + 1;
@@ -140,10 +140,7 @@ mod tests {
                 for i in 0..t {
                     let a = x[i];
                     let b = long[rep * t + i];
-                    assert!(
-                        (a - b).abs() < 1e-8,
-                        "k={k} rep={rep} i={i}: {a} vs {b}"
-                    );
+                    assert!((a - b).abs() < 1e-8, "k={k} rep={rep} i={i}: {a} vs {b}");
                 }
             }
         }

@@ -157,10 +157,7 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (*x - *y).abs() < tol,
-                "bin {i}: {x:?} vs {y:?} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "bin {i}: {x:?} vs {y:?} (tol {tol})");
         }
     }
 
@@ -236,8 +233,7 @@ mod tests {
         for n in [30usize, 64, 168] {
             let x = ramp(n);
             let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
-            let freq_energy: f64 =
-                fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            let freq_energy: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
             assert!((time_energy - freq_energy).abs() < 1e-7 * time_energy.max(1.0));
         }
     }
@@ -246,7 +242,9 @@ mod tests {
     fn linearity() {
         let n = 21;
         let x = ramp(n);
-        let y: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.2)).collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.2))
+            .collect();
         let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
         let fx = fft(&x);
         let fy = fft(&y);

@@ -23,7 +23,7 @@ pub struct Spectrogram {
 impl Spectrogram {
     /// Number of time frames.
     pub fn num_frames(&self) -> usize {
-        if self.bins == 0 { 0 } else { self.data.len() / self.bins }
+        self.data.len().checked_div(self.bins).unwrap_or(0)
     }
 
     /// Number of frequency bins per frame.
@@ -65,7 +65,12 @@ pub fn stft(x: &[f64], window: Window, window_len: usize, hop: usize) -> Spectro
         data.extend(spec.iter().map(|z| z.abs()));
         start += hop;
     }
-    Spectrogram { bins, hop, window_len, data }
+    Spectrogram {
+        bins,
+        hop,
+        window_len,
+        data,
+    }
 }
 
 /// Periodogram (power spectral density estimate) of `x`:
@@ -200,7 +205,7 @@ mod tests {
         // One-sided: interior bins count twice.
         let mut fe = p[0];
         for (k, &v) in p.iter().enumerate().skip(1) {
-            let double = !(x.len() % 2 == 0 && k == p.len() - 1);
+            let double = !(x.len().is_multiple_of(2) && k == p.len() - 1);
             fe += v * if double { 2.0 } else { 1.0 };
         }
         assert!((te - fe).abs() < 1e-6 * te.max(1.0));

@@ -73,7 +73,12 @@ impl ContextMap {
 
     /// All-zero context.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        ContextMap { c, h, w, data: vec![0.0; c * h * w] }
+        ContextMap {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Number of attribute channels.
@@ -175,7 +180,9 @@ mod tests {
 
     #[test]
     fn standardized_channels_have_zero_mean_unit_var() {
-        let data = vec![1.0, 2.0, 3.0, 4.0, /* ch 1: constant */ 5.0, 5.0, 5.0, 5.0];
+        let data = vec![
+            1.0, 2.0, 3.0, 4.0, /* ch 1: constant */ 5.0, 5.0, 5.0, 5.0,
+        ];
         let m = ContextMap::from_vec(data, 2, 2, 2);
         let s = m.standardized();
         let ch0 = s.channel(0);

@@ -31,7 +31,10 @@ impl GridSpec {
     /// # Panics
     /// Panics if out of bounds.
     pub fn index(&self, y: usize, x: usize) -> usize {
-        assert!(y < self.height && x < self.width, "pixel ({y},{x}) outside {self:?}");
+        assert!(
+            y < self.height && x < self.width,
+            "pixel ({y},{x}) outside {self:?}"
+        );
         y * self.width + x
     }
 

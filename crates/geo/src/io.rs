@@ -15,7 +15,6 @@
 
 use crate::context::ContextMap;
 use crate::traffic::TrafficMap;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::fs;
 use std::path::Path;
@@ -50,7 +49,10 @@ impl fmt::Display for IoError {
             IoError::BadMagic => write!(f, "not a SpectraGAN map file (bad magic)"),
             IoError::BadVersion(v) => write!(f, "unsupported container version {v}"),
             IoError::BadLength { expected, actual } => {
-                write!(f, "payload length {actual} does not match header ({expected})")
+                write!(
+                    f,
+                    "payload length {actual} does not match header ({expected})"
+                )
             }
             IoError::BadDims => write!(f, "dimension header overflows"),
             IoError::BadCsv(line) => write!(f, "malformed CSV line: {line}"),
@@ -67,17 +69,41 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Encodes a traffic map into the SGTM container.
-pub fn encode_traffic(map: &TrafficMap) -> Bytes {
-    let mut buf = BytesMut::with_capacity(18 + 4 * map.data().len());
-    buf.put_slice(TRAFFIC_MAGIC);
-    buf.put_u16_le(FORMAT_VERSION);
-    buf.put_u32_le(map.len_t() as u32);
-    buf.put_u32_le(map.height() as u32);
-    buf.put_u32_le(map.width() as u32);
-    for &v in map.data() {
-        buf.put_f32_le(v);
+pub fn encode_traffic(map: &TrafficMap) -> Vec<u8> {
+    encode_map(
+        TRAFFIC_MAGIC,
+        [map.len_t(), map.height(), map.width()],
+        map.data(),
+    )
+}
+
+/// Shared encoder: magic, version, three u32 dims, f32 payload — all
+/// little-endian.
+fn encode_map(magic: &[u8; 4], dims: [usize; 3], data: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(18 + 4 * data.len());
+    buf.extend_from_slice(magic);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for d in dims {
+        buf.extend_from_slice(&(d as u32).to_le_bytes());
     }
-    buf.freeze()
+    for &v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Reads the little-endian f32 payload that follows a validated header.
+fn decode_payload(bytes: &[u8], expected: usize) -> Result<Vec<f32>, IoError> {
+    if bytes.len() != 4 * expected {
+        return Err(IoError::BadLength {
+            expected: 4 * expected,
+            actual: bytes.len(),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
 }
 
 /// Decodes a traffic map from the SGTM container.
@@ -87,28 +113,17 @@ pub fn decode_traffic(mut bytes: &[u8]) -> Result<TrafficMap, IoError> {
         .checked_mul(h)
         .and_then(|v| v.checked_mul(w))
         .ok_or(IoError::BadDims)?;
-    if bytes.len() != 4 * expected {
-        return Err(IoError::BadLength { expected: 4 * expected, actual: bytes.len() });
-    }
-    let mut data = Vec::with_capacity(expected);
-    for _ in 0..expected {
-        data.push(bytes.get_f32_le());
-    }
+    let data = decode_payload(bytes, expected)?;
     Ok(TrafficMap::from_vec(data, t, h, w))
 }
 
 /// Encodes a context map into the SGCM container.
-pub fn encode_context(map: &ContextMap) -> Bytes {
-    let mut buf = BytesMut::with_capacity(18 + 4 * map.data().len());
-    buf.put_slice(CONTEXT_MAGIC);
-    buf.put_u16_le(FORMAT_VERSION);
-    buf.put_u32_le(map.channels() as u32);
-    buf.put_u32_le(map.height() as u32);
-    buf.put_u32_le(map.width() as u32);
-    for &v in map.data() {
-        buf.put_f32_le(v);
-    }
-    buf.freeze()
+pub fn encode_context(map: &ContextMap) -> Vec<u8> {
+    encode_map(
+        CONTEXT_MAGIC,
+        [map.channels(), map.height(), map.width()],
+        map.data(),
+    )
 }
 
 /// Decodes a context map from the SGCM container.
@@ -118,13 +133,7 @@ pub fn decode_context(mut bytes: &[u8]) -> Result<ContextMap, IoError> {
         .checked_mul(h)
         .and_then(|v| v.checked_mul(w))
         .ok_or(IoError::BadDims)?;
-    if bytes.len() != 4 * expected {
-        return Err(IoError::BadLength { expected: 4 * expected, actual: bytes.len() });
-    }
-    let mut data = Vec::with_capacity(expected);
-    for _ in 0..expected {
-        data.push(bytes.get_f32_le());
-    }
+    let data = decode_payload(bytes, expected)?;
     Ok(ContextMap::from_vec(data, c, h, w))
 }
 
@@ -135,14 +144,20 @@ fn decode_header(bytes: &mut &[u8], magic: &[u8; 4]) -> Result<(usize, usize, us
     if &bytes[..4] != magic {
         return Err(IoError::BadMagic);
     }
-    bytes.advance(4);
-    let version = bytes.get_u16_le();
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
     if version != FORMAT_VERSION {
         return Err(IoError::BadVersion(version));
     }
-    let a = bytes.get_u32_le() as usize;
-    let b = bytes.get_u32_le() as usize;
-    let c = bytes.get_u32_le() as usize;
+    let dim = |i: usize| {
+        u32::from_le_bytes([
+            bytes[6 + 4 * i],
+            bytes[7 + 4 * i],
+            bytes[8 + 4 * i],
+            bytes[9 + 4 * i],
+        ]) as usize
+    };
+    let (a, b, c) = (dim(0), dim(1), dim(2));
+    *bytes = &bytes[18..];
     Ok((a, b, c))
 }
 
@@ -219,7 +234,10 @@ pub fn traffic_from_csv(csv: &str) -> Result<TrafficMap, IoError> {
     let h = rows.iter().map(|r| r.1).max().expect("non-empty") + 1;
     let w = rows.iter().map(|r| r.2).max().expect("non-empty") + 1;
     if rows.len() != t * h * w {
-        return Err(IoError::BadLength { expected: t * h * w, actual: rows.len() });
+        return Err(IoError::BadLength {
+            expected: t * h * w,
+            actual: rows.len(),
+        });
     }
     let mut map = TrafficMap::zeros(t, h, w);
     for (ti, y, x, v) in rows {
@@ -278,7 +296,10 @@ mod tests {
     fn version_is_checked() {
         let mut bytes = encode_traffic(&demo_traffic()).to_vec();
         bytes[4] = 99;
-        assert!(matches!(decode_traffic(&bytes), Err(IoError::BadVersion(99))));
+        assert!(matches!(
+            decode_traffic(&bytes),
+            Err(IoError::BadVersion(99))
+        ));
     }
 
     #[test]

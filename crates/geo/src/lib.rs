@@ -48,7 +48,11 @@ impl City {
             (context.height(), context.width()),
             "traffic and context grids differ"
         );
-        City { name: name.into(), traffic, context }
+        City {
+            name: name.into(),
+            traffic,
+            context,
+        }
     }
 
     /// The city's grid.

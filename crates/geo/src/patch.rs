@@ -35,10 +35,21 @@ impl PatchSpec {
     /// is zero.
     pub fn new(traffic: usize, context: usize, stride: usize) -> Self {
         assert!(traffic > 0, "traffic patch side must be positive");
-        assert!(context >= traffic, "context window must cover the traffic patch");
-        assert_eq!((context - traffic) % 2, 0, "context margin must be symmetric");
+        assert!(
+            context >= traffic,
+            "context window must cover the traffic patch"
+        );
+        assert_eq!(
+            (context - traffic) % 2,
+            0,
+            "context margin must be symmetric"
+        );
         assert!(stride > 0, "stride must be positive");
-        PatchSpec { traffic, context, stride }
+        PatchSpec {
+            traffic,
+            context,
+            stride,
+        }
     }
 
     /// The symmetric context margin `(H_c − H_t)/2`.
@@ -84,7 +95,11 @@ impl PatchLayout {
             .iter()
             .flat_map(|&y| xs.iter().map(move |&x| (y, x)))
             .collect();
-        PatchLayout { spec, grid, positions }
+        PatchLayout {
+            spec,
+            grid,
+            positions,
+        }
     }
 
     /// The patch spec this layout was built with.

@@ -30,7 +30,12 @@ impl TrafficMap {
 
     /// All-zero map.
     pub fn zeros(t: usize, h: usize, w: usize) -> Self {
-        TrafficMap { t, h, w, data: vec![0.0; t * h * w] }
+        TrafficMap {
+            t,
+            h,
+            w,
+            data: vec![0.0; t * h * w],
+        }
     }
 
     /// Number of time steps.
@@ -115,7 +120,11 @@ impl TrafficMap {
 
     /// Extracts the sub-series `t0..t1` as a new map.
     pub fn slice_time(&self, t0: usize, t1: usize) -> TrafficMap {
-        assert!(t0 <= t1 && t1 <= self.t, "bad time slice {t0}..{t1} of {}", self.t);
+        assert!(
+            t0 <= t1 && t1 <= self.t,
+            "bad time slice {t0}..{t1} of {}",
+            self.t
+        );
         let hw = self.h * self.w;
         TrafficMap {
             t: t1 - t0,

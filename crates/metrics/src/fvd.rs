@@ -33,7 +33,11 @@ fn pool_frame(frame: &[f32], h: usize, w: usize) -> [f64; CHANNELS] {
     let mut out = [0.0f64; CHANNELS];
     let mut total = 0.0;
     for q in 0..4 {
-        out[q] = if counts[q] > 0.0 { sums[q] / counts[q] } else { 0.0 };
+        out[q] = if counts[q] > 0.0 {
+            sums[q] / counts[q]
+        } else {
+            0.0
+        };
         total += sums[q];
     }
     out[4] = total / (h * w) as f64;
@@ -112,11 +116,7 @@ pub fn frechet_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
     };
     let (mu1, s1) = stats(a);
     let (mu2, s2) = stats(b);
-    let mean_term: f64 = mu1
-        .iter()
-        .zip(&mu2)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    let mean_term: f64 = mu1.iter().zip(&mu2).map(|(x, y)| (x - y) * (x - y)).sum();
     let s1_half = sym_sqrt(&s1, d);
     let inner = matmul_sq(&matmul_sq(&s1_half, &s2, d), &s1_half, d);
     let cross = sym_sqrt(&inner, d);
@@ -204,7 +204,9 @@ mod tests {
     #[test]
     fn fvd_prefers_matching_dynamics() {
         let real = map_with(
-            |t, px| (1.0 + (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()) * (px as f64 / 36.0),
+            |t, px| {
+                (1.0 + (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()) * (px as f64 / 36.0)
+            },
             96,
         );
         let similar = map_with(

@@ -21,7 +21,10 @@ impl LogNormal {
         let n = logs.len() as f64;
         let mu = logs.iter().sum::<f64>() / n;
         let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
-        LogNormal { mu, sigma: var.sqrt() }
+        LogNormal {
+            mu,
+            sigma: var.sqrt(),
+        }
     }
 
     /// Transforms a standard-normal draw into a sample of this
@@ -68,14 +71,20 @@ mod tests {
 
     #[test]
     fn mean_exceeds_median_for_positive_sigma() {
-        let d = LogNormal { mu: 0.0, sigma: 1.0 };
+        let d = LogNormal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         assert!(d.mean() > d.median());
         assert!((d.median() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn sampling_is_monotone_in_z() {
-        let d = LogNormal { mu: -2.0, sigma: 0.7 };
+        let d = LogNormal {
+            mu: -2.0,
+            sigma: 0.7,
+        };
         assert!(d.sample_from_normal(1.0) > d.sample_from_normal(0.0));
         assert!(d.sample_from_normal(0.0) > d.sample_from_normal(-1.0));
     }

@@ -51,8 +51,7 @@ fn window_ssim(a: &[f64], b: &[f64], stride: usize, y0: usize, x0: usize, win: u
     va /= n;
     vb /= n;
     cov /= n;
-    ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
-        / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
 }
 
 /// **SSIM** metric of §3.2: SSIM between the time-averaged traffic maps
@@ -98,7 +97,11 @@ mod tests {
     fn unrelated_images_score_below_similar_ones() {
         let a = image(16, 16, |y, x| (y + x) as f64 / 30.0);
         let near = image(16, 16, |y, x| ((y + x) as f64 / 30.0) + 0.01);
-        let far = image(16, 16, |y, x| if (y / 4 + x / 4) % 2 == 0 { 1.0 } else { 0.0 });
+        let far = image(
+            16,
+            16,
+            |y, x| if (y / 4 + x / 4) % 2 == 0 { 1.0 } else { 0.0 },
+        );
         let s_near = ssim(&a, &near, 16, 16);
         let s_far = ssim(&a, &far, 16, 16);
         assert!(s_near > 0.9, "near {s_near}");

@@ -70,7 +70,8 @@ pub fn emd(a: &[f64], b: &[f64]) -> f64 {
         v.sort_by(|p, q| p.partial_cmp(q).expect("NaN in EMD input"));
         (0..RESAMPLE)
             .map(|i| {
-                let idx = (i as f64 / (RESAMPLE - 1) as f64 * (v.len() - 1) as f64).round() as usize;
+                let idx =
+                    (i as f64 / (RESAMPLE - 1) as f64 * (v.len() - 1) as f64).round() as usize;
                 v[idx]
             })
             .collect()
@@ -127,9 +128,7 @@ pub const M_TV_BINS: usize = 50;
 /// marginal distributions of traffic volume across all pixels and time
 /// steps of the real and synthetic maps. Lower is better.
 pub fn m_tv(real: &TrafficMap, synth: &TrafficMap) -> f64 {
-    let hist = |m: &TrafficMap| {
-        histogram(m.data().iter().map(|&v| v as f64), 0.0, 1.0, M_TV_BINS)
-    };
+    let hist = |m: &TrafficMap| histogram(m.data().iter().map(|&v| v as f64), 0.0, 1.0, M_TV_BINS);
     total_variation(&hist(real), &hist(synth))
 }
 

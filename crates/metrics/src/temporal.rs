@@ -28,11 +28,7 @@ pub fn ac_l1(real: &TrafficMap, synth: &TrafficMap, max_lag: usize) -> f64 {
         for x in 0..real.width() {
             let ra = autocorrelation(&real.pixel_series(y, x), lags);
             let rs = autocorrelation(&synth.pixel_series(y, x), lags);
-            total += ra
-                .iter()
-                .zip(&rs)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>();
+            total += ra.iter().zip(&rs).map(|(a, b)| (a - b).abs()).sum::<f64>();
         }
     }
     total / n_px as f64

@@ -1,10 +1,10 @@
 //! Property-based tests for the fidelity metrics.
 
 use proptest::prelude::*;
-use spectragan_metrics::linalg::{matmul_sq, solve, sym_sqrt, symmetric_eigen};
-use spectragan_metrics::{histogram, jain_index, m_tv, pearson, psnr, LogNormal};
-use spectragan_metrics::stats::total_variation;
 use spectragan_geo::TrafficMap;
+use spectragan_metrics::linalg::{matmul_sq, solve, sym_sqrt, symmetric_eigen};
+use spectragan_metrics::stats::total_variation;
+use spectragan_metrics::{histogram, jain_index, m_tv, pearson, psnr, LogNormal};
 
 fn arb_vals(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1.0, n)

@@ -44,7 +44,12 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a new Xavier-initialized linear layer in `store`.
-    pub fn new(store: &mut ParamStore, in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self::new_scaled(store, in_features, out_features, 1.0, rng)
     }
 
@@ -69,7 +74,12 @@ impl Linear {
             format!("linear.b[{out_features}]"),
             Tensor::zeros([out_features]),
         );
-        Linear { w, b, in_features, out_features }
+        Linear {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input width.
@@ -177,12 +187,19 @@ impl Mlp {
         output: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1], rng))
             .collect();
-        Mlp { layers, hidden, output }
+        Mlp {
+            layers,
+            hidden,
+            output,
+        }
     }
 
     /// Tape-free forward pass for inference.

@@ -41,15 +41,15 @@ pub struct Lstm {
 
 impl Lstm {
     /// Registers a new LSTM with Xavier-initialized weights.
-    pub fn new(store: &mut ParamStore, input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        input_size: usize,
+        hidden_size: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let wx = store.register(
             format!("lstm.wx[{input_size}x{}]", 4 * hidden_size),
-            init::xavier_uniform(
-                [input_size, 4 * hidden_size],
-                input_size,
-                hidden_size,
-                rng,
-            ),
+            init::xavier_uniform([input_size, 4 * hidden_size], input_size, hidden_size, rng),
         );
         let wh = store.register(
             format!("lstm.wh[{hidden_size}x{}]", 4 * hidden_size),
@@ -66,7 +66,13 @@ impl Lstm {
             *v = 1.0;
         }
         let b = store.register(format!("lstm.b[{}]", 4 * hidden_size), bias);
-        Lstm { wx, wh, b, input_size, hidden_size }
+        Lstm {
+            wx,
+            wh,
+            b,
+            input_size,
+            hidden_size,
+        }
     }
 
     /// Input feature width.

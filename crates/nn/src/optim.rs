@@ -38,7 +38,10 @@ impl Adam {
     /// GAN-style Adam (`β₁ = 0.5`), the setting conditional-GAN papers
     /// including Pix2Pix use for stability.
     pub fn gan(lr: f32) -> Self {
-        Adam { beta1: 0.5, ..Adam::new(lr) }
+        Adam {
+            beta1: 0.5,
+            ..Adam::new(lr)
+        }
     }
 
     /// Enables global-norm gradient clipping at `max_norm`.
@@ -61,7 +64,12 @@ impl Adam {
     /// parameters (from [`crate::param::Binding::bound`], which ends the
     /// store borrow so the store can be mutated here). Parameters
     /// without a gradient are skipped.
-    pub fn step(&mut self, store: &mut ParamStore, bound: &[(ParamId, spectragan_tensor::Var)], grads: &Gradients) {
+    pub fn step(
+        &mut self,
+        store: &mut ParamStore,
+        bound: &[(ParamId, spectragan_tensor::Var)],
+        grads: &Gradients,
+    ) {
         let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
         for (id, var) in bound {
             let (id, var) = (*id, var);
@@ -91,12 +99,7 @@ impl Adam {
             let lr = self.lr;
             let eps = self.eps;
             let param = store.get_mut(id);
-            for ((pi, &mi), &vi) in param
-                .data_mut()
-                .iter_mut()
-                .zip(m.data())
-                .zip(v.data())
-            {
+            for ((pi, &mi), &vi) in param.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
                 *pi -= lr * m_hat / (v_hat.sqrt() + eps);
@@ -114,7 +117,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, clip_norm: None }
+        Sgd {
+            lr,
+            clip_norm: None,
+        }
     }
 
     /// Enables global-norm gradient clipping at `max_norm`.
@@ -124,7 +130,12 @@ impl Sgd {
     }
 
     /// Applies one descent step (see [`Adam::step`] for semantics).
-    pub fn step(&mut self, store: &mut ParamStore, bound: &[(ParamId, spectragan_tensor::Var)], grads: &Gradients) {
+    pub fn step(
+        &mut self,
+        store: &mut ParamStore,
+        bound: &[(ParamId, spectragan_tensor::Var)],
+        grads: &Gradients,
+    ) {
         let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
         for (id, var) in bound {
             let (id, var) = (*id, var);

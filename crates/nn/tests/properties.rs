@@ -63,7 +63,12 @@ proptest! {
     }
 
     /// One optimizer step moves parameters opposite to the gradient
-    /// (descent direction) for both Adam and SGD.
+    /// (descent direction) for both Adam and SGD. SGD's step also
+    /// shrinks the loss (lr < 1 on a quadratic cannot overshoot), but
+    /// Adam's bias-corrected first step is ≈ lr·sign(gradient)
+    /// *regardless of magnitude*, so for targets closer than lr it
+    /// legitimately overshoots — we assert direction and step bound
+    /// instead of monotone loss there.
     #[test]
     fn optimizers_descend(target in -5.0f32..5.0, lr in 0.001f32..0.1) {
         for use_adam in [true, false] {
@@ -82,8 +87,20 @@ proptest! {
             } else {
                 Sgd::new(lr).step(&mut store, &bound, &grads);
             }
-            let after = (store.get(w).item() - target).powi(2);
-            prop_assert!(after <= before + 1e-6, "adam={use_adam}: {before} -> {after}");
+            let w_after = store.get(w).item();
+            prop_assert!(
+                w_after * target >= 0.0,
+                "adam={use_adam}: moved against the gradient: w {w_after}, target {target}"
+            );
+            if use_adam {
+                prop_assert!(
+                    w_after.abs() <= lr + 1e-6,
+                    "adam step {w_after} exceeds lr {lr}"
+                );
+            } else {
+                let after = (w_after - target).powi(2);
+                prop_assert!(after <= before + 1e-6, "sgd: {before} -> {after}");
+            }
         }
     }
 

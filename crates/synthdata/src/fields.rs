@@ -14,7 +14,10 @@ pub struct Field {
 impl Field {
     /// Zero field.
     pub fn zeros(grid: GridSpec) -> Self {
-        Field { grid, data: vec![0.0; grid.num_pixels()] }
+        Field {
+            grid,
+            data: vec![0.0; grid.num_pixels()],
+        }
     }
 
     /// Field from a closure of pixel coordinates.

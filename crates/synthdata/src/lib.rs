@@ -37,8 +37,8 @@ pub mod fields;
 pub mod process;
 
 pub use dataset::{
-    country1, country1_configs, country2, country2_configs, generate_city,
-    generate_city_variant, CityConfig, DatasetConfig,
+    country1, country1_configs, country2, country2_configs, generate_city, generate_city_variant,
+    CityConfig, DatasetConfig,
 };
 pub use fields::Field;
 pub use process::inject_event;

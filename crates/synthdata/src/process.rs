@@ -143,7 +143,8 @@ pub fn weekday_factor(hour: f64) -> f64 {
 /// significant components" structure of Fig. 1d.
 pub fn diurnal_profile(hour: f64, phase: f64) -> f64 {
     let omega = 2.0 * std::f64::consts::PI / 24.0;
-    let v = 1.0 + 0.85 * (omega * (hour - phase)).cos() + 0.25 * (2.0 * omega * (hour - phase)).cos();
+    let v =
+        1.0 + 0.85 * (omega * (hour - phase)).cos() + 0.25 * (2.0 * omega * (hour - phase)).cos();
     v.max(0.0)
 }
 
@@ -165,10 +166,7 @@ pub fn corridor_position(corridor: &((f64, f64), (f64, f64)), hour: f64) -> (f64
         0.0
     };
     let (res, biz) = corridor;
-    (
-        res.0 + s * (biz.0 - res.0),
-        res.1 + s * (biz.1 - res.1),
-    )
+    (res.0 + s * (biz.0 - res.0), res.1 + s * (biz.1 - res.1))
 }
 
 /// Builds the traffic tensor from the latents. See the module docs for
@@ -193,9 +191,7 @@ pub fn build_traffic(latents: &Latents, tp: TemporalParams, rng: &mut impl Rng) 
     let phase_noise = Field::smooth_noise(grid, 1, rng);
     let phase: Vec<f64> = grid
         .iter()
-        .map(|(y, x)| {
-            19.0 - 6.5 * latents.industrial.at(y, x) + 0.6 * phase_noise.at(y, x)
-        })
+        .map(|(y, x)| 19.0 - 6.5 * latents.industrial.at(y, x) + 0.6 * phase_noise.at(y, x))
         .collect();
 
     // --- Time loop ------------------------------------------------------
@@ -210,7 +206,11 @@ pub fn build_traffic(latents: &Latents, tp: TemporalParams, rng: &mut impl Rng) 
         // The corridor only carries traffic while people are moving or
         // at work (06:00–21:00).
         let hod = hour.rem_euclid(24.0);
-        let gate = if (6.0..21.0).contains(&hod) { 1.0 } else { 0.15 };
+        let gate = if (6.0..21.0).contains(&hod) {
+            1.0
+        } else {
+            0.15
+        };
         for (i, (y, x)) in grid.iter().enumerate() {
             // AR(1) residual, updated per step.
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -338,7 +338,10 @@ mod tests {
         let series = traffic.city_series();
         let weekday: f64 = series[0..24].iter().sum();
         let sunday: f64 = series[144..168].iter().sum();
-        assert!(sunday < 0.9 * weekday, "sunday {sunday} vs weekday {weekday}");
+        assert!(
+            sunday < 0.9 * weekday,
+            "sunday {sunday} vs weekday {weekday}"
+        );
     }
 
     #[test]
@@ -361,7 +364,10 @@ mod tests {
         let dist = ((night.0 as f64 - noon.0 as f64).powi(2)
             + (night.1 as f64 - noon.1 as f64).powi(2))
         .sqrt();
-        assert!(dist > 1.0, "peak did not move: night {night:?} noon {noon:?}");
+        assert!(
+            dist > 1.0,
+            "peak did not move: night {night:?} noon {noon:?}"
+        );
     }
 
     #[test]

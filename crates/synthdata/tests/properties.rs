@@ -7,7 +7,11 @@ use spectragan_geo::context::NUM_ATTRIBUTES;
 use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
 
 fn ds() -> DatasetConfig {
-    DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 }
+    DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.4,
+    }
 }
 
 proptest! {

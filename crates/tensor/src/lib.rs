@@ -25,7 +25,13 @@
 //! simplicity and robustness over cleverness — no type-level shape
 //! tricks, shapes are checked at runtime with precise panic messages,
 //! and every op has a numerical gradient check in the test suite.
+//!
+//! Heavy kernels (the conv2d family) run on the deterministic
+//! work-stealing pool in [`pool`]; results are bit-identical at every
+//! thread count because work is split into index-addressed tiles with
+//! unchanged per-tile summation order.
 
+pub mod pool;
 pub mod shape;
 pub mod tape;
 pub mod tensor;

@@ -1,0 +1,227 @@
+//! Deterministic data-parallel compute pool.
+//!
+//! Every parallel routine in the workspace funnels through this module,
+//! and all of them share one contract: **the result is bit-identical to
+//! the serial execution, at any thread count**. That holds because work
+//! is split into *indexed* tasks whose outputs go to disjoint,
+//! index-addressed destinations — which thread happens to execute task
+//! `i` never changes what task `i` computes or where it writes. Only
+//! wall-clock time depends on the thread count.
+//!
+//! Scheduling is self-balancing: workers claim task indices from a
+//! shared atomic counter, so a slow tile does not stall the rest of the
+//! batch. Threads are scoped ([`std::thread::scope`]), so borrowed
+//! inputs need no `'static` gymnastics and panics propagate to the
+//! caller.
+//!
+//! The worker count comes from, in priority order:
+//! 1. [`set_threads`] (programmatic override, used by tests to compare
+//!    thread counts in-process),
+//! 2. the `SPECTRAGAN_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At one thread every routine degrades to a plain serial loop on the
+//! calling thread — no pool, no atomics, no unsafe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent parallel calls.
+/// `Some(n)` forces `n` workers (`n >= 1`); `None` restores the
+/// environment/default resolution.
+///
+/// Results never depend on this setting — it exists so tests and
+/// benchmarks can sweep thread counts within one process.
+pub fn set_threads(n: Option<usize>) {
+    let v = match n {
+        Some(n) => {
+            assert!(n >= 1, "thread count must be at least 1");
+            n
+        }
+        None => 0,
+    };
+    THREAD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The worker count parallel routines will use right now.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SPECTRAGAN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..n_tasks)` across the pool and returns the results in
+/// task-index order, exactly as the serial `(0..n_tasks).map(f)` would.
+///
+/// `f` must be safe to call concurrently; each index is claimed by
+/// exactly one worker.
+pub fn par_map<R, F>(n_tasks: usize, f: F) -> Vec<R>
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads().min(n_tasks);
+    if workers <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let slots: Vec<OnceLock<R>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let _ = slots[i].set(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("each task index is claimed exactly once")
+        })
+        .collect()
+}
+
+/// Splits `data` into `data.len() / chunk_len` consecutive tiles and
+/// runs `f(tile_index, tile)` across the pool. Tiles are disjoint and
+/// index-addressed, so the final contents of `data` are independent of
+/// the thread count.
+///
+/// # Panics
+/// Panics if `chunk_len` is zero or does not divide `data.len()`.
+pub fn par_chunks_mut<F>(data: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "chunk_len must divide the buffer length"
+    );
+    let n_chunks = data.len() / chunk_len;
+    let workers = threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let base = &base;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    // SAFETY: tile i covers i*chunk_len..(i+1)*chunk_len,
+                    // within bounds by construction; the atomic counter
+                    // hands each index to exactly one worker, so tiles
+                    // never alias, and the scope keeps `data` borrowed
+                    // for the whole run.
+                    let tile = unsafe {
+                        std::slice::from_raw_parts_mut(base.0.add(i * chunk_len), chunk_len)
+                    };
+                    f(i, tile);
+                }
+            });
+        }
+    });
+}
+
+/// A raw pointer blessed for cross-thread use; sound because
+/// [`par_chunks_mut`] derives only disjoint slices from it.
+struct SendPtr(*mut f32);
+
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that touch the global override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let _g = LOCK.lock().unwrap();
+        for t in [1, 2, 3, 8] {
+            set_threads(Some(t));
+            let got = par_map(17, |i| i * i);
+            assert_eq!(
+                got,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={t}"
+            );
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 5), vec![5]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_at_any_thread_count() {
+        let _g = LOCK.lock().unwrap();
+        let fill = |i: usize, chunk: &mut [f32]| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 100 + j) as f32;
+            }
+        };
+        set_threads(Some(1));
+        let mut serial = vec![0.0f32; 60];
+        par_chunks_mut(&mut serial, 5, fill);
+        for t in [2, 4, 7] {
+            set_threads(Some(t));
+            let mut parallel = vec![0.0f32; 60];
+            par_chunks_mut(&mut parallel, 5, fill);
+            assert_eq!(parallel, serial, "threads={t}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must divide")]
+    fn ragged_chunks_are_rejected() {
+        let mut data = vec![0.0f32; 10];
+        par_chunks_mut(&mut data, 3, |_, _| {});
+    }
+}

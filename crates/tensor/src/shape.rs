@@ -66,7 +66,10 @@ impl Shape {
         let mut off = 0;
         let strides = self.strides();
         for (d, (&i, &s)) in index.iter().zip(&strides).enumerate() {
-            assert!(i < self.0[d], "index {i} out of range for dim {d} of {self}");
+            assert!(
+                i < self.0[d],
+                "index {i} out of range for dim {d} of {self}"
+            );
             off += i * s;
         }
         off

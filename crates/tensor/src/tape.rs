@@ -317,7 +317,9 @@ impl Var {
     pub fn relu(&self) -> Var {
         let x = self.value();
         let v = x.map(|v| v.max(0.0));
-        self.unary(v, move |g| g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 }))
+        self.unary(v, move |g| {
+            g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 })
+        })
     }
 
     /// Leaky ReLU with negative slope `alpha`.
@@ -340,9 +342,7 @@ impl Var {
     pub fn softplus(&self) -> Var {
         let x = self.value();
         let v = x.map(softplus_scalar);
-        self.unary(v, move |g| {
-            g.zip(&x, |gi, xi| gi / (1.0 + (-xi).exp()))
-        })
+        self.unary(v, move |g| g.zip(&x, |gi, xi| gi / (1.0 + (-xi).exp())))
     }
 
     /// Elementwise division `self / other` (no zero handling — caller
@@ -683,7 +683,13 @@ mod tests {
                     let vs: Vec<Var> = inputs
                         .iter()
                         .enumerate()
-                        .map(|(i, t)| t2.leaf(if i == vi { perturbed.clone() } else { t.clone() }))
+                        .map(|(i, t)| {
+                            t2.leaf(if i == vi {
+                                perturbed.clone()
+                            } else {
+                                t.clone()
+                            })
+                        })
                         .collect();
                     f(&t2, &vs).value().item()
                 };
@@ -750,7 +756,11 @@ mod tests {
         let a = Tensor::randn([2, 3], &mut r);
         let b = Tensor::randn([2, 3], &mut r);
         grad_check(&[a, b], |_, v| {
-            v[0].mul(&v[1]).add(&v[0]).sub(&v[1].scale(0.5)).add_scalar(1.0).mean()
+            v[0].mul(&v[1])
+                .add(&v[0])
+                .sub(&v[1].scale(0.5))
+                .add_scalar(1.0)
+                .mean()
         });
     }
 
@@ -758,13 +768,13 @@ mod tests {
     fn gc_activations() {
         let mut r = rng();
         let a = Tensor::randn([8], &mut r);
-        grad_check(&[a.clone()], |_, v| v[0].sigmoid().sum());
-        grad_check(&[a.clone()], |_, v| v[0].tanh().sum());
-        grad_check(&[a.clone()], |_, v| v[0].softplus().sum());
-        grad_check(&[a.clone()], |_, v| v[0].exp().mean());
+        grad_check(std::slice::from_ref(&a), |_, v| v[0].sigmoid().sum());
+        grad_check(std::slice::from_ref(&a), |_, v| v[0].tanh().sum());
+        grad_check(std::slice::from_ref(&a), |_, v| v[0].softplus().sum());
+        grad_check(std::slice::from_ref(&a), |_, v| v[0].exp().mean());
         // Shift away from 0 where relu is non-differentiable.
         let shifted = a.map(|x| x + if x >= 0.0 { 0.5 } else { -0.5 });
-        grad_check(&[shifted.clone()], |_, v| v[0].relu().sum());
+        grad_check(std::slice::from_ref(&shifted), |_, v| v[0].relu().sum());
         grad_check(&[shifted], |_, v| v[0].leaky_relu(0.2).sum());
     }
 
@@ -805,8 +815,10 @@ mod tests {
         let mut r = rng();
         let a = Tensor::randn([2, 6], &mut r);
         let b = Tensor::randn([2, 3], &mut r);
-        grad_check(&[a.clone()], |_, v| v[0].reshape([3, 4]).sigmoid().sum());
-        grad_check(&[a.clone()], |_, v| v[0].narrow(1, 2, 3).sum());
+        grad_check(std::slice::from_ref(&a), |_, v| {
+            v[0].reshape([3, 4]).sigmoid().sum()
+        });
+        grad_check(std::slice::from_ref(&a), |_, v| v[0].narrow(1, 2, 3).sum());
         grad_check(&[a, b], |_, v| {
             Var::concat(&[v[0].clone(), v[1].clone()], 1).tanh().sum()
         });
@@ -823,8 +835,10 @@ mod tests {
         grad_check(&[pos], |_, v| v[0].sqrt_eps(1e-6).sum());
         // Keep away from the |·| kink and clamp boundaries.
         let shifted = a.map(|v| if v >= 0.0 { v + 0.3 } else { v - 0.3 });
-        grad_check(&[shifted.clone()], |_, v| v[0].abs().sum());
-        grad_check(&[shifted.clone()], |_, v| v[0].clamp(-0.8, 0.8).square().sum());
+        grad_check(std::slice::from_ref(&shifted), |_, v| v[0].abs().sum());
+        grad_check(std::slice::from_ref(&shifted), |_, v| {
+            v[0].clamp(-0.8, 0.8).square().sum()
+        });
         grad_check(&[shifted], |_, v| v[0].square().mean());
     }
 
@@ -841,7 +855,7 @@ mod tests {
     fn gc_permute_and_pool() {
         let mut r = rng();
         let x = Tensor::randn([2, 3, 4, 4], &mut r);
-        grad_check(&[x.clone()], |_, v| {
+        grad_check(std::slice::from_ref(&x), |_, v| {
             v[0].permute(&[0, 2, 3, 1]).sigmoid().sum()
         });
         grad_check(&[x], |_, v| v[0].avg_pool2().tanh().sum());
@@ -852,7 +866,7 @@ mod tests {
         let mut r = rng();
         let x = Tensor::randn([2, 5], &mut r);
         let t = Tensor::randn([2, 5], &mut r);
-        grad_check(&[x.clone()], {
+        grad_check(std::slice::from_ref(&x), {
             let t = t.clone();
             move |_, v| v[0].mse_to(&t)
         });
@@ -862,7 +876,7 @@ mod tests {
             let t = t.clone();
             move |_, v| v[0].l1_to(&t)
         });
-        grad_check(&[x.clone()], |_, v| v[0].bce_with_logits(1.0));
+        grad_check(std::slice::from_ref(&x), |_, v| v[0].bce_with_logits(1.0));
         grad_check(&[x], |_, v| v[0].bce_with_logits(0.0));
     }
 
@@ -889,6 +903,6 @@ mod tests {
         let x = tape.leaf(Tensor::scalar(0.0));
         // softplus(0) − 1·0 = ln 2.
         let loss = x.bce_with_logits(1.0);
-        assert!((loss.value().item() - 0.693147).abs() < 1e-5);
+        assert!((loss.value().item() - std::f32::consts::LN_2).abs() < 1e-5);
     }
 }

@@ -42,7 +42,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// All-ones tensor.
@@ -54,12 +57,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
     }
 
     /// Standard-normal random tensor (Box–Muller over the supplied RNG,
@@ -152,7 +161,10 @@ impl Tensor {
             "cannot reshape {} into {shape}",
             self.shape
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -255,10 +267,7 @@ impl Tensor {
     /// # Panics
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -275,11 +284,25 @@ impl Tensor {
     /// # Panics
     /// Panics unless both operands are rank 2 with matching inner dims.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.ndim(), 2, "matmul lhs must be rank 2, got {}", self.shape);
-        assert_eq!(other.shape.ndim(), 2, "matmul rhs must be rank 2, got {}", other.shape);
+        assert_eq!(
+            self.shape.ndim(),
+            2,
+            "matmul lhs must be rank 2, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.ndim(),
+            2,
+            "matmul rhs must be rank 2, got {}",
+            other.shape
+        );
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
-        assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims differ: {} vs {}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -299,7 +322,12 @@ impl Tensor {
 
     /// Transpose of a rank-2 tensor.
     pub fn transpose2(&self) -> Tensor {
-        assert_eq!(self.shape.ndim(), 2, "transpose2 needs rank 2, got {}", self.shape);
+        assert_eq!(
+            self.shape.ndim(),
+            2,
+            "transpose2 needs rank 2, got {}",
+            self.shape
+        );
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -318,6 +346,11 @@ impl Tensor {
     /// `weight [Cout, Cin, KH, KW]`, stride 1, zero padding `pad` on all
     /// sides. Output is `[N, Cout, H + 2·pad − KH + 1, W + 2·pad − KW + 1]`.
     ///
+    /// Parallelized over `(batch, out-channel)` tiles on the
+    /// [`crate::pool`] pool; each tile writes only its own `OH·OW`
+    /// slice and the per-pixel summation order is unchanged, so the
+    /// output is bit-identical at every thread count.
+    ///
     /// # Panics
     /// Panics on rank/channel mismatches or kernels larger than the
     /// padded input.
@@ -325,43 +358,54 @@ impl Tensor {
         let (n, cin, h, w) = dims4(self, "conv2d input");
         let (cout, cin_w, kh, kw) = dims4(weight, "conv2d weight");
         assert_eq!(cin, cin_w, "conv2d channels: input {cin} vs weight {cin_w}");
-        let oh = (h + 2 * pad).checked_sub(kh - 1).expect("kernel taller than padded input");
-        let ow = (w + 2 * pad).checked_sub(kw - 1).expect("kernel wider than padded input");
+        let oh = (h + 2 * pad)
+            .checked_sub(kh - 1)
+            .expect("kernel taller than padded input");
+        let ow = (w + 2 * pad)
+            .checked_sub(kw - 1)
+            .expect("kernel wider than padded input");
         let mut out = Tensor::zeros([n, cout, oh, ow]);
-        for b in 0..n {
-            for oc in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ic in 0..cin {
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < pad || iy - pad >= h {
+        if out.data.is_empty() {
+            return out;
+        }
+        crate::pool::par_chunks_mut(&mut out.data, oh * ow, |tile, plane| {
+            let b = tile / cout;
+            let oc = tile % cout;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..cin {
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            let in_base = ((b * cin + ic) * h + iy) * w;
+                            let w_base = ((oc * cin + ic) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix - pad >= w {
                                     continue;
                                 }
-                                let iy = iy - pad;
-                                let in_base = ((b * cin + ic) * h + iy) * w;
-                                let w_base = ((oc * cin + ic) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    acc += self.data[in_base + (ix - pad)]
-                                        * weight.data[w_base + kx];
-                                }
+                                acc += self.data[in_base + (ix - pad)] * weight.data[w_base + kx];
                             }
                         }
-                        *out.at_mut(&[b, oc, oy, ox]) = acc;
                     }
+                    plane[oy * ow + ox] = acc;
                 }
             }
-        }
+        });
         out
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to the input, given
     /// the upstream gradient `grad_out [N, Cout, OH, OW]`.
+    ///
+    /// Parallelized over `(batch, in-channel)` tiles; for each input
+    /// cell the contributions still accumulate in the serial
+    /// `oc → oy → ox → ky → kx` order, so the gradient is bit-identical
+    /// at every thread count.
     pub fn conv2d_grad_input(
         grad_out: &Tensor,
         weight: &Tensor,
@@ -371,10 +415,17 @@ impl Tensor {
         let (n, cout, oh, ow) = dims4(grad_out, "conv2d grad_out");
         let (cout_w, cin, kh, kw) = dims4(weight, "conv2d weight");
         assert_eq!(cout, cout_w, "conv2d grad channels mismatch");
+        assert_eq!(input_shape.dim(0), n, "conv2d grad batch mismatch");
+        assert_eq!(input_shape.dim(1), cin, "conv2d grad channel mismatch");
         let h = input_shape.dim(2);
         let w = input_shape.dim(3);
         let mut grad_in = Tensor::zeros(input_shape.clone());
-        for b in 0..n {
+        if grad_in.data.is_empty() {
+            return grad_in;
+        }
+        crate::pool::par_chunks_mut(&mut grad_in.data, h * w, |tile, plane| {
+            let b = tile / cin;
+            let ic = tile % cin;
             for oc in 0..cout {
                 for oy in 0..oh {
                     for ox in 0..ow {
@@ -382,33 +433,33 @@ impl Tensor {
                         if g == 0.0 {
                             continue;
                         }
-                        for ic in 0..cin {
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < pad || iy - pad >= h {
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            let row = (iy - pad) * w;
+                            let w_base = ((oc * cin + ic) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix - pad >= w {
                                     continue;
                                 }
-                                let iy = iy - pad;
-                                let in_base = ((b * cin + ic) * h + iy) * w;
-                                let w_base = ((oc * cin + ic) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    grad_in.data[in_base + (ix - pad)] +=
-                                        g * weight.data[w_base + kx];
-                                }
+                                plane[row + (ix - pad)] += g * weight.data[w_base + kx];
                             }
                         }
                     }
                 }
             }
-        }
+        });
         grad_in
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to the weight.
+    ///
+    /// Parallelized over out-channel tiles; for each weight cell the
+    /// contributions still accumulate in the serial `b → oy → ox`
+    /// order, so the gradient is bit-identical at every thread count.
     pub fn conv2d_grad_weight(
         grad_out: &Tensor,
         input: &Tensor,
@@ -418,11 +469,20 @@ impl Tensor {
         let (n, cout, oh, ow) = dims4(grad_out, "conv2d grad_out");
         let (n_i, cin, h, w) = dims4(input, "conv2d input");
         assert_eq!(n, n_i, "conv2d grad batch mismatch");
+        assert_eq!(
+            weight_shape.dim(0),
+            cout,
+            "conv2d grad out-channel mismatch"
+        );
+        assert_eq!(weight_shape.dim(1), cin, "conv2d grad in-channel mismatch");
         let kh = weight_shape.dim(2);
         let kw = weight_shape.dim(3);
         let mut grad_w = Tensor::zeros(weight_shape.clone());
-        for b in 0..n {
-            for oc in 0..cout {
+        if grad_w.data.is_empty() {
+            return grad_w;
+        }
+        crate::pool::par_chunks_mut(&mut grad_w.data, cin * kh * kw, |oc, kernel| {
+            for b in 0..n {
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let g = grad_out.data[((b * cout + oc) * oh + oy) * ow + ox];
@@ -437,21 +497,20 @@ impl Tensor {
                                 }
                                 let iy = iy - pad;
                                 let in_base = ((b * cin + ic) * h + iy) * w;
-                                let w_base = ((oc * cin + ic) * kh + ky) * kw;
+                                let k_base = (ic * kh + ky) * kw;
                                 for kx in 0..kw {
                                     let ix = ox + kx;
                                     if ix < pad || ix - pad >= w {
                                         continue;
                                     }
-                                    grad_w.data[w_base + kx] +=
-                                        g * input.data[in_base + (ix - pad)];
+                                    kernel[k_base + kx] += g * input.data[in_base + (ix - pad)];
                                 }
                             }
                         }
                     }
                 }
             }
-        }
+        });
         grad_w
     }
     // ------------------------------------------------------------------
@@ -464,7 +523,11 @@ impl Tensor {
     /// Panics if `axis` or the range is out of bounds.
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
         let dims = self.shape.dims();
-        assert!(axis < dims.len(), "narrow axis {axis} out of range for {}", self.shape);
+        assert!(
+            axis < dims.len(),
+            "narrow axis {axis} out of range for {}",
+            self.shape
+        );
         assert!(
             start + len <= dims[axis],
             "narrow range {start}..{} exceeds dim {} of {}",
@@ -515,14 +578,20 @@ impl Tensor {
             }
             *slot = self.data[src];
         }
-        Tensor { shape: out_shape, data: out }
+        Tensor {
+            shape: out_shape,
+            data: out,
+        }
     }
 
     /// 2×2 average pooling with stride 2 on an `[N, C, H, W]` tensor
     /// (`H`, `W` must be even).
     pub fn avg_pool2(&self) -> Tensor {
         let (n, c, h, w) = dims4(self, "avg_pool2 input");
-        assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 needs even spatial dims, got {h}x{w}");
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "avg_pool2 needs even spatial dims, got {h}x{w}"
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut out = Tensor::zeros([n, c, oh, ow]);
         for b in 0..n {
@@ -577,7 +646,12 @@ impl Tensor {
 
 /// Unpacks a rank-4 shape, with a contextual panic message.
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
-    assert_eq!(t.shape().ndim(), 4, "{what} must be rank 4, got {}", t.shape());
+    assert_eq!(
+        t.shape().ndim(),
+        4,
+        "{what} must be rank 4, got {}",
+        t.shape()
+    );
     (
         t.shape().dim(0),
         t.shape().dim(1),
@@ -666,10 +740,7 @@ mod tests {
     fn matmul_identity() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Tensor::randn([3, 3], &mut rng);
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            [3, 3],
-        );
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], [3, 3]);
         let prod = a.matmul(&eye);
         for (x, y) in prod.data().iter().zip(a.data()) {
             assert!((x - y).abs() < 1e-6);
@@ -732,8 +803,14 @@ mod tests {
             let rhs_x: f32 = x.data().iter().zip(gi.data()).map(|(a, b)| a * b).sum();
             let gw = Tensor::conv2d_grad_weight(&g, &x, w.shape(), pad);
             let rhs_w: f32 = w.data().iter().zip(gw.data()).map(|(a, b)| a * b).sum();
-            assert!((lhs - rhs_x).abs() < 1e-2 * lhs.abs().max(1.0), "pad {pad}: {lhs} vs {rhs_x}");
-            assert!((lhs - rhs_w).abs() < 1e-2 * lhs.abs().max(1.0), "pad {pad}: {lhs} vs {rhs_w}");
+            assert!(
+                (lhs - rhs_x).abs() < 1e-2 * lhs.abs().max(1.0),
+                "pad {pad}: {lhs} vs {rhs_x}"
+            );
+            assert!(
+                (lhs - rhs_w).abs() < 1e-2 * lhs.abs().max(1.0),
+                "pad {pad}: {lhs} vs {rhs_w}"
+            );
         }
     }
 

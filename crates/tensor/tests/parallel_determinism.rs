@@ -1,0 +1,80 @@
+//! Bit-for-bit serial/parallel equivalence for the pool-backed conv2d
+//! kernels: for arbitrary (odd, ragged) shapes, running at 1 thread and
+//! at several worker counts must produce identical bits, not merely
+//! close floats. This is the contract `spectragan_tensor::pool`
+//! advertises and the generation determinism tests rely on.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use spectragan_tensor::{pool, Tensor};
+
+/// `pool::set_threads` is process-global; serialize the sweeps so
+/// concurrently running properties don't fight over it.
+static POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Worker counts to compare against the serial run, deliberately
+/// including counts above this machine's core count and counts that do
+/// not divide the tile counts evenly.
+const SWEEP: [usize; 4] = [2, 3, 5, 8];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv2d_forward_is_thread_count_invariant(
+        (n, cin, cout) in (1usize..3, 1usize..4, 1usize..4),
+        (h, w) in (1usize..8, 1usize..8),
+        (kh, kw, pad) in (1usize..4, 1usize..4, 0usize..3),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= kh && w + 2 * pad >= kw);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let input = Tensor::randn([n, cin, h, w], &mut rng);
+        let weight = Tensor::randn([cout, cin, kh, kw], &mut rng);
+
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        pool::set_threads(Some(1));
+        let serial = bits(&input.conv2d(&weight, pad));
+        for t in SWEEP {
+            pool::set_threads(Some(t));
+            let parallel = bits(&input.conv2d(&weight, pad));
+            pool::set_threads(None);
+            prop_assert_eq!(&parallel, &serial, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn conv2d_gradients_are_thread_count_invariant(
+        (n, cin, cout) in (1usize..3, 1usize..4, 1usize..4),
+        (h, w) in (1usize..8, 1usize..8),
+        (kh, kw, pad) in (1usize..4, 1usize..4, 0usize..3),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= kh && w + 2 * pad >= kw);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let input = Tensor::randn([n, cin, h, w], &mut rng);
+        let weight = Tensor::randn([cout, cin, kh, kw], &mut rng);
+        let oh = h + 2 * pad - kh + 1;
+        let ow = w + 2 * pad - kw + 1;
+        let grad_out = Tensor::randn([n, cout, oh, ow], &mut rng);
+
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        pool::set_threads(Some(1));
+        let gi_serial =
+            bits(&Tensor::conv2d_grad_input(&grad_out, &weight, input.shape(), pad));
+        let gw_serial =
+            bits(&Tensor::conv2d_grad_weight(&grad_out, &input, weight.shape(), pad));
+        for t in SWEEP {
+            pool::set_threads(Some(t));
+            let gi = bits(&Tensor::conv2d_grad_input(&grad_out, &weight, input.shape(), pad));
+            let gw = bits(&Tensor::conv2d_grad_weight(&grad_out, &input, weight.shape(), pad));
+            pool::set_threads(None);
+            prop_assert_eq!(&gi, &gi_serial, "grad_input, threads={}", t);
+            prop_assert_eq!(&gw, &gw_serial, "grad_weight, threads={}", t);
+        }
+    }
+}

@@ -19,7 +19,12 @@ fn main() {
     println!("planning for {} using synthetic data only", target.name);
 
     let mut model = SpectraGan::new(SpectraGanConfig::default_hourly(), 9);
-    let tc = TrainConfig { steps: 120, batch_patches: 3, lr: 2e-3, seed: 0 };
+    let tc = TrainConfig {
+        steps: 120,
+        batch_patches: 3,
+        lr: 2e-3,
+        seed: 0,
+    };
     model.train(train_cities, &tc);
     let synth = model.generate(&target.context, 2 * 168, 5);
     let real = target.traffic.slice_time(168, 3 * 168);
@@ -51,8 +56,16 @@ fn main() {
     let a_synth = vran::assess(&plan_synth, &eval_day, 4);
     let a_real = vran::assess(&plan_real, &eval_day, 4);
     println!("\nvRAN RU-to-CU load balance (Jain index over one day, 4 CUs):");
-    println!("  planned on real data:  {:.3} ± {:.3}", a_real.mean(), a_real.std());
-    println!("  planned on synthetic:  {:.3} ± {:.3}", a_synth.mean(), a_synth.std());
+    println!(
+        "  planned on real data:  {:.3} ± {:.3}",
+        a_real.mean(),
+        a_real.std()
+    );
+    println!(
+        "  planned on synthetic:  {:.3} ± {:.3}",
+        a_synth.mean(),
+        a_synth.std()
+    );
     println!("\n(The paper's point: the two rows should be close — synthetic data");
     println!(" is a dependable stand-in for planning studies.)");
 }

@@ -18,7 +18,11 @@ fn main() {
     let ds = DatasetConfig::eval();
     let cities = country1(&ds);
     let (test_city, train_cities) = cities.split_first().expect("nine cities");
-    println!("training on {} cities, holding out {}", train_cities.len(), test_city.name);
+    println!(
+        "training on {} cities, holding out {}",
+        train_cities.len(),
+        test_city.name
+    );
 
     // 2. Model + training (1 week of each training city).
     let cfg = SpectraGanConfig::default_hourly();
@@ -28,7 +32,12 @@ fn main() {
         model.store().len(),
         model.store().num_weights()
     );
-    let tc = TrainConfig { steps: 120, batch_patches: 3, lr: 2e-3, seed: 0 };
+    let tc = TrainConfig {
+        steps: 120,
+        batch_patches: 3,
+        lr: 2e-3,
+        seed: 0,
+    };
     let stats = model.train(train_cities, &tc);
     println!(
         "trained {} steps; L1 {:.3} → {:.3}",
@@ -52,7 +61,13 @@ fn main() {
     // 4. Compare against the real held-out weeks.
     let real = test_city.traffic.slice_time(168, 168 + t_out);
     println!("fidelity vs real data:");
-    println!("  spatial PCC of mean maps: {:.3}", pearson(&real.mean_map(), &synth.mean_map()));
-    println!("  SSIM:                     {:.3}", ssim_mean_maps(&real, &synth));
+    println!(
+        "  spatial PCC of mean maps: {:.3}",
+        pearson(&real.mean_map(), &synth.mean_map())
+    );
+    println!(
+        "  SSIM:                     {:.3}",
+        ssim_mean_maps(&real, &synth)
+    );
     println!("  M-TV:                     {:.4}", m_tv(&real, &synth));
 }

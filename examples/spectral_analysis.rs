@@ -8,25 +8,37 @@
 //! cargo run --release --example spectral_analysis
 //! ```
 
-use spectragan_dsp::{
-    expand_spectrum, irfft, magnitude, reconstruct_top_k, rfft, top_k_indices,
-};
+use spectragan_dsp::{expand_spectrum, irfft, magnitude, reconstruct_top_k, rfft, top_k_indices};
 use spectragan_synthdata::{country1, DatasetConfig};
 
 fn main() {
-    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.5 };
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.5,
+    };
     let city = &country1(&ds)[0];
     let series = city.traffic.city_series();
     let t = series.len();
-    println!("{}: one week of hourly city-mean traffic ({t} samples)", city.name);
+    println!(
+        "{}: one week of hourly city-mean traffic ({t} samples)",
+        city.name
+    );
 
     // Dominant components.
     let spec = rfft(&series);
     let mags = magnitude(&spec);
     println!("\ndominant frequency components:");
     for &k in top_k_indices(&spec, 6).iter() {
-        let period = if k == 0 { f64::INFINITY } else { t as f64 / k as f64 };
-        println!("  bin {k:>3}  period {period:>8.1} h  magnitude {:.3}", mags[k]);
+        let period = if k == 0 {
+            f64::INFINITY
+        } else {
+            t as f64 / k as f64
+        };
+        println!(
+            "  bin {k:>3}  period {period:>8.1} h  magnitude {:.3}",
+            mags[k]
+        );
     }
 
     // Reconstruction quality vs number of components (Fig. 1e).
@@ -34,7 +46,11 @@ fn main() {
     let energy: f64 = series.iter().map(|v| v * v).sum();
     for k in [1usize, 2, 3, 5, 8, 13, 85] {
         let rec = reconstruct_top_k(&series, k);
-        let err: f64 = series.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum();
+        let err: f64 = series
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
         println!("  k = {k:>3}: {:.3}% residual energy", 100.0 * err / energy);
     }
 

@@ -30,7 +30,12 @@ fn main() {
     let ds = DatasetConfig::eval();
     let cities = country1(&ds);
     let mut model = SpectraGan::new(SpectraGanConfig::default_hourly(), 1);
-    let tc = TrainConfig { steps: 120, batch_patches: 3, lr: 2e-3, seed: 0 };
+    let tc = TrainConfig {
+        steps: 120,
+        batch_patches: 3,
+        lr: 2e-3,
+        seed: 0,
+    };
     model.train(&cities, &tc);
 
     // Hand-build a 20×20 region: dense center top-left, industrial
@@ -70,7 +75,9 @@ fn main() {
     let downtown = mm[6 * w + 6];
     let industrial = mm[14 * w + 14];
     let edge = mm[w / 2];
-    println!("  mean traffic: downtown {downtown:.4}, industrial {industrial:.4}, barren edge {edge:.4}");
+    println!(
+        "  mean traffic: downtown {downtown:.4}, industrial {industrial:.4}, barren edge {edge:.4}"
+    );
 
     // When does it peak, on average?
     let series = synth.city_series();
@@ -81,5 +88,10 @@ fn main() {
         .max_by(|&a, &b| day[a].partial_cmp(&day[b]).expect("finite"))
         .expect("24 hours");
     println!("  average peak hour of day: {peak_hour}:00");
-    println!("  hourly profile: {:?}", day.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  hourly profile: {:?}",
+        day.iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 }

@@ -15,11 +15,20 @@ use spectragan_metrics::{ac_l1, m_tv};
 use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 
 fn cities(n: u64) -> Vec<spectragan_geo::City> {
-    let ds = DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 };
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.4,
+    };
     (0..n)
         .map(|i| {
             generate_city(
-                &CityConfig { name: format!("BP{i}"), height: 33, width: 33, seed: 70 + i },
+                &CityConfig {
+                    name: format!("BP{i}"),
+                    height: 33,
+                    width: 33,
+                    seed: 70 + i,
+                },
                 &ds,
             )
         })
@@ -33,13 +42,26 @@ fn all_models_honour_the_generation_contract() {
     let cs = cities(3);
     let (test, train) = cs.split_first().unwrap();
     let train = train.to_vec();
-    let tc = BaselineTrainConfig { steps: 2, batch: 1, lr: 1e-3, seed: 0 };
+    let tc = BaselineTrainConfig {
+        steps: 2,
+        batch: 1,
+        lr: 1e-3,
+        seed: 0,
+    };
     let t_out = 30;
 
     let outputs = vec![
         {
             let mut m = SpectraGan::new(SpectraGanConfig::tiny(), 0);
-            m.train(&train, &TrainConfig { steps: 2, batch_patches: 1, lr: 1e-3, seed: 0 });
+            m.train(
+                &train,
+                &TrainConfig {
+                    steps: 2,
+                    batch_patches: 1,
+                    lr: 1e-3,
+                    seed: 0,
+                },
+            );
             m.generate(&test.context, t_out, 0)
         },
         Fdas::fit(&train, 1).generate(&test.context, t_out, 0),

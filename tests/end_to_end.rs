@@ -8,12 +8,21 @@ use spectragan_metrics::{ac_l1, fvd, m_tv, ssim_mean_maps, tstr_r2};
 use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
 
 fn tiny_ds() -> DatasetConfig {
-    DatasetConfig { weeks: 1, steps_per_hour: 1, size_scale: 0.4 }
+    DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.4,
+    }
 }
 
 fn city(seed: u64) -> spectragan_geo::City {
     generate_city(
-        &CityConfig { name: format!("IT{seed}"), height: 33, width: 33, seed },
+        &CityConfig {
+            name: format!("IT{seed}"),
+            height: 33,
+            width: 33,
+            seed,
+        },
         &tiny_ds(),
     )
 }
@@ -24,7 +33,12 @@ fn train_generate_evaluate_roundtrip() {
     let test = city(99);
     let cfg = SpectraGanConfig::tiny();
     let mut model = SpectraGan::new(cfg, 0);
-    let tc = TrainConfig { steps: 25, batch_patches: 2, lr: 3e-3, seed: 0 };
+    let tc = TrainConfig {
+        steps: 25,
+        batch_patches: 2,
+        lr: 3e-3,
+        seed: 0,
+    };
     model.train(&train, &tc);
     let synth = model.generate(&test.context, 48, 1);
     // All five metrics must be computable and finite on the output.
@@ -69,11 +83,19 @@ fn generated_data_feeds_every_use_case() {
 fn data_reference_scores_best_on_marginals() {
     // The DATA row of Table 2: an independent realization of the same
     // city should beat an *untrained* model on every metric.
-    let cfg = CityConfig { name: "REF".into(), height: 33, width: 33, seed: 5 };
+    let cfg = CityConfig {
+        name: "REF".into(),
+        height: 33,
+        width: 33,
+        seed: 5,
+    };
     let base = generate_city(&cfg, &tiny_ds());
     let variant = generate_city_variant(&cfg, &tiny_ds(), 999);
-    let untrained = SpectraGan::new(SpectraGanConfig::tiny(), 0)
-        .generate(&base.context, base.traffic.len_t(), 0);
+    let untrained = SpectraGan::new(SpectraGanConfig::tiny(), 0).generate(
+        &base.context,
+        base.traffic.len_t(),
+        0,
+    );
     let m_ref = m_tv(&base.traffic, &variant.traffic);
     let m_unt = m_tv(&base.traffic, &untrained);
     assert!(m_ref < m_unt, "reference {m_ref} vs untrained {m_unt}");

@@ -2,14 +2,26 @@
 //! metric suite: the DATA reference must dominate simple distortions,
 //! and each metric must isolate its own axis of fidelity.
 
+use spectragan_geo::TrafficMap;
 use spectragan_metrics::{ac_l1, m_emd, m_tv, psnr, ssim_mean_maps, tstr_r2};
 use spectragan_synthdata::{generate_city, generate_city_variant, CityConfig, DatasetConfig};
-use spectragan_geo::TrafficMap;
 
 fn base_city() -> (spectragan_geo::City, spectragan_geo::City) {
-    let ds = DatasetConfig { weeks: 2, steps_per_hour: 1, size_scale: 0.4 };
-    let cfg = CityConfig { name: "MP".into(), height: 36, width: 36, seed: 21 };
-    (generate_city(&cfg, &ds), generate_city_variant(&cfg, &ds, 77))
+    let ds = DatasetConfig {
+        weeks: 2,
+        steps_per_hour: 1,
+        size_scale: 0.4,
+    };
+    let cfg = CityConfig {
+        name: "MP".into(),
+        height: 36,
+        width: 36,
+        seed: 21,
+    };
+    (
+        generate_city(&cfg, &ds),
+        generate_city_variant(&cfg, &ds, 77),
+    )
 }
 
 /// Shuffle time: destroys temporal metrics, leaves marginal intact.

@@ -1,0 +1,259 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a minimal serialization framework under serde's name. The
+//! real serde decouples data formats from data structures through
+//! serializer/deserializer visitors; the only format this workspace
+//! ever uses is JSON, so the stand-in collapses the design to a single
+//! in-memory [`Value`] tree: [`Serialize`] lowers a type into a
+//! `Value`, [`Deserialize`] rebuilds the type from one, and the
+//! `serde_json` stand-in handles text.
+//!
+//! Covered surface: `#[derive(Serialize, Deserialize)]` on structs
+//! with named fields, tuple structs, and unit-variant enums; the
+//! primitive/`String`/`Option`/`Vec`/reference impls those derives
+//! need. `#[serde(...)]` attributes are not supported (the workspace
+//! uses none).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped value tree: the stand-in's entire data model.
+///
+/// Numbers are stored as `f64`; every integer this workspace persists
+/// (dimensions, parameter counts) is far below 2⁵³, and `f32` weights
+/// widen to `f64` exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion-ordered, duplicate keys unchecked.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path + reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Num(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Arr(_) => "an array",
+            Value::Obj(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Produces the value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting structural mismatches as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 && *n >= <$t>::MIN as f64 && *n <= <$t>::MAX as f64 => {
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("an array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.25f32.to_value()).unwrap(), 1.25);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        assert!(bool::from_value(&Value::Num(1.0)).is_err());
+        assert!(usize::from_value(&Value::Num(1.5)).is_err());
+        assert!(usize::from_value(&Value::Num(-1.0)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream directly (the registry that would
+//! provide `syn`/`quote` is unreachable from this build environment)
+//! and emits `impl` blocks as source text. Supported shapes — the ones
+//! this workspace derives on — are:
+//!
+//! * structs with named fields → JSON object keyed by field name;
+//! * newtype/tuple structs → the inner value / a JSON array;
+//! * enums with unit variants only → the variant name as a string;
+//! * lifetime-only generics (`Serialize` only).
+//!
+//! Anything else (type generics, data-carrying enum variants,
+//! `#[serde(...)]` attributes) is rejected with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input turned out to be.
+enum Item {
+    /// Struct with named fields.
+    Named {
+        name: String,
+        generics: String,
+        fields: Vec<String>,
+    },
+    /// Tuple struct with `arity` fields.
+    Tuple {
+        name: String,
+        generics: String,
+        arity: usize,
+    },
+    /// Enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let code = match (&item, serialize) {
+        (
+            Item::Named {
+                name,
+                generics,
+                fields,
+            },
+            true,
+        ) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (
+            Item::Named {
+                name,
+                generics,
+                fields,
+            },
+            false,
+        ) => {
+            if !generics.is_empty() {
+                return error("Deserialize derive does not support generics");
+            }
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get(\"{f}\") {{\n\
+                             Some(fv) => ::serde::Deserialize::from_value(fv)\n\
+                                 .map_err(|e| ::serde::DeError(format!(\"field `{f}`: {{}}\", e)))?,\n\
+                             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                 .map_err(|_| ::serde::DeError(\"missing field `{f}`\".to_string()))?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Obj(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(::serde::DeError::expected(\"an object\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (
+            Item::Tuple {
+                name,
+                generics,
+                arity,
+            },
+            true,
+        ) => {
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently, as upstream
+                // serde does.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let entries: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{entries}])")
+            };
+            format!(
+                "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        (
+            Item::Tuple {
+                name,
+                generics,
+                arity,
+            },
+            false,
+        ) => {
+            if !generics.is_empty() {
+                return error("Deserialize derive does not support generics");
+            }
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Arr(items) if items.len() == {arity} => \
+                             Ok({name}({elems})),\n\
+                         other => Err(::serde::DeError::expected(\"an array of {arity}\", other)),\n\
+                     }}"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        (Item::UnitEnum { name, variants }, true) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::UnitEnum { name, variants }, false) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown {name} variant `{{}}`\", other))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::expected(\"a variant string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"serde stand-in derive: {msg}\");")
+        .parse()
+        .expect("error emission")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = ident_at(&tokens, &mut pos).ok_or("expected `struct` or `enum`")?;
+    let name = ident_at(&tokens, &mut pos).ok_or("expected item name")?;
+    let generics = parse_generics(&tokens, &mut pos)?;
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::Named {
+                    name,
+                    generics,
+                    fields,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::Tuple {
+                    name,
+                    generics,
+                    arity,
+                })
+            }
+            _ => Err("unit structs are not supported".into()),
+        },
+        "enum" => {
+            if !generics.is_empty() {
+                return Err("generic enums are not supported".into());
+            }
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = parse_unit_variants(g.stream())?;
+                    Ok(Item::UnitEnum { name, variants })
+                }
+                _ => Err("expected enum body".into()),
+            }
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, …).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `(crate)` / `(super)` / …
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Some(i.to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Captures `<...>` verbatim (lifetime parameters only) so it can be
+/// spliced into both the `impl<...>` and `Type<...>` positions.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(String::new()),
+    }
+    let mut depth = 0usize;
+    let mut text = String::new();
+    // A lifetime parameter reaches the macro as a `'` punct followed by
+    // an identifier; a bare identifier would be a type parameter, which
+    // the splice-verbatim strategy cannot express in the impl header.
+    let mut prev_tick = false;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        if matches!(tok, TokenTree::Ident(_)) && !prev_tick {
+            return Err("type-generic items are not supported (lifetimes only)".into());
+        }
+        prev_tick = matches!(tok, TokenTree::Punct(p) if p.as_char() == '\'');
+        text.push_str(&tok.to_string());
+        *pos += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    Ok(text)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = ident_at(&tokens, &mut pos).ok_or("expected field name")?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        fields.push(field);
+        skip_type(&tokens, &mut pos);
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping after the comma that ends the
+/// field (or at end of input). Commas nested in `<...>` or any
+/// delimiter group belong to the type.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut arity = 0;
+    while pos < tokens.len() {
+        arity += 1;
+        skip_attrs_and_vis(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+    }
+    arity
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let variant = ident_at(&tokens, &mut pos).ok_or("expected variant name")?;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(_) => {
+                return Err(format!(
+                    "variant `{variant}` carries data; only unit variants are supported"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
