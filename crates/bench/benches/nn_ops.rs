@@ -82,7 +82,7 @@ fn bench_train_step(c: &mut Criterion) {
             seed: 0,
         };
         let cities = vec![city.clone()];
-        b.iter(|| model.train(black_box(&cities), &tc))
+        b.iter(|| model.train(black_box(&cities), &tc).unwrap())
     });
 }
 

@@ -119,7 +119,9 @@ impl TrainedModel {
                     lr: scale.lr,
                     seed,
                 };
-                model.train(&training, &tc);
+                model
+                    .train(&training, &tc)
+                    .expect("SpectraGAN training failed");
                 TrainedModel::Spectra(Box::new(model))
             }
             ModelKind::Fdas => TrainedModel::Fdas(Fdas::fit(&training, scale.steps_per_hour)),

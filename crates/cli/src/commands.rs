@@ -3,8 +3,10 @@
 
 use crate::args::Args;
 use crate::dataset_dir::{read_dataset, write_dataset};
-use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig, Variant};
-use spectragan_geo::io::{load_context, load_traffic, save_traffic, traffic_to_csv};
+use spectragan_core::{
+    checkpoint, SpectraGan, SpectraGanConfig, TrainConfig, TrainOptions, Variant,
+};
+use spectragan_geo::io::{atomic_write, load_context, load_traffic, save_traffic, traffic_to_csv};
 use spectragan_metrics::{ac_l1, fvd, m_emd, m_tv, ssim_mean_maps, tstr_r2};
 use spectragan_synthdata::{country1, country2, DatasetConfig};
 use std::fs;
@@ -72,23 +74,71 @@ fn parse_variant(name: &str) -> Result<Variant, String> {
 }
 
 /// `spectragan train --data DIR --out MODEL [--steps N] [--lr F]
-/// [--variant V] [--holdout CITY] [--seed N]` — train on a dataset
-/// directory (first week of each city).
+/// [--variant V] [--holdout CITY] [--seed N] [--run-dir DIR]
+/// [--checkpoint-every N] [--resume RUN_DIR]` — train on a dataset
+/// directory (first week of each city), optionally writing crash-safe
+/// checkpoints, or resume a killed run from its last checkpoint
+/// (bit-identical to an uninterrupted run).
 pub fn cmd_train(args: &Args) -> Result<(), String> {
     let data = Path::new(args.require("data").map_err(|e| e.to_string())?);
     let out = args.require("out").map_err(|e| e.to_string())?;
-    let steps = args
-        .get_parsed("steps", 200usize, "integer")
-        .map_err(|e| e.to_string())?;
-    let lr = args
-        .get_parsed("lr", 2e-3f32, "float")
-        .map_err(|e| e.to_string())?;
-    let seed = args
-        .get_parsed("seed", 0u64, "integer")
-        .map_err(|e| e.to_string())?;
-    let variant = parse_variant(args.get("variant").unwrap_or("full"))?;
+
+    // Resume restores every hyper-parameter from the checkpoint; a
+    // fresh run takes them from flags. `--steps` may extend a resumed
+    // run; other conflicting flags are rejected by validate_against.
+    let resume = match args.get("resume") {
+        None => None,
+        Some(dir) => {
+            let run_dir = Path::new(dir);
+            let found = checkpoint::latest(run_dir)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no checkpoint to resume in {dir}"))?;
+            for (path, why) in &found.skipped {
+                eprintln!(
+                    "warning: skipped corrupt checkpoint {} ({why})",
+                    path.display()
+                );
+            }
+            Some((run_dir, found))
+        }
+    };
 
     let (manifest, mut cities) = read_dataset(data)?;
+    let (cfg, mut tc) = match &resume {
+        Some((_, found)) => (found.checkpoint.config, found.checkpoint.train),
+        None => {
+            let variant = parse_variant(args.get("variant").unwrap_or("full"))?;
+            let train_len = 7 * 24 * manifest.steps_per_hour;
+            let cfg = SpectraGanConfig {
+                train_len,
+                ..SpectraGanConfig::default_hourly()
+            }
+            .with_variant(variant);
+            let tc = TrainConfig {
+                steps: args
+                    .get_parsed("steps", 200usize, "integer")
+                    .map_err(|e| e.to_string())?,
+                batch_patches: 3,
+                lr: args
+                    .get_parsed("lr", 2e-3f32, "float")
+                    .map_err(|e| e.to_string())?,
+                seed: args
+                    .get_parsed("seed", 0u64, "integer")
+                    .map_err(|e| e.to_string())?,
+            };
+            (cfg, tc)
+        }
+    };
+    if resume.is_some() {
+        // Only an explicit --steps overrides the checkpointed target
+        // (extension or early finish); defaults must not.
+        if let Some(steps) = args.get("steps") {
+            tc.steps = steps
+                .parse()
+                .map_err(|_| format!("--steps got '{steps}', expected integer"))?;
+        }
+    }
+
     if let Some(holdout) = args.get("holdout") {
         let before = cities.len();
         cities.retain(|c| c.name != holdout);
@@ -96,10 +146,7 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             return Err(format!("holdout city '{holdout}' not in dataset"));
         }
     }
-    if cities.is_empty() {
-        return Err("no cities left to train on".into());
-    }
-    let train_len = 7 * 24 * manifest.steps_per_hour;
+    let train_len = cfg.train_len;
     let training: Vec<_> = cities
         .iter()
         .map(|c| spectragan_geo::City {
@@ -108,29 +155,58 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             context: c.context.clone(),
         })
         .collect();
-    let cfg = SpectraGanConfig {
-        train_len,
-        ..SpectraGanConfig::default_hourly()
-    }
-    .with_variant(variant);
-    let mut model = SpectraGan::new(cfg, seed);
+
+    let mut model = match &resume {
+        Some((_, found)) => {
+            SpectraGan::from_checkpoint(&found.checkpoint).map_err(|e| e.to_string())?
+        }
+        None => SpectraGan::new(cfg, tc.seed),
+    };
+
+    let run_dir = match (&resume, args.get("run-dir")) {
+        (Some((dir, _)), _) => Some(*dir),
+        (None, Some(dir)) => Some(Path::new(dir)),
+        (None, None) => None,
+    };
+    let opts = TrainOptions {
+        run_dir,
+        checkpoint_every: args
+            .get_parsed("checkpoint-every", 25usize, "integer")
+            .map_err(|e| e.to_string())?,
+        resume_from: resume.as_ref().map(|(_, found)| &found.checkpoint),
+        guard_grad_norm: args
+            .get_parsed("guard-grad-norm", 1e4f32, "float")
+            .map_err(|e| e.to_string())?,
+        guard_max_retries: args
+            .get_parsed("guard-max-retries", 3u32, "integer")
+            .map_err(|e| e.to_string())?,
+        // Crash injection for the kill/resume end-to-end test.
+        abort_at_step: args
+            .get_parsed("abort-at-step", 0usize, "integer")
+            .map(|s| if s == 0 { None } else { Some(s) })
+            .map_err(|e| e.to_string())?,
+    };
     if !args.switch("quiet") {
-        println!(
-            "training {variant:?} on {} cities, {} steps (T = {train_len})…",
-            training.len(),
-            steps
-        );
+        match &resume {
+            Some((dir, found)) => println!(
+                "resuming from {} at step {} ({} steps total)…",
+                dir.display(),
+                found.checkpoint.step,
+                tc.steps
+            ),
+            None => println!(
+                "training {:?} on {} cities, {} steps (T = {train_len})…",
+                cfg.variant,
+                training.len(),
+                tc.steps
+            ),
+        }
     }
-    let stats = model.train(
-        &training,
-        &TrainConfig {
-            steps,
-            batch_patches: 3,
-            lr,
-            seed,
-        },
-    );
-    fs::write(out, model.to_model_json()).map_err(|e| format!("write {out}: {e}"))?;
+    let stats = model
+        .train_with(&training, &tc, &opts)
+        .map_err(|e| e.to_string())?;
+    atomic_write(Path::new(out), model.to_model_json().as_bytes())
+        .map_err(|e| format!("write {out}: {e}"))?;
     println!(
         "saved {out} (final L1 {:.4})",
         stats.l1.last().copied().unwrap_or(f32::NAN)
@@ -152,7 +228,7 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
-    let model = SpectraGan::from_model_json(&json)?;
+    let model = SpectraGan::from_model_json(&json).map_err(|e| e.to_string())?;
     let context = load_context(ctx_path).map_err(|e| format!("{ctx_path}: {e}"))?;
     let steps_per_hour = {
         // Model train_len is a week; derive granularity from it.
@@ -161,7 +237,8 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let t_out = hours * steps_per_hour.max(1);
     let map = model.generate(&context, t_out, seed);
     if args.switch("csv") {
-        fs::write(out, traffic_to_csv(&map)).map_err(|e| format!("write {out}: {e}"))?;
+        atomic_write(Path::new(out), traffic_to_csv(&map).as_bytes())
+            .map_err(|e| format!("write {out}: {e}"))?;
     } else {
         save_traffic(&map, out).map_err(|e| format!("write {out}: {e}"))?;
     }
@@ -229,7 +306,7 @@ pub fn cmd_info(args: &Args) -> Result<(), String> {
         );
     } else {
         let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        let model = SpectraGan::from_model_json(&json)?;
+        let model = SpectraGan::from_model_json(&json).map_err(|e| e.to_string())?;
         let cfg = model.config();
         println!("SpectraGAN model: variant {:?}", cfg.variant);
         println!(
@@ -250,9 +327,19 @@ spectragan — spectrum-based generation of city-scale mobile traffic
 USAGE:
   spectragan dataset  --out DIR [--country 1|2|all] [--weeks N] [--granularity 60|30|15] [--scale F]
   spectragan train    --data DIR --out MODEL.json [--steps N] [--lr F] [--variant V] [--holdout CITY] [--seed N] [--quiet]
+                      [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N]
+  spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
   spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--csv]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
 Variants: full, spec-only, time-only, time-only-plus, pixel-context.
+
+Checkpointing: with --run-dir, training writes a checksummed snapshot of
+the full state (weights, optimizer moments, loss traces) every
+--checkpoint-every steps (default 25) plus a per-step train_log.jsonl;
+--resume picks up the newest valid snapshot and yields final weights
+bit-identical to an uninterrupted run. Steps whose loss goes NaN/inf or
+whose gradient norm exceeds --guard-grad-norm are skipped, logged, and
+retried with a re-rolled RNG lane (at most --guard-max-retries times).
 ";

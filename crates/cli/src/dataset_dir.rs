@@ -2,7 +2,7 @@
 //! city — the on-disk currency the CLI subcommands exchange.
 
 use serde::{Deserialize, Serialize};
-use spectragan_geo::io::{load_context, load_traffic, save_context, save_traffic};
+use spectragan_geo::io::{atomic_write, load_context, load_traffic, save_context, save_traffic};
 use spectragan_geo::City;
 use std::fs;
 use std::path::Path;
@@ -50,7 +50,8 @@ pub fn write_dataset(dir: &Path, cities: &[City], steps_per_hour: usize) -> Resu
         });
     }
     let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
-    fs::write(dir.join("manifest.json"), json).map_err(|e| format!("write manifest: {e}"))?;
+    atomic_write(dir.join("manifest.json"), json.as_bytes())
+        .map_err(|e| format!("write manifest: {e}"))?;
     Ok(())
 }
 

@@ -93,6 +93,62 @@ fn full_workflow_runs() {
 }
 
 #[test]
+fn interrupted_training_resumes_to_identical_weights() {
+    let data = tmp("resume_data");
+    let straight = tmp("straight.json");
+    let resumed = tmp("resumed.json");
+    let run_dir = tmp("resume_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    run(
+        cmd_dataset,
+        &format!(
+            "dataset --out {} --country 2 --weeks 1 --scale 0.3",
+            data.display()
+        ),
+    )
+    .unwrap();
+
+    // Uninterrupted 6-step run.
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 6 --quiet",
+            data.display(),
+            straight.display()
+        ),
+    )
+    .unwrap();
+
+    // 3 steps with checkpoints, then resume to 6 and compare bytes.
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 3 --run-dir {} --checkpoint-every 2 --quiet",
+            data.display(),
+            resumed.display(),
+            run_dir.display()
+        ),
+    )
+    .unwrap();
+    assert!(run_dir.join("train_log.jsonl").exists());
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --resume {} --steps 6 --quiet",
+            data.display(),
+            resumed.display(),
+            run_dir.display()
+        ),
+    )
+    .unwrap();
+
+    let a = std::fs::read(&straight).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert_eq!(a, b, "resumed model file differs from the straight run");
+}
+
+#[test]
 fn bad_inputs_give_clean_errors() {
     let err = run(cmd_train, "train --data /nonexistent --out /tmp/x.json").unwrap_err();
     assert!(err.contains("manifest"), "{err}");

@@ -35,7 +35,7 @@ impl Variant {
 }
 
 /// Hyper-parameters of the SpectraGAN model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpectraGanConfig {
     /// Number of context attributes `C` (27 in the paper).
     pub context_channels: usize,
@@ -143,7 +143,7 @@ impl SpectraGanConfig {
 }
 
 /// Training-loop configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Number of generator/discriminator update steps.
     pub steps: usize,

@@ -272,7 +272,7 @@ mod tests {
             lr: 4e-3,
             seed: 0,
         };
-        model.train(&train_cities, &tc);
+        model.train(&train_cities, &tc).unwrap();
         let synth = model.generate(&test_city.context, 24, 3);
         let real_mean = test_city.traffic.mean_map();
         let synth_mean = synth.mean_map();

@@ -30,12 +30,22 @@
 //! The ablation variants of §4.2 are first-class: [`Variant::SpecOnly`],
 //! [`Variant::TimeOnly`], [`Variant::TimeOnlyPlus`] and
 //! [`Variant::PixelContext`] (the paper's SpectraGAN−).
+//!
+//! Training is **crash-safe**: [`SpectraGan::train_with`] periodically
+//! writes checksummed checkpoints (weights + optimizer moments + loss
+//! traces) through atomic renames, and a killed run resumed from its
+//! last checkpoint produces bit-identical final weights — see
+//! [`checkpoint`] and the [`train`] module docs.
 
+pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod fourier;
 pub mod generate;
 pub mod model;
 pub mod train;
 
+pub use checkpoint::{Checkpoint, LogRecord};
 pub use config::{SpectraGanConfig, TrainConfig, Variant};
-pub use train::{SpectraGan, TrainStats};
+pub use error::CoreError;
+pub use train::{SpectraGan, TrainOptions, TrainStats};

@@ -13,14 +13,36 @@
 //!   variant; Time-only is adversarial-only, matching §4.2).
 //!
 //! Both sides are updated with GAN-flavoured Adam (`β₁ = 0.5`).
+//!
+//! # Crash safety and determinism
+//!
+//! Each step's RNG stream is derived from `(seed, step, lane)` with a
+//! SplitMix64-style mixer — there is no long-lived RNG whose position
+//! would have to be serialized. Together with the checkpointed weights,
+//! optimizer moments and loss traces (see [`crate::checkpoint`]), this
+//! gives the **bit-identical restart contract**: a run killed at any
+//! step and resumed from its last checkpoint produces exactly the same
+//! final weights as an uninterrupted run, at any thread count.
+//!
+//! The *lane* is the divergence guard's retry index: when a step's loss
+//! goes NaN/inf or a gradient norm blows up, the update is **not**
+//! applied (the step-start state — the last good state — is untouched),
+//! the event is logged, and the step re-runs with the next RNG lane,
+//! i.e. a different minibatch and noise draw. A step whose every lane
+//! diverges aborts the run with [`CoreError::Diverged`], leaving the
+//! last good checkpoint on disk.
 
+use crate::checkpoint::{self, Checkpoint, LogRecord};
 use crate::config::{SpectraGanConfig, TrainConfig, Variant};
+use crate::error::CoreError;
 use crate::fourier::{masked_spec_rows, patch_to_rows};
 use crate::model::{Discriminators, Generator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spectragan_geo::{City, PatchLayout, PatchSpec};
 use spectragan_nn::{Adam, Binding, ParamStore, Tape, Tensor};
+use std::path::Path;
+use std::time::Instant;
 
 /// One training sample: a context window with its traffic patch in both
 /// representations.
@@ -34,8 +56,9 @@ struct Sample {
     spec: Tensor,
 }
 
-/// Loss traces recorded during training.
-#[derive(Debug, Clone, Default)]
+/// Loss traces recorded during training (serialized into checkpoints
+/// so a resumed run returns the full history).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainStats {
     /// Discriminator loss per step.
     pub d_loss: Vec<f32>,
@@ -43,6 +66,73 @@ pub struct TrainStats {
     pub g_adv: Vec<f32>,
     /// Explicit L1 loss per step (0 for variants without one).
     pub l1: Vec<f32>,
+}
+
+/// Options for [`SpectraGan::train_with`]: checkpointing, resume and
+/// the divergence guard. [`TrainOptions::default`] trains exactly like
+/// the plain [`SpectraGan::train`] — no run directory, guard enabled at
+/// a generous threshold.
+pub struct TrainOptions<'a> {
+    /// Run directory for checkpoints and `train_log.jsonl`; `None`
+    /// disables all persistence.
+    pub run_dir: Option<&'a Path>,
+    /// Write a checkpoint every this many completed steps (0 = only
+    /// the final checkpoint, when `run_dir` is set).
+    pub checkpoint_every: usize,
+    /// Resume from this checkpoint: weights, optimizer moments, stats
+    /// and the step counter are restored before the loop starts.
+    pub resume_from: Option<&'a Checkpoint>,
+    /// Divergence threshold on each update's global gradient norm
+    /// (pre-clip). Non-finite losses or norms always trigger the guard;
+    /// set to `f32::INFINITY` to guard on non-finiteness only.
+    pub guard_grad_norm: f32,
+    /// How many alternative RNG lanes to try when a step diverges
+    /// before giving up with [`CoreError::Diverged`].
+    pub guard_max_retries: u32,
+    /// Crash injection for end-to-end kill tests: abort the process
+    /// (as an OOM-kill would) immediately after this many steps
+    /// complete — after the step's checkpoint, if one is due.
+    pub abort_at_step: Option<usize>,
+}
+
+impl Default for TrainOptions<'_> {
+    fn default() -> Self {
+        TrainOptions {
+            run_dir: None,
+            checkpoint_every: 0,
+            resume_from: None,
+            guard_grad_norm: 1e4,
+            guard_max_retries: 3,
+            abort_at_step: None,
+        }
+    }
+}
+
+/// Derives the RNG seed of one training step's `lane`-th attempt from
+/// the run seed (SplitMix64 finalizer, the same construction
+/// generation uses for per-patch noise). Making the stream a pure
+/// function of `(seed, step, lane)` is what lets checkpoints omit RNG
+/// state entirely.
+fn step_seed(seed: u64, step: u64, lane: u64) -> u64 {
+    let mut z =
+        seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ lane.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Global L2 norm of the gradients of `bound` parameters (pre-clip).
+fn grad_norm(
+    bound: &[(spectragan_nn::ParamId, spectragan_tensor::Var)],
+    grads: &spectragan_tensor::Gradients,
+) -> f32 {
+    bound
+        .iter()
+        .filter_map(|(_, var)| grads.get(var))
+        .flat_map(|g| g.data().iter())
+        .map(|&v| v * v)
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// A trainable SpectraGAN instance: parameters plus both network
@@ -112,52 +202,87 @@ impl SpectraGan {
     }
 
     /// Reconstructs a model from [`SpectraGan::to_model_json`] output.
-    pub fn from_model_json(json: &str) -> Result<Self, String> {
+    pub fn from_model_json(json: &str) -> Result<Self, CoreError> {
         #[derive(serde::Deserialize)]
         struct ModelFile {
             format: String,
             config: SpectraGanConfig,
             store: ParamStore,
         }
-        let file: ModelFile =
-            serde_json::from_str(json).map_err(|e| format!("malformed model file: {e}"))?;
+        let file: ModelFile = serde_json::from_str(json)
+            .map_err(|e| CoreError::Model(format!("malformed model file: {e}")))?;
         if file.format != "spectragan-model-v1" {
-            return Err(format!("unsupported model format '{}'", file.format));
+            return Err(CoreError::Model(format!(
+                "unsupported model format '{}'",
+                file.format
+            )));
         }
         let mut model = SpectraGan::new(file.config, 0);
-        if model.store.len() != file.store.len() {
-            return Err(format!(
-                "weight count mismatch: file has {}, architecture needs {}",
-                file.store.len(),
-                model.store.len()
-            ));
-        }
-        model.store.copy_values_from(&file.store);
+        model.load_store(&file.store)?;
+        Ok(model)
+    }
+
+    /// Rebuilds a model from a training [`Checkpoint`]: architecture
+    /// from its config, weights from its store. Optimizer state stays
+    /// in the checkpoint for [`SpectraGan::train_with`] to restore.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CoreError> {
+        let mut model = SpectraGan::new(ckpt.config, 0);
+        model.load_store(&ckpt.store)?;
         Ok(model)
     }
 
     /// Loads weights saved by [`SpectraGan::weights_json`] into this
     /// (architecturally identical) model.
-    pub fn load_weights_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
-        let other = ParamStore::from_json(json)?;
-        self.store.copy_values_from(&other);
+    pub fn load_weights_json(&mut self, json: &str) -> Result<(), CoreError> {
+        let other = ParamStore::from_json(json)
+            .map_err(|e| CoreError::Model(format!("malformed weights: {e}")))?;
+        self.load_store(&other)
+    }
+
+    /// Copies `other`'s values into this model's store after validating
+    /// parameter count and every shape, so malformed files surface as
+    /// [`CoreError::Model`] rather than a panic.
+    fn load_store(&mut self, other: &ParamStore) -> Result<(), CoreError> {
+        if self.store.len() != other.len() {
+            return Err(CoreError::Model(format!(
+                "weight count mismatch: file has {}, architecture needs {}",
+                other.len(),
+                self.store.len()
+            )));
+        }
+        for ((_, name, mine), (_, _, theirs)) in self.store.iter().zip(other.iter()) {
+            if mine.shape() != theirs.shape() {
+                return Err(CoreError::Model(format!(
+                    "shape mismatch for parameter '{name}': file has {:?}, architecture needs \
+                     {:?}",
+                    theirs.shape().dims(),
+                    mine.shape().dims()
+                )));
+            }
+        }
+        self.store.copy_values_from(other);
         Ok(())
     }
 
     /// Extracts training samples from the cities: every training patch
     /// of every city, with its series rows and masked-spectrum target.
-    fn prepare(&self, cities: &[City]) -> Vec<Sample> {
+    /// Fails with a typed error when the city list is empty, a series
+    /// is too short, or no grid yields a single patch.
+    fn prepare(&self, cities: &[City]) -> Result<Vec<Sample>, CoreError> {
         let cfg = &self.cfg;
+        if cities.is_empty() {
+            return Err(CoreError::NoTrainingData("the city list is empty".into()));
+        }
         let spec_needed = cfg.variant.has_spectrum();
         let mut samples = Vec::new();
         for city in cities {
-            assert!(
-                city.traffic.len_t() >= cfg.train_len,
-                "{} has {} steps, need at least {}",
-                city.name,
-                city.traffic.len_t(),
-                cfg.train_len
-            );
+            if city.traffic.len_t() < cfg.train_len {
+                return Err(CoreError::SeriesTooShort {
+                    city: city.name.clone(),
+                    have: city.traffic.len_t(),
+                    need: cfg.train_len,
+                });
+            }
             let ctx = city.context.standardized();
             let layout = PatchLayout::new(
                 city.grid(),
@@ -179,8 +304,15 @@ impl SpectraGan {
                 });
             }
         }
-        assert!(!samples.is_empty(), "no training patches extracted");
-        samples
+        if samples.is_empty() {
+            return Err(CoreError::NoTrainingData(format!(
+                "no training patches extracted from {} cities (grids smaller than the {}-pixel \
+                 context window?)",
+                cities.len(),
+                cfg.patch_context()
+            )));
+        }
+        Ok(samples)
     }
 
     /// Stacks per-sample tensors along a new leading batch axis.
@@ -192,158 +324,341 @@ impl SpectraGan {
         Tensor::concat(&refs, 0)
     }
 
-    /// Runs adversarial training on the given cities.
-    pub fn train(&mut self, cities: &[City], tc: &TrainConfig) -> TrainStats {
-        let samples = self.prepare(cities);
-        let mut rng = StdRng::seed_from_u64(tc.seed);
+    /// Runs adversarial training on the given cities (no persistence;
+    /// see [`SpectraGan::train_with`] for checkpoint/resume).
+    pub fn train(&mut self, cities: &[City], tc: &TrainConfig) -> Result<TrainStats, CoreError> {
+        self.train_with(cities, tc, &TrainOptions::default())
+    }
+
+    /// Builds the serializable snapshot of the training state after
+    /// `step` completed steps.
+    fn snapshot(
+        &self,
+        step: usize,
+        tc: &TrainConfig,
+        opt_g: &Adam,
+        opt_d: &Adam,
+        stats: &TrainStats,
+    ) -> Checkpoint {
+        Checkpoint {
+            format: checkpoint::CHECKPOINT_FORMAT.to_string(),
+            step,
+            config: self.cfg,
+            train: *tc,
+            store: self.store.clone(),
+            opt_g: opt_g.export_state(),
+            opt_d: opt_d.export_state(),
+            stats: stats.clone(),
+        }
+    }
+
+    /// Runs adversarial training with checkpointing, resume and the
+    /// divergence guard (see the module docs for the restart contract).
+    pub fn train_with(
+        &mut self,
+        cities: &[City],
+        tc: &TrainConfig,
+        opts: &TrainOptions<'_>,
+    ) -> Result<TrainStats, CoreError> {
+        let samples = self.prepare(cities)?;
         let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut stats = TrainStats::default();
+        let mut start_step = 0usize;
+        if let Some(ck) = opts.resume_from {
+            ck.validate_against(&self.cfg, tc)?;
+            self.load_store(&ck.store)?;
+            opt_g.import_state(&ck.opt_g);
+            opt_d.import_state(&ck.opt_d);
+            stats = ck.stats.clone();
+            start_step = ck.step.min(tc.steps);
+            if let Some(dir) = opts.run_dir {
+                // Drop stale post-checkpoint log lines so the resumed
+                // replay of those steps is not recorded twice.
+                checkpoint::truncate_log(dir, start_step)?;
+            }
+        }
         let cfg = self.cfg;
-        let px = cfg.pixels_per_patch();
 
-        for _step in 0..tc.steps {
-            // ---- Minibatch assembly -----------------------------------
-            let batch: Vec<&Sample> = (0..tc.batch_patches)
-                .map(|_| &samples[rng.gen_range(0..samples.len())])
-                .collect();
-            let ctx_batch = Self::stack(&batch.iter().map(|s| &s.ctx).collect::<Vec<_>>());
-            let series_real = {
-                let refs: Vec<&Tensor> = batch.iter().map(|s| &s.series).collect();
-                Tensor::concat(&refs, 0)
-            };
-            let spec_real = if cfg.variant.has_spectrum() {
-                let refs: Vec<&Tensor> = batch.iter().map(|s| &s.spec).collect();
-                Some(Tensor::concat(&refs, 0))
-            } else {
-                None
-            };
-            // Per-patch noise vector, broadcast spatially.
-            let mut z = Tensor::zeros([
-                tc.batch_patches,
-                cfg.noise_dim,
-                cfg.patch_traffic,
-                cfg.patch_traffic,
-            ]);
-            for p in 0..tc.batch_patches {
-                for d in 0..cfg.noise_dim {
-                    let v: f32 = {
-                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                        let u2: f32 = rng.gen_range(0.0..1.0);
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-                    };
-                    let hw = cfg.patch_traffic * cfg.patch_traffic;
-                    let base = (p * cfg.noise_dim + d) * hw;
-                    for e in 0..hw {
-                        z.data_mut()[base + e] = v;
+        for step in start_step..tc.steps {
+            let step_start = Instant::now();
+            let mut applied: Option<LogRecord> = None;
+            let mut last_reason = String::new();
+            for lane in 0..=opts.guard_max_retries {
+                let outcome = self.train_step(
+                    &samples,
+                    tc,
+                    step,
+                    lane,
+                    &mut opt_g,
+                    &mut opt_d,
+                    cfg,
+                    opts.guard_grad_norm,
+                );
+                let wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
+                match &outcome.reason {
+                    Some(reason) => {
+                        // The update was NOT applied: weights and
+                        // optimizer moments are still the last good
+                        // state. Log the event and re-roll the lane.
+                        if let Some(dir) = opts.run_dir {
+                            checkpoint::append_log(
+                                dir,
+                                &outcome.record(step, wall_ms, Some(reason.clone())),
+                            )?;
+                        }
+                        last_reason = reason.clone();
+                    }
+                    None => {
+                        applied = Some(outcome.record(step, wall_ms, None));
+                        break;
                     }
                 }
             }
-            let _ = px;
-
-            // ---- Forward ------------------------------------------------
-            let tape = Tape::new();
-            let bind = Binding::new(&tape, &self.store);
-            let ctx_var = tape.leaf(ctx_batch.clone());
-            let z_var = tape.leaf(z);
-            let out = self.gen.forward(&bind, &ctx_var, &z_var);
-            let ctx_rows = self.disc.encode_rows(&bind, &ctx_var);
-            let real_series_var = tape.leaf(series_real.clone());
-
-            // The time discriminator judges a random window of the
-            // series (temporal patch discriminator; cfg.disc_time_window
-            // = 0 disables windowing). Real and fake views share the
-            // window so the critic compares like with like.
-            let t_full = cfg.train_len;
-            let win = if cfg.disc_time_window == 0 {
-                t_full
-            } else {
-                cfg.disc_time_window.min(t_full)
+            let Some(record) = applied else {
+                return Err(CoreError::Diverged {
+                    step,
+                    retries: opts.guard_max_retries,
+                    reason: last_reason,
+                });
             };
-            let w0 = if win < t_full {
-                rng.gen_range(0..=t_full - win)
-            } else {
-                0
-            };
+            stats.d_loss.push(record.d_loss);
+            stats.g_adv.push(record.g_adv);
+            stats.l1.push(record.l1);
+            if let Some(dir) = opts.run_dir {
+                checkpoint::append_log(dir, &record)?;
+            }
 
-            // ---- Discriminator loss (detached fakes) -------------------
-            let fake_series_det = tape.leaf(out.series.value().as_ref().clone());
-            let real_win = real_series_var.narrow(1, w0, win);
-            let mut d_loss = self
-                .disc
-                .time_logits(&bind, &real_win, &ctx_rows)
-                .bce_with_logits(1.0)
+            // ---- Persistence ------------------------------------------
+            let completed = step + 1;
+            if let Some(dir) = opts.run_dir {
+                let due = opts.checkpoint_every > 0 && completed % opts.checkpoint_every == 0;
+                if due || completed == tc.steps {
+                    checkpoint::save(dir, &self.snapshot(completed, tc, &opt_g, &opt_d, &stats))?;
+                }
+            }
+            if opts.abort_at_step == Some(completed) {
+                // Crash injection for kill/resume end-to-end tests: die
+                // the way an OOM-kill would, with no unwinding.
+                eprintln!("aborting at step {completed} (crash injection)");
+                std::process::abort();
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs one training step attempt on RNG lane `lane` — forward,
+    /// losses, gradients — and applies the optimizer updates only when
+    /// healthy. Returns the step's losses and gradient norms for the
+    /// guard and the log.
+    #[allow(clippy::too_many_arguments)]
+    fn train_step(
+        &mut self,
+        samples: &[Sample],
+        tc: &TrainConfig,
+        step: usize,
+        lane: u32,
+        opt_g: &mut Adam,
+        opt_d: &mut Adam,
+        cfg: SpectraGanConfig,
+        guard_grad_norm: f32,
+    ) -> StepOutcome {
+        let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step as u64, lane as u64));
+        // ---- Minibatch assembly -----------------------------------
+        let batch: Vec<&Sample> = (0..tc.batch_patches)
+            .map(|_| &samples[rng.gen_range(0..samples.len())])
+            .collect();
+        let ctx_batch = Self::stack(&batch.iter().map(|s| &s.ctx).collect::<Vec<_>>());
+        let series_real = {
+            let refs: Vec<&Tensor> = batch.iter().map(|s| &s.series).collect();
+            Tensor::concat(&refs, 0)
+        };
+        let spec_real = if cfg.variant.has_spectrum() {
+            let refs: Vec<&Tensor> = batch.iter().map(|s| &s.spec).collect();
+            Some(Tensor::concat(&refs, 0))
+        } else {
+            None
+        };
+        // Per-patch noise vector, broadcast spatially.
+        let mut z = Tensor::zeros([
+            tc.batch_patches,
+            cfg.noise_dim,
+            cfg.patch_traffic,
+            cfg.patch_traffic,
+        ]);
+        for p in 0..tc.batch_patches {
+            for d in 0..cfg.noise_dim {
+                let v: f32 = {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                };
+                let hw = cfg.patch_traffic * cfg.patch_traffic;
+                let base = (p * cfg.noise_dim + d) * hw;
+                for e in 0..hw {
+                    z.data_mut()[base + e] = v;
+                }
+            }
+        }
+        // ---- Forward ------------------------------------------------
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &self.store);
+        let ctx_var = tape.leaf(ctx_batch.clone());
+        let z_var = tape.leaf(z);
+        let out = self.gen.forward(&bind, &ctx_var, &z_var);
+        let ctx_rows = self.disc.encode_rows(&bind, &ctx_var);
+        let real_series_var = tape.leaf(series_real.clone());
+
+        // The time discriminator judges a random window of the
+        // series (temporal patch discriminator; cfg.disc_time_window
+        // = 0 disables windowing). Real and fake views share the
+        // window so the critic compares like with like.
+        let t_full = cfg.train_len;
+        let win = if cfg.disc_time_window == 0 {
+            t_full
+        } else {
+            cfg.disc_time_window.min(t_full)
+        };
+        let w0 = if win < t_full {
+            rng.gen_range(0..=t_full - win)
+        } else {
+            0
+        };
+
+        // ---- Discriminator loss (detached fakes) -------------------
+        let fake_series_det = tape.leaf(out.series.value().as_ref().clone());
+        let real_win = real_series_var.narrow(1, w0, win);
+        let mut d_loss = self
+            .disc
+            .time_logits(&bind, &real_win, &ctx_rows)
+            .bce_with_logits(1.0)
+            .add(
+                &self
+                    .disc
+                    .time_logits(&bind, &fake_series_det.narrow(1, w0, win), &ctx_rows)
+                    .bce_with_logits(0.0),
+            );
+        if let (Some(spec_fake), Some(spec_real)) = (&out.spec, &spec_real) {
+            let real_spec_var = tape.leaf(spec_real.clone());
+            let fake_spec_det = tape.leaf(spec_fake.value().as_ref().clone());
+            d_loss = d_loss
                 .add(
                     &self
                         .disc
-                        .time_logits(&bind, &fake_series_det.narrow(1, w0, win), &ctx_rows)
-                        .bce_with_logits(0.0),
-                );
-            if let (Some(spec_fake), Some(spec_real)) = (&out.spec, &spec_real) {
-                let real_spec_var = tape.leaf(spec_real.clone());
-                let fake_spec_det = tape.leaf(spec_fake.value().as_ref().clone());
-                d_loss = d_loss
-                    .add(
-                        &self
-                            .disc
-                            .spec_logits(&bind, &real_spec_var, &ctx_rows)
-                            .bce_with_logits(1.0),
-                    )
-                    .add(
-                        &self
-                            .disc
-                            .spec_logits(&bind, &fake_spec_det, &ctx_rows)
-                            .bce_with_logits(0.0),
-                    );
-            }
-
-            // ---- Generator loss ----------------------------------------
-            let mut g_adv = self
-                .disc
-                .time_logits(&bind, &out.series.narrow(1, w0, win), &ctx_rows)
-                .bce_with_logits(1.0);
-            if let Some(spec_fake) = &out.spec {
-                g_adv = g_adv.add(
+                        .spec_logits(&bind, &real_spec_var, &ctx_rows)
+                        .bce_with_logits(1.0),
+                )
+                .add(
                     &self
                         .disc
-                        .spec_logits(&bind, spec_fake, &ctx_rows)
-                        .bce_with_logits(1.0),
+                        .spec_logits(&bind, &fake_spec_det, &ctx_rows)
+                        .bce_with_logits(0.0),
                 );
-            }
-            let l1 = match cfg.variant {
-                Variant::TimeOnly => None,
-                Variant::TimeOnlyPlus => Some(out.series.l1_to(&series_real)),
-                _ => {
-                    let time_l1 = out.series.l1_to(&series_real);
-                    match (&out.spec, &spec_real) {
-                        (Some(sf), Some(sr)) => Some(time_l1.add(&sf.l1_to(sr))),
-                        _ => Some(time_l1),
-                    }
+        }
+
+        // ---- Generator loss ----------------------------------------
+        let mut g_adv = self
+            .disc
+            .time_logits(&bind, &out.series.narrow(1, w0, win), &ctx_rows)
+            .bce_with_logits(1.0);
+        if let Some(spec_fake) = &out.spec {
+            g_adv = g_adv.add(
+                &self
+                    .disc
+                    .spec_logits(&bind, spec_fake, &ctx_rows)
+                    .bce_with_logits(1.0),
+            );
+        }
+        let l1 = match cfg.variant {
+            Variant::TimeOnly => None,
+            Variant::TimeOnlyPlus => Some(out.series.l1_to(&series_real)),
+            _ => {
+                let time_l1 = out.series.l1_to(&series_real);
+                match (&out.spec, &spec_real) {
+                    (Some(sf), Some(sr)) => Some(time_l1.add(&sf.l1_to(sr))),
+                    _ => Some(time_l1),
                 }
-            };
-            let g_loss = match &l1 {
-                Some(l) => g_adv.add(&l.scale(cfg.lambda)),
-                None => g_adv.clone(),
-            };
+            }
+        };
+        let g_loss = match &l1 {
+            Some(l) => g_adv.add(&l.scale(cfg.lambda)),
+            None => g_adv.clone(),
+        };
 
-            stats.d_loss.push(d_loss.value().item());
-            stats.g_adv.push(g_adv.value().item());
-            stats
-                .l1
-                .push(l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0));
+        let dv = d_loss.value().item();
+        let gv = g_adv.value().item();
+        let l1v = l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0);
 
-            // ---- Updates ------------------------------------------------
-            let grads_d = tape.backward(&d_loss);
-            let grads_g = tape.backward(&g_loss);
-            let bound = bind.bound();
-            let boundary = self.gen_param_end;
-            let (g_bound, d_bound): (Vec<_>, Vec<_>) =
-                bound.into_iter().partition(|(id, _)| id.index() < boundary);
+        // ---- Guard + updates ----------------------------------------
+        let grads_d = tape.backward(&d_loss);
+        let grads_g = tape.backward(&g_loss);
+        let bound = bind.bound();
+        let boundary = self.gen_param_end;
+        let (g_bound, d_bound): (Vec<_>, Vec<_>) =
+            bound.into_iter().partition(|(id, _)| id.index() < boundary);
+        let gnd = grad_norm(&d_bound, &grads_d);
+        let gng = grad_norm(&g_bound, &grads_g);
+        let reason = health_reason(dv, gv, l1v, gnd, gng, guard_grad_norm);
+        if reason.is_none() {
             opt_d.step(&mut self.store, &d_bound, &grads_d);
             opt_g.step(&mut self.store, &g_bound, &grads_g);
         }
-        stats
+        StepOutcome {
+            d_loss: dv,
+            g_adv: gv,
+            l1: l1v,
+            grad_norm_d: gnd,
+            grad_norm_g: gng,
+            reason,
+        }
     }
+}
+
+/// Losses and gradient norms of one step attempt. `reason` is `Some`
+/// when the divergence guard tripped (the update was not applied).
+struct StepOutcome {
+    d_loss: f32,
+    g_adv: f32,
+    l1: f32,
+    grad_norm_d: f32,
+    grad_norm_g: f32,
+    reason: Option<String>,
+}
+
+impl StepOutcome {
+    fn record(&self, step: usize, wall_ms: f64, event: Option<String>) -> LogRecord {
+        LogRecord {
+            step,
+            d_loss: self.d_loss,
+            g_adv: self.g_adv,
+            l1: self.l1,
+            grad_norm_d: self.grad_norm_d,
+            grad_norm_g: self.grad_norm_g,
+            wall_ms,
+            event,
+        }
+    }
+}
+
+/// The divergence-guard health check: `Some(reason)` when any loss is
+/// non-finite or a global gradient norm is non-finite or above `guard`.
+fn health_reason(d: f32, g: f32, l1: f32, gnd: f32, gng: f32, guard: f32) -> Option<String> {
+    if !d.is_finite() {
+        return Some(format!("d_loss = {d}"));
+    }
+    if !g.is_finite() {
+        return Some(format!("g_adv = {g}"));
+    }
+    if !l1.is_finite() {
+        return Some(format!("l1 = {l1}"));
+    }
+    if !gnd.is_finite() || gnd > guard {
+        return Some(format!("discriminator grad norm {gnd} (guard {guard})"));
+    }
+    if !gng.is_finite() || gng > guard {
+        return Some(format!("generator grad norm {gng} (guard {guard})"));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -383,7 +698,7 @@ mod tests {
             lr: 3e-3,
             seed: 1,
         };
-        let stats = model.train(&[city], &tc);
+        let stats = model.train(&[city], &tc).unwrap();
         assert_eq!(stats.d_loss.len(), 30);
         let head: f32 = stats.l1[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = stats.l1[25..].iter().sum::<f32>() / 5.0;
@@ -409,7 +724,7 @@ mod tests {
                 lr: 1e-3,
                 seed: 2,
             };
-            let stats = model.train(std::slice::from_ref(&city), &tc);
+            let stats = model.train(std::slice::from_ref(&city), &tc).unwrap();
             assert_eq!(stats.d_loss.len(), 2, "{variant:?}");
             assert!(stats.d_loss[0].is_finite(), "{variant:?}");
         }
@@ -447,7 +762,7 @@ mod tests {
             lr: 1e-3,
             seed: 3,
         };
-        a.train(std::slice::from_ref(&city), &tc);
+        a.train(std::slice::from_ref(&city), &tc).unwrap();
         a.load_weights_json(&json).unwrap();
         let ga2 = a.generate(&city.context, 24, 9);
         assert_eq!(ga2.data(), gb.data());

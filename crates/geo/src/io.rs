@@ -1,6 +1,8 @@
-//! On-disk formats for traffic and context maps.
+//! On-disk formats for traffic and context maps, plus the atomic-write
+//! and checksummed-container primitives every persistent write in the
+//! workspace routes through.
 //!
-//! Two formats:
+//! Three formats:
 //!
 //! * **SGTM binary** — a compact little-endian container for sharing
 //!   generated datasets (the paper's stated goal is publishing a
@@ -9,14 +11,30 @@
 //!   version, the dimensions as u32s, then the raw f32 payload.
 //! * **CSV** — long-format text (`t,y,x,value` / `c,y,x,value`) for
 //!   plotting and spreadsheet work.
+//! * **Checked container** — a generic `magic + version + length +
+//!   CRC-32 + payload` frame ([`encode_checked`]/[`decode_checked`])
+//!   for payloads whose silent corruption would be catastrophic
+//!   (training checkpoints). Unlike the map headers, which only bound
+//!   the payload length, the CRC detects torn writes *and* bit flips.
 //!
 //! All readers validate magic, version and payload length and return
 //! [`IoError`] rather than panicking: files cross trust boundaries.
+//!
+//! # Crash safety
+//!
+//! [`atomic_write`] is the single write path: bytes land in a hidden
+//! temporary file in the destination directory, are fsynced, and then
+//! `rename(2)`d over the target. A crash at any point leaves either the
+//! old file or the new file — never a truncated hybrid. Every persistent
+//! writer in the workspace ([`save_traffic`], [`save_context`], the
+//! CLI's dataset/model/CSV writers and the training checkpoints) goes
+//! through it.
 
 use crate::context::ContextMap;
 use crate::traffic::TrafficMap;
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 
 /// Current container version.
@@ -40,6 +58,8 @@ pub enum IoError {
     BadDims,
     /// Malformed CSV line.
     BadCsv(String),
+    /// Payload checksum mismatch (torn write or bit corruption).
+    BadChecksum { expected: u32, actual: u32 },
 }
 
 impl fmt::Display for IoError {
@@ -56,6 +76,13 @@ impl fmt::Display for IoError {
             }
             IoError::BadDims => write!(f, "dimension header overflows"),
             IoError::BadCsv(line) => write!(f, "malformed CSV line: {line}"),
+            IoError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: header says {expected:#010x}, payload hashes to \
+                     {actual:#010x} (torn write or corruption)"
+                )
+            }
         }
     }
 }
@@ -66,6 +93,137 @@ impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
         IoError::Fs(e)
     }
+}
+
+// ---------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the data goes to a hidden
+/// temporary file in the same directory, is flushed and fsynced, and is
+/// then renamed over the target. Readers concurrent with a crash see
+/// either the complete old contents or the complete new contents —
+/// never a truncated mix. The temporary is removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            IoError::Fs(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("not a file path: {}", path.display()),
+            ))
+        })?
+        .to_string_lossy()
+        .into_owned();
+    // Same-directory temporary so the final rename never crosses a
+    // filesystem boundary; the pid suffix keeps concurrent processes
+    // (e.g. parallel test binaries) from clobbering each other's tmp.
+    let tmp_name = format!(".{file_name}.tmp.{}", std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let write_and_sync = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write_and_sync() {
+        let _ = fs::remove_file(&tmp);
+        return Err(IoError::Fs(e));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(IoError::Fs(e));
+    }
+    // Best-effort directory fsync so the rename itself is durable; some
+    // platforms refuse to open directories, which is fine to ignore.
+    if let Some(d) = dir {
+        if let Ok(df) = fs::File::open(d) {
+            let _ = df.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 and the checked container
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-driven table: small enough to build per call without a
+    // cache, fast enough for multi-MB checkpoint payloads.
+    let mut table = [0u32; 16];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..4 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *entry = c;
+    }
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0x0F) as usize] ^ (crc >> 4);
+        crc = table[((crc ^ (b as u32 >> 4)) & 0x0F) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+/// Header size of the checked container: magic (4) + version (2) +
+/// payload length (8) + CRC-32 (4).
+const CHECKED_HEADER: usize = 18;
+
+/// Frames `payload` in the checked container: `magic`, the container
+/// version, the payload length as u64, the payload's CRC-32, then the
+/// payload itself — all little-endian.
+pub fn encode_checked(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(CHECKED_HEADER + payload.len());
+    buf.extend_from_slice(magic);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Validates a checked container and returns its payload. Rejects wrong
+/// magic, unsupported versions, truncated or over-long payloads
+/// ([`IoError::BadLength`]) and checksum mismatches
+/// ([`IoError::BadChecksum`]) — so a torn or bit-flipped file can never
+/// be mistaken for valid data.
+pub fn decode_checked<'a>(magic: &[u8; 4], bytes: &'a [u8]) -> Result<&'a [u8], IoError> {
+    if bytes.len() < CHECKED_HEADER || &bytes[..4] != magic {
+        return Err(IoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")) as usize;
+    let expected_crc = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes"));
+    let payload = &bytes[CHECKED_HEADER..];
+    if payload.len() != len {
+        return Err(IoError::BadLength {
+            expected: len,
+            actual: payload.len(),
+        });
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(IoError::BadChecksum {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload)
 }
 
 /// Encodes a traffic map into the SGTM container.
@@ -161,9 +319,10 @@ fn decode_header(bytes: &mut &[u8], magic: &[u8; 4]) -> Result<(usize, usize, us
     Ok((a, b, c))
 }
 
-/// Writes a traffic map to `path` in the SGTM container.
+/// Writes a traffic map to `path` in the SGTM container, atomically
+/// (see [`atomic_write`]).
 pub fn save_traffic(map: &TrafficMap, path: impl AsRef<Path>) -> Result<(), IoError> {
-    fs::write(path, encode_traffic(map)).map_err(IoError::from)
+    atomic_write(path, &encode_traffic(map))
 }
 
 /// Reads a traffic map from a SGTM file.
@@ -171,9 +330,10 @@ pub fn load_traffic(path: impl AsRef<Path>) -> Result<TrafficMap, IoError> {
     decode_traffic(&fs::read(path)?)
 }
 
-/// Writes a context map to `path` in the SGCM container.
+/// Writes a context map to `path` in the SGCM container, atomically
+/// (see [`atomic_write`]).
 pub fn save_context(map: &ContextMap, path: impl AsRef<Path>) -> Result<(), IoError> {
-    fs::write(path, encode_context(map)).map_err(IoError::from)
+    atomic_write(path, &encode_context(map))
 }
 
 /// Reads a context map from a SGCM file.
@@ -310,6 +470,78 @@ mod tests {
         let map = demo_traffic();
         save_traffic(&map, &path).unwrap();
         assert_eq!(load_traffic(&path).unwrap(), map);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("spectragan_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        // No temporary files survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn atomic_write_rejects_directoryless_target() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn checked_container_roundtrip_and_rejection() {
+        let payload = b"some checkpoint payload".as_slice();
+        let framed = encode_checked(b"SGCK", payload);
+        assert_eq!(decode_checked(b"SGCK", &framed).unwrap(), payload);
+
+        // Wrong magic.
+        assert!(matches!(
+            decode_checked(b"XXXX", &framed),
+            Err(IoError::BadMagic)
+        ));
+        // Truncation (torn write) is a length error, never valid data.
+        assert!(matches!(
+            decode_checked(b"SGCK", &framed[..framed.len() - 3]),
+            Err(IoError::BadLength { .. })
+        ));
+        // A single flipped payload bit fails the checksum.
+        let mut flipped = framed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            decode_checked(b"SGCK", &flipped),
+            Err(IoError::BadChecksum { .. })
+        ));
+        // A flipped header version is a version error.
+        let mut badver = framed.clone();
+        badver[4] = 0xFF;
+        assert!(matches!(
+            decode_checked(b"SGCK", &badver),
+            Err(IoError::BadVersion(_))
+        ));
+        // Too short to even hold a header.
+        assert!(matches!(
+            decode_checked(b"SGCK", b"SGCK"),
+            Err(IoError::BadMagic)
+        ));
     }
 
     #[test]

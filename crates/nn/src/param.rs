@@ -27,7 +27,7 @@ impl ParamId {
 }
 
 /// Owns all trainable tensors of one or more models.
-#[derive(Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Tensor>,

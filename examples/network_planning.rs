@@ -25,7 +25,7 @@ fn main() {
         lr: 2e-3,
         seed: 0,
     };
-    model.train(train_cities, &tc);
+    model.train(train_cities, &tc).expect("training failed");
     let synth = model.generate(&target.context, 2 * 168, 5);
     let real = target.traffic.slice_time(168, 3 * 168);
 

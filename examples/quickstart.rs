@@ -38,7 +38,7 @@ fn main() {
         lr: 2e-3,
         seed: 0,
     };
-    let stats = model.train(train_cities, &tc);
+    let stats = model.train(train_cities, &tc).expect("training failed");
     println!(
         "trained {} steps; L1 {:.3} → {:.3}",
         tc.steps,

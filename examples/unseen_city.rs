@@ -36,7 +36,7 @@ fn main() {
         lr: 2e-3,
         seed: 0,
     };
-    model.train(&cities, &tc);
+    model.train(&cities, &tc).expect("training failed");
 
     // Hand-build a 20×20 region: dense center top-left, industrial
     // zone bottom-right, sparse elsewhere.

@@ -61,7 +61,8 @@ fn all_models_honour_the_generation_contract() {
                     lr: 1e-3,
                     seed: 0,
                 },
-            );
+            )
+            .unwrap();
             m.generate(&test.context, t_out, 0)
         },
         Fdas::fit(&train, 1).generate(&test.context, t_out, 0),

@@ -39,7 +39,7 @@ fn train_generate_evaluate_roundtrip() {
         lr: 3e-3,
         seed: 0,
     };
-    model.train(&train, &tc);
+    model.train(&train, &tc).unwrap();
     let synth = model.generate(&test.context, 48, 1);
     // All five metrics must be computable and finite on the output.
     let real = test.traffic.slice_time(0, 48);
