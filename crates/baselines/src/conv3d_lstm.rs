@@ -194,7 +194,9 @@ impl Conv3dLstmLite {
         }
         let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
+        let tape = Tape::new();
         for _ in 0..tc.steps {
+            tape.reset_keep_capacity();
             let batch: Vec<&(Tensor, Tensor)> = (0..tc.batch)
                 .map(|_| &samples[rng.gen_range(0..samples.len())])
                 .collect();
@@ -218,7 +220,6 @@ impl Conv3dLstmLite {
                     }
                 }
             }
-            let tape = Tape::new();
             let bind = Binding::new(&tape, &self.store);
             let ctx_var = tape.leaf(ctx_batch);
             let fake = self.gen_forward(&bind, &ctx_var, &tape.leaf(z), cfg.train_len);

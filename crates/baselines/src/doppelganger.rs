@@ -15,7 +15,7 @@ use crate::BaselineTrainConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spectragan_geo::{City, ContextMap, TrafficMap};
-use spectragan_nn::{Adam, Binding, Linear, Lstm, ParamStore, Tape, Tensor, Var};
+use spectragan_nn::{Activation, Adam, Binding, Linear, Lstm, ParamStore, Tape, Tensor, Var};
 
 /// Hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -130,7 +130,7 @@ impl DoppelGangerLite {
     /// Generator forward: conditioning rows `[N, C+Z]` → series
     /// `[N, T]` on the tape.
     fn gen_forward(&self, bind: &Binding<'_>, cond: &Var, t: usize) -> Var {
-        let feat = self.g_embed.forward(bind, cond).leaky_relu(0.2);
+        let feat = self.g_embed.forward_act(bind, cond, Activation::LeakyRelu);
         let xw = self.g_lstm.precompute_input(bind, &feat);
         let n = feat.shape().dim(0);
         let mut state = self.g_lstm.zero_state(bind, n);
@@ -144,7 +144,7 @@ impl DoppelGangerLite {
 
     /// Discriminator logits for series rows under per-pixel context.
     fn disc_logits(&self, bind: &Binding<'_>, series: &Var, ctx: &Var) -> Var {
-        let emb = self.d_embed.forward(bind, ctx).leaky_relu(0.2);
+        let emb = self.d_embed.forward_act(bind, ctx, Activation::LeakyRelu);
         let t = series.shape().dim(1);
         let n = series.shape().dim(0);
         let mut state = self.d_lstm.zero_state(bind, n);
@@ -167,7 +167,9 @@ impl DoppelGangerLite {
         let mut rng = StdRng::seed_from_u64(tc.seed);
         let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
+        let tape = Tape::new();
         for _ in 0..tc.steps {
+            tape.reset_keep_capacity();
             let c = self.cfg.context_channels;
             let z_dim = self.cfg.noise_dim;
             let mut cond = Tensor::zeros([rows_per_step, c + z_dim]);
@@ -186,7 +188,6 @@ impl DoppelGangerLite {
                 ctx_only.data_mut()[i * c..(i + 1) * c].copy_from_slice(&px.ctx);
                 real.data_mut()[i * t..(i + 1) * t].copy_from_slice(&px.series[..t]);
             }
-            let tape = Tape::new();
             let bind = Binding::new(&tape, &self.store);
             let cond_var = tape.leaf(cond);
             let ctx_var = tape.leaf(ctx_only);

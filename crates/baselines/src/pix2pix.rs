@@ -166,7 +166,9 @@ impl Pix2PixLite {
             .collect();
         let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
+        let tape = Tape::new();
         for _ in 0..tc.steps {
+            tape.reset_keep_capacity();
             let mut ctxs = Vec::new();
             let mut frames = Vec::new();
             for _ in 0..tc.batch {
@@ -188,7 +190,6 @@ impl Pix2PixLite {
                 *v = randn1(&mut rng);
             }
 
-            let tape = Tape::new();
             let bind = Binding::new(&tape, &self.store);
             let ctx_var = tape.leaf(ctx_batch);
             let fake = self.gen_forward(&bind, &ctx_var, &tape.leaf(z));

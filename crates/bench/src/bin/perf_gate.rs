@@ -1,0 +1,214 @@
+//! Perf smoke gate for CI: times the hot nn kernels and a short
+//! training run, prints a fixed-width table (step time, buffer-pool
+//! traffic per step) and writes the numbers to `BENCH_pr3.json` so
+//! regressions show up in the job summary rather than only in local
+//! Criterion runs.
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin perf_gate
+//! ```
+//!
+//! This is a *smoke* gate: one process, a handful of seconds, absolute
+//! numbers that drift with runner hardware. The useful signals are the
+//! relative ones — fused vs. unfused kernel time, and fresh
+//! allocations per steady-state training step (which must stay ~0; the
+//! hard assertion lives in `spectragan-nn`'s `alloc_steady_state`
+//! test).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig};
+use spectragan_nn::{Binding, Conv2d, Linear, ParamStore};
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+use spectragan_tensor::{arena, FusedAct, Tape, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct MicroRow {
+    name: String,
+    iters: u64,
+    micros_per_iter: f64,
+}
+
+#[derive(Serialize)]
+struct TrainGate {
+    steps: usize,
+    ms_per_step: f64,
+    fresh_allocs_per_step: f64,
+    fresh_kib_per_step: f64,
+    reused_buffers_per_step: f64,
+    pooled_mib: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    micro: Vec<MicroRow>,
+    train: TrainGate,
+}
+
+/// Times `f` over `iters` iterations after `warmup` unrecorded ones.
+fn bench(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) -> MicroRow {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let micros = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    MicroRow {
+        name: name.to_string(),
+        iters,
+        micros_per_iter: micros,
+    }
+}
+
+fn micro_benches() -> Vec<MicroRow> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut rows = Vec::new();
+
+    // conv2d at the model's encoder shape.
+    let x = Tensor::randn([3, 27, 16, 16], &mut rng);
+    let w = Tensor::randn([12, 27, 3, 3], &mut rng);
+    rows.push(bench("conv2d_forward_27ch_16px", 3, 20, || {
+        black_box(black_box(&x).conv2d(black_box(&w), 1));
+    }));
+
+    let mut store = ParamStore::new();
+    let conv = Conv2d::new(&mut store, 27, 12, 3, 1, &mut rng);
+    let tape = Tape::new();
+    rows.push(bench("conv2d_bias_fwd_bwd_27ch_16px", 3, 20, || {
+        tape.reset_keep_capacity();
+        let bind = Binding::new(&tape, &store);
+        let xv = tape.leaf(x.clone());
+        let loss = conv.forward(&bind, &xv).mean();
+        black_box(tape.backward(&loss));
+    }));
+
+    // Fused vs. unfused linear chain at discriminator-MLP shape.
+    let mut store = ParamStore::new();
+    let lin = Linear::new(&mut store, 256, 128, &mut rng);
+    let xr = Tensor::randn([192, 256], &mut rng);
+    let tape = Tape::new();
+    rows.push(bench("linear_fused_fwd_bwd_192x256", 5, 50, || {
+        tape.reset_keep_capacity();
+        let bind = Binding::new(&tape, &store);
+        let xv = tape.leaf(xr.clone());
+        let loss = lin
+            .forward_act(&bind, &xv, spectragan_nn::Activation::LeakyRelu)
+            .mean();
+        black_box(tape.backward(&loss));
+    }));
+    rows.push(bench("linear_unfused_fwd_bwd_192x256", 5, 50, || {
+        tape.reset_keep_capacity();
+        let bind = Binding::new(&tape, &store);
+        let xv = tape.leaf(xr.clone());
+        // Same math as the fused row, node by node.
+        let loss = lin.forward(&bind, &xv).leaky_relu(0.2).mean();
+        black_box(tape.backward(&loss));
+    }));
+
+    // Raw fused kernel (no layer indirection), to pin the op cost.
+    let a = Tensor::randn([192, 256], &mut rng);
+    let wm = Tensor::randn([256, 128], &mut rng);
+    let b = Tensor::randn([128], &mut rng);
+    let tape = Tape::new();
+    rows.push(bench("matmul_bias_act_fwd_192x256x128", 5, 50, || {
+        tape.reset_keep_capacity();
+        let av = tape.leaf(a.clone());
+        let wv = tape.leaf(wm.clone());
+        let bv = tape.leaf(b.clone());
+        black_box(av.matmul_bias_act(&wv, &bv, FusedAct::LeakyRelu(0.2)));
+    }));
+    rows
+}
+
+fn train_gate() -> TrainGate {
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.36,
+    };
+    let city = generate_city(
+        &CityConfig {
+            name: "PG".into(),
+            height: 17,
+            width: 17,
+            seed: 4,
+        },
+        &ds,
+    );
+    let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let tc = TrainConfig {
+        steps: 10,
+        batch_patches: 2,
+        lr: 3e-3,
+        seed: 7,
+    };
+    // Warm-up run fills the buffer pool; the measured run should then
+    // be served from it.
+    model
+        .train(std::slice::from_ref(&city), &tc)
+        .expect("warm-up training failed");
+    arena::stats_take();
+    let start = Instant::now();
+    model
+        .train(std::slice::from_ref(&city), &tc)
+        .expect("measured training failed");
+    let elapsed = start.elapsed();
+    let stats = arena::stats_take();
+    let steps = tc.steps;
+    TrainGate {
+        steps,
+        ms_per_step: elapsed.as_secs_f64() * 1e3 / steps as f64,
+        fresh_allocs_per_step: stats.fresh_allocs as f64 / steps as f64,
+        fresh_kib_per_step: stats.fresh_bytes as f64 / 1024.0 / steps as f64,
+        reused_buffers_per_step: stats.reused as f64 / steps as f64,
+        pooled_mib: arena::pooled_bytes() as f64 / (1024.0 * 1024.0),
+    }
+}
+
+fn main() {
+    let micro = micro_benches();
+    let train = train_gate();
+
+    println!("perf gate — kernel microbenches");
+    println!("{:<36} {:>8} {:>14}", "bench", "iters", "us/iter");
+    for r in &micro {
+        println!("{:<36} {:>8} {:>14.1}", r.name, r.iters, r.micros_per_iter);
+    }
+    println!();
+    println!("perf gate — 10-step training run (after warm-up)");
+    println!(
+        "{:<28} {:>12}",
+        "ms/step",
+        format!("{:.1}", train.ms_per_step)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "fresh allocs/step",
+        format!("{:.1}", train.fresh_allocs_per_step)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "fresh KiB/step",
+        format!("{:.1}", train.fresh_kib_per_step)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "reused buffers/step",
+        format!("{:.0}", train.reused_buffers_per_step)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "pooled MiB",
+        format!("{:.1}", train.pooled_mib)
+    );
+
+    let report = Report { micro, train };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write("BENCH_pr3.json", json).expect("write BENCH_pr3.json");
+    eprintln!("wrote BENCH_pr3.json");
+}

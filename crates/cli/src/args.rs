@@ -54,7 +54,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["csv", "full", "help", "noise", "quiet"];
+const SWITCHES: &[&str] = &["csv", "full", "help", "noise", "op-stats", "quiet"];
 
 impl Args {
     /// Parses tokens (without the program name).

@@ -185,6 +185,7 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             .get_parsed("abort-at-step", 0usize, "integer")
             .map(|s| if s == 0 { None } else { Some(s) })
             .map_err(|e| e.to_string())?,
+        op_stats: args.switch("op-stats"),
     };
     if !args.switch("quiet") {
         match &resume {
@@ -327,7 +328,7 @@ spectragan — spectrum-based generation of city-scale mobile traffic
 USAGE:
   spectragan dataset  --out DIR [--country 1|2|all] [--weeks N] [--granularity 60|30|15] [--scale F]
   spectragan train    --data DIR --out MODEL.json [--steps N] [--lr F] [--variant V] [--holdout CITY] [--seed N] [--quiet]
-                      [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N]
+                      [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N] [--op-stats]
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
   spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--csv]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
@@ -342,4 +343,6 @@ the full state (weights, optimizer moments, loss traces) every
 bit-identical to an uninterrupted run. Steps whose loss goes NaN/inf or
 whose gradient norm exceeds --guard-grad-norm are skipped, logged, and
 retried with a re-rolled RNG lane (at most --guard-max-retries times).
+--op-stats adds a per-op instrumentation table (call counts, wall time,
+buffer-pool traffic) to every train_log.jsonl record.
 ";

@@ -148,6 +148,68 @@ fn interrupted_training_resumes_to_identical_weights() {
     assert_eq!(a, b, "resumed model file differs from the straight run");
 }
 
+/// `--op-stats` adds a per-op instrumentation table to every step's
+/// log record; without the flag the field stays null.
+#[test]
+fn op_stats_flag_populates_train_log() {
+    let data = tmp("opstats_data");
+    let model = tmp("opstats_model.json");
+    let run_dir = tmp("opstats_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    run(
+        cmd_dataset,
+        &format!(
+            "dataset --out {} --country 2 --weeks 1 --scale 0.3",
+            data.display()
+        ),
+    )
+    .unwrap();
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 2 --run-dir {} --op-stats --quiet",
+            data.display(),
+            model.display(),
+            run_dir.display()
+        ),
+    )
+    .unwrap();
+
+    let log = std::fs::read_to_string(run_dir.join("train_log.jsonl")).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 2, "expected one record per step:\n{log}");
+    for line in &lines {
+        assert!(
+            line.contains("\"op_stats\":["),
+            "record lacks op_stats table: {line}"
+        );
+        // The fused linear kernel must show up with forward *and*
+        // backward activity.
+        assert!(line.contains("\"matmul_bias_act\""), "{line}");
+        assert!(line.contains("\"bwd_calls\""), "{line}");
+    }
+
+    // Without the flag, the table is absent (null).
+    let run_dir2 = tmp("opstats_off_run");
+    let _ = std::fs::remove_dir_all(&run_dir2);
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 1 --run-dir {} --quiet",
+            data.display(),
+            model.display(),
+            run_dir2.display()
+        ),
+    )
+    .unwrap();
+    let log = std::fs::read_to_string(run_dir2.join("train_log.jsonl")).unwrap();
+    assert!(
+        log.contains("\"op_stats\":null"),
+        "disabled run should serialize op_stats as null: {log}"
+    );
+}
+
 #[test]
 fn bad_inputs_give_clean_errors() {
     let err = run(cmd_train, "train --data /nonexistent --out /tmp/x.json").unwrap_err();

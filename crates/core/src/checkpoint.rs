@@ -32,6 +32,7 @@ use crate::train::TrainStats;
 use serde::{Deserialize, Serialize};
 use spectragan_geo::io::{atomic_write, decode_checked, encode_checked};
 use spectragan_nn::{AdamState, ParamStore};
+use spectragan_tensor::OpStatEntry;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -249,6 +250,9 @@ pub struct LogRecord {
     pub wall_ms: f64,
     /// Divergence-guard annotation (`None` for a healthy step).
     pub event: Option<String>,
+    /// Per-op instrumentation for this step (only with `--op-stats`;
+    /// serializes as `null` when absent).
+    pub op_stats: Option<Vec<OpStatEntry>>,
 }
 
 // Manual Deserialize: divergence events legitimately carry NaN/inf
@@ -277,6 +281,10 @@ impl serde::Deserialize for LogRecord {
             wall_ms: num("wall_ms")?,
             event: match v.get("event") {
                 Some(serde::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+            op_stats: match v.get("op_stats") {
+                Some(arr @ serde::Value::Arr(_)) => Some(Vec::<OpStatEntry>::from_value(arr)?),
                 _ => None,
             },
         })
@@ -458,6 +466,7 @@ mod tests {
                     } else {
                         None
                     },
+                    op_stats: None,
                 },
             )
             .unwrap();

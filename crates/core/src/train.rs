@@ -41,7 +41,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spectragan_geo::{City, PatchLayout, PatchSpec};
 use spectragan_nn::{Adam, Binding, ParamStore, Tape, Tensor};
+use spectragan_tensor::stats;
 use std::path::Path;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// One training sample: a context window with its traffic patch in both
@@ -93,6 +95,11 @@ pub struct TrainOptions<'a> {
     /// (as an OOM-kill would) immediately after this many steps
     /// complete — after the step's checkpoint, if one is due.
     pub abort_at_step: Option<usize>,
+    /// Enable per-op instrumentation: each step's log record carries a
+    /// table of per-op-kind call counts, wall time and buffer-pool
+    /// traffic. Off by default — disabled instrumentation costs one
+    /// relaxed atomic load per op.
+    pub op_stats: bool,
 }
 
 impl Default for TrainOptions<'_> {
@@ -104,6 +111,19 @@ impl Default for TrainOptions<'_> {
             guard_grad_norm: 1e4,
             guard_max_retries: 3,
             abort_at_step: None,
+            op_stats: false,
+        }
+    }
+}
+
+/// Turns op instrumentation off again when training exits (including
+/// early error returns).
+struct StatsGuard(bool);
+
+impl Drop for StatsGuard {
+    fn drop(&mut self) {
+        if self.0 {
+            stats::set_enabled(false);
         }
     }
 }
@@ -379,6 +399,15 @@ impl SpectraGan {
             }
         }
         let cfg = self.cfg;
+        let _stats_guard = StatsGuard(opts.op_stats);
+        if opts.op_stats {
+            stats::set_enabled(true);
+            stats::take_table(); // drop counters from before this run
+        }
+        // One tape for the whole run: resetting between steps keeps the
+        // node arena's capacity and returns every activation buffer to
+        // the pool, so steady-state steps are allocation-free.
+        let tape = Tape::new();
 
         for step in start_step..tc.steps {
             let step_start = Instant::now();
@@ -386,6 +415,7 @@ impl SpectraGan {
             let mut last_reason = String::new();
             for lane in 0..=opts.guard_max_retries {
                 let outcome = self.train_step(
+                    &tape,
                     &samples,
                     tc,
                     step,
@@ -396,6 +426,7 @@ impl SpectraGan {
                     opts.guard_grad_norm,
                 );
                 let wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
+                let op_stats = opts.op_stats.then(stats::take_table);
                 match &outcome.reason {
                     Some(reason) => {
                         // The update was NOT applied: weights and
@@ -404,13 +435,13 @@ impl SpectraGan {
                         if let Some(dir) = opts.run_dir {
                             checkpoint::append_log(
                                 dir,
-                                &outcome.record(step, wall_ms, Some(reason.clone())),
+                                &outcome.record(step, wall_ms, Some(reason.clone()), op_stats),
                             )?;
                         }
                         last_reason = reason.clone();
                     }
                     None => {
-                        applied = Some(outcome.record(step, wall_ms, None));
+                        applied = Some(outcome.record(step, wall_ms, None, op_stats));
                         break;
                     }
                 }
@@ -454,6 +485,7 @@ impl SpectraGan {
     #[allow(clippy::too_many_arguments)]
     fn train_step(
         &mut self,
+        tape: &Rc<Tape>,
         samples: &[Sample],
         tc: &TrainConfig,
         step: usize,
@@ -463,6 +495,9 @@ impl SpectraGan {
         cfg: SpectraGanConfig,
         guard_grad_norm: f32,
     ) -> StepOutcome {
+        // Drop the previous attempt's graph; buffers go back to the
+        // pool and the node arena keeps its capacity.
+        tape.reset_keep_capacity();
         let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step as u64, lane as u64));
         // ---- Minibatch assembly -----------------------------------
         let batch: Vec<&Sample> = (0..tc.batch_patches)
@@ -501,8 +536,7 @@ impl SpectraGan {
             }
         }
         // ---- Forward ------------------------------------------------
-        let tape = Tape::new();
-        let bind = Binding::new(&tape, &self.store);
+        let bind = Binding::new(tape, &self.store);
         let ctx_var = tape.leaf(ctx_batch.clone());
         let z_var = tape.leaf(z);
         let out = self.gen.forward(&bind, &ctx_var, &z_var);
@@ -626,7 +660,13 @@ struct StepOutcome {
 }
 
 impl StepOutcome {
-    fn record(&self, step: usize, wall_ms: f64, event: Option<String>) -> LogRecord {
+    fn record(
+        &self,
+        step: usize,
+        wall_ms: f64,
+        event: Option<String>,
+        op_stats: Option<Vec<spectragan_tensor::OpStatEntry>>,
+    ) -> LogRecord {
         LogRecord {
             step,
             d_loss: self.d_loss,
@@ -636,6 +676,7 @@ impl StepOutcome {
             grad_norm_g: self.grad_norm_g,
             wall_ms,
             event,
+            op_stats,
         }
     }
 }

@@ -3,7 +3,7 @@
 use crate::init;
 use crate::param::{Binding, ParamId, ParamStore};
 use rand::Rng;
-use spectragan_tensor::{Tensor, Var};
+use spectragan_tensor::{FusedAct, Tensor, Var};
 
 /// Activation applied between layers of an [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,17 @@ impl Activation {
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => x.sigmoid(),
             Activation::Identity => x.clone(),
+        }
+    }
+
+    /// The fused-kernel equivalent, bit-equal to [`Activation::apply`].
+    pub fn fused(self) -> FusedAct {
+        match self {
+            Activation::LeakyRelu => FusedAct::LeakyRelu(0.2),
+            Activation::Relu => FusedAct::Relu,
+            Activation::Tanh => FusedAct::Tanh,
+            Activation::Sigmoid => FusedAct::Sigmoid,
+            Activation::Identity => FusedAct::Identity,
         }
     }
 }
@@ -94,7 +105,14 @@ impl Linear {
 
     /// Applies the layer to `x: [N, in]`.
     pub fn forward(&self, bind: &Binding<'_>, x: &Var) -> Var {
-        x.matmul(&bind.var(self.w)).add_rowvec(&bind.var(self.b))
+        self.forward_act(bind, x, Activation::Identity)
+    }
+
+    /// Applies the layer followed by `act` as one fused tape node
+    /// (bit-equal to `act.apply(&self.forward(bind, x))`, one node and
+    /// two fewer intermediate buffers).
+    pub fn forward_act(&self, bind: &Binding<'_>, x: &Var, act: Activation) -> Var {
+        x.matmul_bias_act(&bind.var(self.w), &bind.var(self.b), act.fused())
     }
 
     /// Tape-free forward pass for inference.
@@ -139,10 +157,10 @@ impl Conv2d {
         Conv2d { w, b, pad }
     }
 
-    /// Applies the layer to `x: [N, Cin, H, W]`.
+    /// Applies the layer to `x: [N, Cin, H, W]` as one fused
+    /// conv2d+bias tape node.
     pub fn forward(&self, bind: &Binding<'_>, x: &Var) -> Var {
-        x.conv2d(&bind.var(self.w), self.pad)
-            .add_channel_bias(&bind.var(self.b))
+        x.conv2d_bias(&bind.var(self.w), &bind.var(self.b), self.pad)
     }
 
     /// Tape-free forward pass for inference.
@@ -220,17 +238,14 @@ impl Mlp {
         h
     }
 
-    /// Applies the stack to `x: [N, widths[0]]`.
+    /// Applies the stack to `x: [N, widths[0]]`; each layer+activation
+    /// pair is a single fused tape node.
     pub fn forward(&self, bind: &Binding<'_>, x: &Var) -> Var {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(bind, &h);
-            h = if i == last {
-                self.output.apply(&h)
-            } else {
-                self.hidden.apply(&h)
-            };
+            let act = if i == last { self.output } else { self.hidden };
+            h = layer.forward_act(bind, &h, act);
         }
         h
     }

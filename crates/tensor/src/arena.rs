@@ -1,0 +1,201 @@
+//! Thread-local buffer pool recycling tensor storage across steps.
+//!
+//! Every [`Tensor`](crate::Tensor) buffer is taken from and returned to
+//! this arena: `Drop` recycles the `Vec<f32>`, constructors reuse a
+//! recycled buffer of the same capacity when one is available. Training
+//! graphs have constant shape from step to step, so after a one-step
+//! warm-up the hot loop allocates nothing — clearing the tape
+//! ([`Tape::reset_keep_capacity`](crate::Tape::reset_keep_capacity))
+//! returns every activation and gradient buffer here instead of to the
+//! allocator.
+//!
+//! # Lifetime rules
+//!
+//! * The pool is **thread-local**: a buffer is only ever reused on the
+//!   thread that dropped it, so recycling needs no locks and cannot
+//!   change cross-thread behaviour. Worker threads of
+//!   [`crate::pool`] get their own (short-lived) arenas.
+//! * Buffers are bucketed by exact capacity and handed out cleared
+//!   (`len == 0`), so reuse can never leak stale values — every element
+//!   the new owner reads was written by the new owner.
+//! * The per-thread pool is capped ([`MAX_POOLED_BYTES`]); beyond the
+//!   cap, recycled buffers fall through to the allocator as before.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on bytes parked per thread (256 MiB). Steady-state
+/// training keeps well under this; the cap only guards pathological
+/// shape churn from hoarding memory.
+pub const MAX_POOLED_BYTES: usize = 256 << 20;
+
+/// Counters describing pool traffic since the last [`stats_take`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers served by a fresh heap allocation.
+    pub fresh_allocs: u64,
+    /// Bytes of those fresh allocations.
+    pub fresh_bytes: u64,
+    /// Buffers served from the pool without touching the allocator.
+    pub reused: u64,
+    /// Bytes served from the pool.
+    pub reused_bytes: u64,
+    /// Buffers returned to the pool on drop.
+    pub recycled: u64,
+    /// Buffers dropped because the pool was at capacity.
+    pub dropped: u64,
+}
+
+struct Arena {
+    /// Free buffers bucketed by exact capacity.
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    pooled_bytes: usize,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    fn new() -> Self {
+        Arena {
+            buckets: HashMap::new(),
+            pooled_bytes: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+}
+
+/// Returns an empty `Vec<f32>` with capacity at least `n`, reusing a
+/// pooled buffer of exactly that capacity when one is available.
+pub fn take(n: usize) -> Vec<f32> {
+    let bytes = (n * 4) as u64;
+    ARENA
+        .try_with(|a| {
+            let mut a = a.borrow_mut();
+            if let Some(bucket) = a.buckets.get_mut(&n) {
+                if let Some(buf) = bucket.pop() {
+                    a.pooled_bytes -= n * 4;
+                    a.stats.reused += 1;
+                    a.stats.reused_bytes += bytes;
+                    crate::stats::note_pool_bytes(0, bytes);
+                    return buf;
+                }
+            }
+            a.stats.fresh_allocs += 1;
+            a.stats.fresh_bytes += bytes;
+            crate::stats::note_pool_bytes(bytes, 0);
+            Vec::with_capacity(n)
+        })
+        // Thread teardown: the arena TLS is already gone — allocate.
+        .unwrap_or_else(|_| Vec::with_capacity(n))
+}
+
+/// [`take`] followed by zero-filling to length `n`.
+pub fn take_zeroed(n: usize) -> Vec<f32> {
+    let mut v = take(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// [`take`] followed by filling to length `n` with `value`.
+pub fn take_filled(n: usize, value: f32) -> Vec<f32> {
+    let mut v = take(n);
+    v.resize(n, value);
+    v
+}
+
+/// [`take`] followed by copying `src` into the buffer.
+pub fn clone_buf(src: &[f32]) -> Vec<f32> {
+    let mut v = take(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// Returns a buffer to the pool (called by `Tensor`'s `Drop`). Buffers
+/// with zero capacity, or arriving when the pool is at its byte cap,
+/// fall through to the allocator.
+pub fn recycle(mut buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 {
+        return;
+    }
+    let _ = ARENA.try_with(|a| {
+        let mut a = a.borrow_mut();
+        if a.pooled_bytes + cap * 4 > MAX_POOLED_BYTES {
+            a.stats.dropped += 1;
+            return;
+        }
+        buf.clear();
+        a.pooled_bytes += cap * 4;
+        a.stats.recycled += 1;
+        a.buckets.entry(cap).or_default().push(buf);
+    });
+}
+
+/// Snapshot of this thread's pool counters without resetting them.
+pub fn stats_snapshot() -> ArenaStats {
+    ARENA.try_with(|a| a.borrow().stats).unwrap_or_default()
+}
+
+/// Takes and resets this thread's pool counters (per-step accounting).
+pub fn stats_take() -> ArenaStats {
+    ARENA
+        .try_with(|a| std::mem::take(&mut a.borrow_mut().stats))
+        .unwrap_or_default()
+}
+
+/// Bytes currently parked in this thread's pool.
+pub fn pooled_bytes() -> usize {
+    ARENA.try_with(|a| a.borrow().pooled_bytes).unwrap_or(0)
+}
+
+/// Drops every pooled buffer on this thread (tests / memory pressure).
+pub fn clear() {
+    let _ = ARENA.try_with(|a| {
+        let mut a = a.borrow_mut();
+        a.buckets.clear();
+        a.pooled_bytes = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_exact_capacity() {
+        clear();
+        stats_take();
+        let v = take_zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        let cap = v.capacity();
+        recycle(v);
+        let w = take(cap);
+        assert_eq!(w.capacity(), cap);
+        assert!(w.is_empty(), "reused buffers must come back cleared");
+        let s = stats_take();
+        assert_eq!(s.reused, 1);
+        assert_eq!(s.recycled, 1);
+    }
+
+    #[test]
+    fn mismatched_capacity_allocates_fresh() {
+        clear();
+        stats_take();
+        recycle(take_zeroed(64));
+        let _v = take(128);
+        let s = stats_take();
+        assert_eq!(s.reused, 0);
+        assert_eq!(s.fresh_allocs, 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_ignored() {
+        clear();
+        stats_take();
+        recycle(Vec::new());
+        assert_eq!(stats_take().recycled, 0);
+    }
+}

@@ -10,15 +10,25 @@
 //!   the non-differentiable numerics (creation, elementwise maps,
 //!   matmul, conv2d, reductions).
 //! * [`Tape`] / [`Var`] — a dynamic computation graph. Every
-//!   differentiable op appends a node holding the result and, per
-//!   parent, a closure that maps the upstream gradient to that parent's
-//!   gradient contribution. [`Tape::backward`] walks nodes in reverse
-//!   creation order, which is always a valid reverse topological order.
+//!   differentiable op appends a node holding the result and a typed
+//!   [`Op`] (parent indices plus the scalars backward needs).
+//!   [`Tape::backward`] walks nodes in reverse creation order — always
+//!   a valid reverse topological order — dispatching each through a
+//!   single backward interpreter ([`ops`]), so gradient code is data,
+//!   not a heap of boxed closures.
+//! * [`arena`] — a thread-local buffer pool. Tensor storage is taken
+//!   from and returned to it ([`Tensor`]'s `Drop` recycles), so the
+//!   constant-shape training loop runs allocation-free after warm-up.
+//! * [`stats`] — per-[`OpKind`] instrumentation (call counts, wall
+//!   time, pool traffic), off by default and costing one relaxed atomic
+//!   load per op until enabled.
 //!
 //! Differentiable ops live on [`Var`]: arithmetic, activations, matmul,
-//! 2-D convolution, reductions, losses, concat/reshape/slice. The
-//! inverse real FFT the generator needs is *linear*, so it is expressed
-//! as a matmul with a constant basis matrix (built in `spectragan-core`)
+//! 2-D convolution, reductions, losses, concat/reshape/slice, plus the
+//! fused `matmul+bias+activation` and `conv2d+bias` kernels the layer
+//! stack emits (bit-equal to their unfused compositions). The inverse
+//! real FFT the generator needs is *linear*, so it is expressed as a
+//! matmul with a constant basis matrix (built in `spectragan-core`)
 //! rather than a bespoke op.
 //!
 //! Design notes (following the smoltcp ethos the workspace adopts):
@@ -31,11 +41,17 @@
 //! thread count because work is split into index-addressed tiles with
 //! unchanged per-tile summation order.
 
+pub mod arena;
+pub mod ops;
 pub mod pool;
 pub mod shape;
+pub mod stats;
 pub mod tape;
 pub mod tensor;
 
+pub use arena::ArenaStats;
+pub use ops::{FusedAct, Op};
 pub use shape::Shape;
+pub use stats::{OpKind, OpStatEntry};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

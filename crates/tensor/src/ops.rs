@@ -1,0 +1,523 @@
+//! The typed op set of the autodiff tape and its backward interpreter.
+//!
+//! Every differentiable operation is a variant of [`Op`]: parent node
+//! indices plus whatever scalars the backward pass needs. Backward is
+//! one interpreter, [`backward_node`], instead of per-node boxed
+//! closures — ops are data, the reverse walk dispatches on the enum.
+//!
+//! **Determinism contract.** For each variant the interpreter computes
+//! the *identical floating-point expressions* in the *identical order*
+//! as the closure engine it replaced: per-parent contributions are
+//! produced in the old parent order and accumulated with the same
+//! `add_assign`-or-move rule, so the refactor is bit-invisible (the
+//! golden fixtures in `spectragan-core` pin this down).
+//!
+//! The two fused variants ([`Op::MatmulBiasAct`], [`Op::Conv2dBias`])
+//! collapse the dominant 2–3-node chains of the models into one node.
+//! Their forward kernels run the *same* matmul/conv kernel followed by
+//! an in-place bias add (and activation) with the same per-element
+//! operation order as the unfused chain, and their backward recovers
+//! the pre-activation gradient from the node's own output — valid
+//! bitwise because `relu`/`leaky_relu` masks satisfy `y > 0 ⟺ x > 0`
+//! for positive slopes and the smooth activations' derivatives are
+//! functions of the output. Fused and unfused compositions are
+//! therefore bit-equal in both directions (asserted by tests).
+
+use crate::stats::OpKind;
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Activation fused into [`Op::MatmulBiasAct`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedAct {
+    /// No activation.
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given (positive) negative slope.
+    LeakyRelu(f32),
+}
+
+/// A tape node's operation: parent indices plus backward scalars.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Input node; backward stops here.
+    Leaf,
+    /// `a + b` elementwise.
+    Add(usize, usize),
+    /// `a - b` elementwise.
+    Sub(usize, usize),
+    /// `a ⊙ b` elementwise.
+    Mul(usize, usize),
+    /// `a / b` elementwise.
+    Div(usize, usize),
+    /// `x · s` for scalar `s`.
+    Scale(usize, f32),
+    /// `x + s` for scalar `s`.
+    AddScalar(usize),
+    /// `[N, M] + [M]` broadcast over rows.
+    AddRowVec { x: usize, b: usize },
+    /// `[N, C, H, W] + [C]` broadcast over channels.
+    AddChannelBias { x: usize, b: usize },
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Rectified linear unit.
+    Relu(usize),
+    /// Leaky ReLU with negative slope.
+    LeakyRelu(usize, f32),
+    /// Elementwise exponential.
+    Exp(usize),
+    /// Numerically-stable softplus.
+    Softplus(usize),
+    /// `sqrt(x + eps)` (backward needs only the output).
+    SqrtEps(usize),
+    /// Elementwise absolute value.
+    Abs(usize),
+    /// Clamp into `[lo, hi]`.
+    Clamp { x: usize, lo: f32, hi: f32 },
+    /// Elementwise square.
+    Square(usize),
+    /// `[m, k] @ [k, n]`.
+    Matmul(usize, usize),
+    /// Matmul with a constant (non-differentiated) right operand.
+    MatmulConst { x: usize, m: Rc<Tensor> },
+    /// 2-D cross-correlation, stride 1, zero padding `pad`.
+    Conv2d { x: usize, w: usize, pad: usize },
+    /// Reshape (backward restores the parent's shape).
+    Reshape(usize),
+    /// Axis permutation; `inverse` is the backward permutation.
+    Permute { x: usize, inverse: Vec<usize> },
+    /// 2×2 average pooling, stride 2.
+    AvgPool2(usize),
+    /// Contiguous slice along `axis` starting at `start`.
+    Narrow { x: usize, axis: usize, start: usize },
+    /// Concatenation of `parts` along `axis`.
+    Concat { parts: Vec<usize>, axis: usize },
+    /// Sum of all elements.
+    Sum(usize),
+    /// Mean of all elements.
+    Mean(usize),
+    /// Mean absolute error against a constant target.
+    L1To { x: usize, target: Rc<Tensor> },
+    /// Mean squared error against a constant target.
+    MseTo { x: usize, target: Rc<Tensor> },
+    /// `mean(softplus(x) − y·x)` against a constant label.
+    BceWithLogits { x: usize, y: f32 },
+    /// Fused `act(a @ w + b)` (one node instead of three).
+    MatmulBiasAct {
+        a: usize,
+        w: usize,
+        b: usize,
+        act: FusedAct,
+    },
+    /// Fused `conv2d(x, w, pad) + b` (one node instead of two).
+    Conv2dBias {
+        x: usize,
+        w: usize,
+        b: usize,
+        pad: usize,
+    },
+}
+
+impl Op {
+    /// The instrumentation kind of this op.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Leaf => OpKind::Leaf,
+            Op::Add(..) => OpKind::Add,
+            Op::Sub(..) => OpKind::Sub,
+            Op::Mul(..) => OpKind::Mul,
+            Op::Div(..) => OpKind::Div,
+            Op::Scale(..) => OpKind::Scale,
+            Op::AddScalar(..) => OpKind::AddScalar,
+            Op::AddRowVec { .. } => OpKind::AddRowVec,
+            Op::AddChannelBias { .. } => OpKind::AddChannelBias,
+            Op::Sigmoid(..) => OpKind::Sigmoid,
+            Op::Tanh(..) => OpKind::Tanh,
+            Op::Relu(..) => OpKind::Relu,
+            Op::LeakyRelu(..) => OpKind::LeakyRelu,
+            Op::Exp(..) => OpKind::Exp,
+            Op::Softplus(..) => OpKind::Softplus,
+            Op::SqrtEps(..) => OpKind::SqrtEps,
+            Op::Abs(..) => OpKind::Abs,
+            Op::Clamp { .. } => OpKind::Clamp,
+            Op::Square(..) => OpKind::Square,
+            Op::Matmul(..) => OpKind::Matmul,
+            Op::MatmulConst { .. } => OpKind::MatmulConst,
+            Op::Conv2d { .. } => OpKind::Conv2d,
+            Op::Reshape(..) => OpKind::Reshape,
+            Op::Permute { .. } => OpKind::Permute,
+            Op::AvgPool2(..) => OpKind::AvgPool2,
+            Op::Narrow { .. } => OpKind::Narrow,
+            Op::Concat { .. } => OpKind::Concat,
+            Op::Sum(..) => OpKind::Sum,
+            Op::Mean(..) => OpKind::Mean,
+            Op::L1To { .. } => OpKind::L1To,
+            Op::MseTo { .. } => OpKind::MseTo,
+            Op::BceWithLogits { .. } => OpKind::BceWithLogits,
+            Op::MatmulBiasAct { .. } => OpKind::MatmulBiasAct,
+            Op::Conv2dBias { .. } => OpKind::Conv2dBias,
+        }
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+pub(crate) fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Applies a fused activation in place, with the exact scalar
+/// expressions of the standalone activation ops.
+pub(crate) fn apply_act_inplace(y: &mut Tensor, act: FusedAct) {
+    match act {
+        FusedAct::Identity => {}
+        FusedAct::Sigmoid => {
+            for v in y.data_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        FusedAct::Tanh => {
+            for v in y.data_mut() {
+                *v = v.tanh();
+            }
+        }
+        FusedAct::Relu => {
+            for v in y.data_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        FusedAct::LeakyRelu(alpha) => {
+            for v in y.data_mut() {
+                *v = if *v > 0.0 { *v } else { alpha * *v };
+            }
+        }
+    }
+}
+
+/// Forward kernel of [`Op::MatmulBiasAct`]: the plain matmul kernel,
+/// then the bias added in `add_rowvec`'s loop order, then the
+/// activation in place — bit-equal to the unfused three-node chain.
+pub(crate) fn matmul_bias_act_forward(a: &Tensor, w: &Tensor, b: &Tensor, act: FusedAct) -> Tensor {
+    let mut y = a.matmul(w);
+    let (n, m) = (y.shape().dim(0), y.shape().dim(1));
+    assert_eq!(
+        b.shape().dims(),
+        &[m],
+        "bias shape {} does not match row width {m}",
+        b.shape()
+    );
+    for row in 0..n {
+        for col in 0..m {
+            y.data_mut()[row * m + col] += b.data()[col];
+        }
+    }
+    apply_act_inplace(&mut y, act);
+    y
+}
+
+/// Forward kernel of [`Op::Conv2dBias`]: the plain conv2d kernel, then
+/// the bias added in `add_channel_bias`'s loop order.
+pub(crate) fn conv2d_bias_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor {
+    let mut y = x.conv2d(w, pad);
+    let (n, c) = (y.shape().dim(0), y.shape().dim(1));
+    assert_eq!(
+        b.shape().dims(),
+        &[c],
+        "bias shape {} does not match channels {c}",
+        b.shape()
+    );
+    let hw = y.shape().dim(2) * y.shape().dim(3);
+    for bi in 0..n {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            let bv = b.data()[ci];
+            for v in &mut y.data_mut()[base..base + hw] {
+                *v += bv;
+            }
+        }
+    }
+    y
+}
+
+/// Pre-activation gradient of a fused activation, from the upstream
+/// gradient `g` and the *activated output* `y`. The relu family uses
+/// the output-sign mask, which equals the input-sign mask bitwise
+/// (`y > 0 ⟺ x > 0` for `alpha > 0`); the smooth activations'
+/// derivatives are the standalone ops' output-based expressions.
+fn act_backward(g: &Tensor, y: &Tensor, act: FusedAct) -> Tensor {
+    match act {
+        FusedAct::Identity => g.clone(),
+        FusedAct::Sigmoid => g.zip(y, |gi, yv| gi * yv * (1.0 - yv)),
+        FusedAct::Tanh => g.zip(y, |gi, yv| gi * (1.0 - yv * yv)),
+        FusedAct::Relu => g.zip(y, |gi, yv| if yv > 0.0 { gi } else { 0.0 }),
+        FusedAct::LeakyRelu(alpha) => g.zip(y, |gi, yv| if yv > 0.0 { gi } else { alpha * gi }),
+    }
+}
+
+/// Column sums of `g: [N, M] → [M]` in `add_rowvec`'s backward loop
+/// order (rows outer).
+fn rowvec_bias_grad(g: &Tensor) -> Tensor {
+    let (n, m) = (g.shape().dim(0), g.shape().dim(1));
+    let mut gb = Tensor::zeros([m]);
+    for row in 0..n {
+        for col in 0..m {
+            gb.data_mut()[col] += g.data()[row * m + col];
+        }
+    }
+    gb
+}
+
+/// Per-channel sums of `g: [N, C, H, W] → [C]` in `add_channel_bias`'s
+/// backward loop order.
+fn channel_bias_grad(g: &Tensor) -> Tensor {
+    let (n, c) = (g.shape().dim(0), g.shape().dim(1));
+    let hw = g.shape().dim(2) * g.shape().dim(3);
+    let mut gb = Tensor::zeros([c]);
+    for bi in 0..n {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            gb.data_mut()[ci] += g.data()[base..base + hw].iter().sum::<f32>();
+        }
+    }
+    gb
+}
+
+/// Accumulates a parent contribution with the tape's move-or-add rule
+/// (first writer moves, later writers `add_assign` in visit order).
+#[inline]
+fn acc(grads: &mut [Option<Tensor>], parent: usize, contrib: Tensor) {
+    match &mut grads[parent] {
+        Some(existing) => existing.add_assign(&contrib),
+        slot @ None => *slot = Some(contrib),
+    }
+}
+
+/// Runs the backward step of node `id`: computes each parent's
+/// gradient contribution from the upstream gradient `g` and
+/// accumulates it into `grads`, preserving the closure engine's exact
+/// expressions and accumulation order. `values[i]` is node `i`'s
+/// forward value; `values[id]` is this node's own output.
+pub(crate) fn backward_node(
+    op: &Op,
+    id: usize,
+    values: &[Rc<Tensor>],
+    g: &Tensor,
+    grads: &mut [Option<Tensor>],
+) {
+    let val = |i: usize| -> &Tensor { &values[i] };
+    match op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            acc(grads, *a, g.clone());
+            acc(grads, *b, g.clone());
+        }
+        Op::Sub(a, b) => {
+            acc(grads, *a, g.clone());
+            acc(grads, *b, g.scale(-1.0));
+        }
+        Op::Mul(a, b) => {
+            acc(grads, *a, g.mul(val(*b)));
+            acc(grads, *b, g.mul(val(*a)));
+        }
+        Op::Div(a, b) => {
+            acc(grads, *a, g.zip(val(*b), |gi, yi| gi / yi));
+            acc(
+                grads,
+                *b,
+                g.zip(val(*a), |gi, xi| gi * xi)
+                    .zip(val(*b), |t, yi| -t / (yi * yi)),
+            );
+        }
+        Op::Scale(x, s) => {
+            let s = *s;
+            acc(grads, *x, g.scale(s));
+        }
+        Op::AddScalar(x) => acc(grads, *x, g.clone()),
+        Op::AddRowVec { x, b } => {
+            acc(grads, *x, g.clone());
+            acc(grads, *b, rowvec_bias_grad(g));
+        }
+        Op::AddChannelBias { x, b } => {
+            acc(grads, *x, g.clone());
+            acc(grads, *b, channel_bias_grad(g));
+        }
+        Op::Sigmoid(x) => acc(grads, *x, g.zip(val(id), |gi, y| gi * y * (1.0 - y))),
+        Op::Tanh(x) => acc(grads, *x, g.zip(val(id), |gi, y| gi * (1.0 - y * y))),
+        Op::Relu(x) => acc(
+            grads,
+            *x,
+            g.zip(val(*x), |gi, xi| if xi > 0.0 { gi } else { 0.0 }),
+        ),
+        Op::LeakyRelu(x, alpha) => {
+            let alpha = *alpha;
+            acc(
+                grads,
+                *x,
+                g.zip(val(*x), |gi, xi| if xi > 0.0 { gi } else { alpha * gi }),
+            );
+        }
+        Op::Exp(x) => acc(grads, *x, g.mul(val(id))),
+        Op::Softplus(x) => acc(grads, *x, g.zip(val(*x), |gi, xi| gi / (1.0 + (-xi).exp()))),
+        Op::SqrtEps(x) => acc(grads, *x, g.zip(val(id), |gi, y| gi * 0.5 / y)),
+        Op::Abs(x) => acc(
+            grads,
+            *x,
+            g.zip(val(*x), |gi, xi| {
+                if xi > 0.0 {
+                    gi
+                } else if xi < 0.0 {
+                    -gi
+                } else {
+                    0.0
+                }
+            }),
+        ),
+        Op::Clamp { x, lo, hi } => {
+            let (lo, hi) = (*lo, *hi);
+            acc(
+                grads,
+                *x,
+                g.zip(val(*x), |gi, xi| if xi > lo && xi < hi { gi } else { 0.0 }),
+            );
+        }
+        Op::Square(x) => acc(grads, *x, g.zip(val(*x), |gi, xi| 2.0 * gi * xi)),
+        Op::Matmul(a, b) => {
+            acc(grads, *a, g.matmul(&val(*b).transpose2()));
+            acc(grads, *b, val(*a).transpose2().matmul(g));
+        }
+        Op::MatmulConst { x, m } => acc(grads, *x, g.matmul(&m.transpose2())),
+        Op::Conv2d { x, w, pad } => {
+            acc(
+                grads,
+                *x,
+                Tensor::conv2d_grad_input(g, val(*w), val(*x).shape(), *pad),
+            );
+            acc(
+                grads,
+                *w,
+                Tensor::conv2d_grad_weight(g, val(*x), val(*w).shape(), *pad),
+            );
+        }
+        Op::Reshape(x) => acc(grads, *x, g.reshape(val(*x).shape().clone())),
+        Op::Permute { x, inverse } => acc(grads, *x, g.permute(inverse)),
+        Op::AvgPool2(x) => {
+            let in_shape = val(*x).shape();
+            let (n, c) = (in_shape.dim(0), in_shape.dim(1));
+            let (h, w) = (in_shape.dim(2), in_shape.dim(3));
+            let (oh, ow) = (h / 2, w / 2);
+            let mut out = Tensor::zeros(in_shape.clone());
+            for b in 0..n {
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let gv = 0.25 * g.at(&[b, ch, oy, ox]);
+                            let base = ((b * c + ch) * h + 2 * oy) * w + 2 * ox;
+                            out.data_mut()[base] += gv;
+                            out.data_mut()[base + 1] += gv;
+                            out.data_mut()[base + w] += gv;
+                            out.data_mut()[base + w + 1] += gv;
+                        }
+                    }
+                }
+            }
+            acc(grads, *x, out);
+        }
+        Op::Narrow { x, axis, start } => {
+            // Scatter the slice gradient back into a zero tensor.
+            let full = val(*x).shape().clone();
+            let len = g.shape().dim(*axis);
+            let mut out = Tensor::zeros(full.clone());
+            let dims = full.dims();
+            let outer: usize = dims[..*axis].iter().product();
+            let inner: usize = dims[*axis + 1..].iter().product();
+            for o in 0..outer {
+                let dst = (o * dims[*axis] + start) * inner;
+                let src = o * len * inner;
+                out.data_mut()[dst..dst + len * inner]
+                    .copy_from_slice(&g.data()[src..src + len * inner]);
+            }
+            acc(grads, *x, out);
+        }
+        Op::Concat { parts, axis } => {
+            let mut start = 0usize;
+            for &p in parts {
+                let len = val(p).shape().dim(*axis);
+                acc(grads, p, g.narrow(*axis, start, len));
+                start += len;
+            }
+        }
+        Op::Sum(x) => acc(grads, *x, Tensor::full(val(*x).shape().clone(), g.item())),
+        Op::Mean(x) => {
+            let n = val(*x).numel() as f32;
+            acc(
+                grads,
+                *x,
+                Tensor::full(val(*x).shape().clone(), g.item() / n),
+            );
+        }
+        Op::L1To { x, target } => {
+            let n = val(*x).numel() as f32;
+            let gi = g.item() / n;
+            acc(
+                grads,
+                *x,
+                val(*x).zip(target, |a, b| {
+                    if a > b {
+                        gi
+                    } else if a < b {
+                        -gi
+                    } else {
+                        0.0
+                    }
+                }),
+            );
+        }
+        Op::MseTo { x, target } => {
+            let n = val(*x).numel() as f32;
+            let gi = 2.0 * g.item() / n;
+            acc(grads, *x, val(*x).zip(target, |a, b| gi * (a - b)));
+        }
+        Op::BceWithLogits { x, y } => {
+            let n = val(*x).numel() as f32;
+            let gi = g.item() / n;
+            let y = *y;
+            // d/dx [softplus(x) − y·x] = σ(x) − y.
+            acc(
+                grads,
+                *x,
+                val(*x).map(|xi| gi * (1.0 / (1.0 + (-xi).exp()) - y)),
+            );
+        }
+        Op::MatmulBiasAct { a, w, b, act } => {
+            let gpre = act_backward(g, val(id), *act);
+            acc(grads, *a, gpre.matmul(&val(*w).transpose2()));
+            acc(grads, *w, val(*a).transpose2().matmul(&gpre));
+            acc(grads, *b, rowvec_bias_grad(&gpre));
+        }
+        Op::Conv2dBias { x, w, b, pad } => {
+            acc(
+                grads,
+                *x,
+                Tensor::conv2d_grad_input(g, val(*w), val(*x).shape(), *pad),
+            );
+            acc(
+                grads,
+                *w,
+                Tensor::conv2d_grad_weight(g, val(*x), val(*w).shape(), *pad),
+            );
+            acc(grads, *b, channel_bias_grad(g));
+        }
+    }
+}

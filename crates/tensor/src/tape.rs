@@ -1,34 +1,39 @@
 //! Tape-based reverse-mode automatic differentiation.
 //!
 //! A [`Tape`] records a dynamic computation graph: every differentiable
-//! op appends one node holding its result value and, for each parent, a
-//! closure mapping the upstream gradient to that parent's gradient
-//! contribution. [`Tape::backward`] seeds the output gradient and walks
-//! nodes in reverse creation order — a valid reverse topological order
-//! by construction, since an op can only consume already-created nodes.
+//! op appends one node holding its result value and a typed
+//! [`Op`] describing how the node was produced (parent indices plus the
+//! scalars backward needs). [`Tape::backward`] seeds the output
+//! gradient and walks nodes in reverse creation order — a valid reverse
+//! topological order by construction, since an op can only consume
+//! already-created nodes — dispatching each node through the single
+//! backward interpreter in [`crate::ops`].
 //!
 //! [`Var`] is a cheap handle (tape pointer + node index). Values are
-//! stored as `Rc<Tensor>`, so capturing an operand in a backward
-//! closure never copies the buffer.
+//! stored as `Rc<Tensor>`, so revisiting an operand in backward never
+//! copies the buffer. Buffers themselves come from the thread-local
+//! [`crate::arena`] pool; [`Tape::reset_keep_capacity`] clears the
+//! node arena while *returning* every activation buffer to the pool,
+//! so a hoisted tape re-runs the next step allocation-free.
 //!
 //! The op set is exactly what the SpectraGAN models need: arithmetic,
 //! activations, matmul, conv2d, bias broadcasts, concat/narrow/reshape,
-//! reductions and GAN losses. Every op has a finite-difference gradient
-//! check in this module's tests.
+//! reductions, GAN losses — plus the fused `matmul+bias+activation` and
+//! `conv2d+bias` kernels the layer stack emits. Every op has a
+//! finite-difference gradient check in this module's tests.
 
+use crate::ops::{self, Op};
 use crate::shape::Shape;
+use crate::stats::{self, OpKind};
 use crate::tensor::Tensor;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-/// Closure mapping the upstream gradient of a node to the gradient
-/// contribution for one of its parents.
-type GradFn = Box<dyn Fn(&Tensor) -> Tensor>;
+pub use crate::ops::FusedAct;
 
-struct Node {
+pub(crate) struct Node {
     value: Rc<Tensor>,
-    /// `(parent index, gradient closure)` pairs.
-    parents: Vec<(usize, GradFn)>,
+    op: Op,
 }
 
 /// A recording of a differentiable computation.
@@ -38,6 +43,9 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    /// Peak node count seen by [`Tape::reset_keep_capacity`], used to
+    /// pre-size the arena on the first push after a reset.
+    high_water: Cell<usize>,
 }
 
 impl Tape {
@@ -46,9 +54,17 @@ impl Tape {
         Rc::new(Tape::default())
     }
 
+    /// Creates a tape whose node arena is pre-sized for `nodes` ops.
+    pub fn with_capacity(nodes: usize) -> Rc<Tape> {
+        Rc::new(Tape {
+            nodes: RefCell::new(Vec::with_capacity(nodes)),
+            high_water: Cell::new(nodes),
+        })
+    }
+
     /// Registers `value` as a leaf (no parents) and returns its handle.
     pub fn leaf(self: &Rc<Self>, value: Tensor) -> Var {
-        self.push(value, Vec::new())
+        self.push(value, Op::Leaf)
     }
 
     /// Number of nodes currently recorded.
@@ -61,11 +77,32 @@ impl Tape {
         self.nodes.borrow().is_empty()
     }
 
-    fn push(self: &Rc<Self>, value: Tensor, parents: Vec<(usize, GradFn)>) -> Var {
+    /// Clears all nodes but keeps the node arena's capacity (sized to
+    /// the peak node count seen so far), and releases every node's
+    /// tensor buffer back to the [`crate::arena`] pool. Steady-state
+    /// training graphs have constant shape, so a hoisted tape that is
+    /// reset between steps re-records the next step without touching
+    /// the allocator.
+    ///
+    /// Outstanding [`Var`]s from before the reset must not be used
+    /// afterwards (their indices would name future nodes); the training
+    /// loop drops all of them with the step scope.
+    pub fn reset_keep_capacity(&self) {
         let mut nodes = self.nodes.borrow_mut();
+        self.high_water.set(self.high_water.get().max(nodes.len()));
+        nodes.clear();
+    }
+
+    fn push(self: &Rc<Self>, value: Tensor, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        if nodes.capacity() == 0 {
+            // First push after creation or a reset on a fresh tape:
+            // size the arena from the best estimate we have.
+            nodes.reserve(self.high_water.get().max(64));
+        }
         nodes.push(Node {
             value: Rc::new(value),
-            parents,
+            op,
         });
         Var {
             tape: Rc::clone(self),
@@ -91,19 +128,23 @@ impl Tape {
             "backward root must be scalar, got shape {}",
             nodes[root.id].value.shape()
         );
+        // The values slice lets the interpreter read any parent's
+        // forward value (and the node's own output) by index.
+        let values: Vec<Rc<Tensor>> = nodes.iter().map(|n| Rc::clone(&n.value)).collect();
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[root.id] = Some(Tensor::full(nodes[root.id].value.shape().clone(), 1.0));
 
+        let instrument = stats::enabled();
         for id in (0..=root.id).rev() {
             let Some(grad_out) = grads[id].take() else {
                 continue;
             };
-            for (parent, grad_fn) in &nodes[id].parents {
-                let contrib = grad_fn(&grad_out);
-                match &mut grads[*parent] {
-                    Some(existing) => existing.add_assign(&contrib),
-                    slot @ None => *slot = Some(contrib),
-                }
+            let op = &nodes[id].op;
+            if instrument {
+                let _scope = stats::bwd(op.kind());
+                ops::backward_node(op, id, &values, &grad_out, &mut grads);
+            } else {
+                ops::backward_node(op, id, &values, &grad_out, &mut grads);
             }
             grads[id] = Some(grad_out);
         }
@@ -149,29 +190,16 @@ impl Var {
         &self.tape
     }
 
-    fn unary(&self, value: Tensor, grad: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
-        self.tape
-            .push(value, vec![(self.id, Box::new(grad) as GradFn)])
+    fn unary(&self, value: Tensor, op: Op) -> Var {
+        self.tape.push(value, op)
     }
 
-    fn binary(
-        &self,
-        other: &Var,
-        value: Tensor,
-        grad_self: impl Fn(&Tensor) -> Tensor + 'static,
-        grad_other: impl Fn(&Tensor) -> Tensor + 'static,
-    ) -> Var {
+    fn binary(&self, other: &Var, value: Tensor, op: Op) -> Var {
         assert!(
             Rc::ptr_eq(&self.tape, &other.tape),
             "binary op on Vars from different tapes"
         );
-        self.tape.push(
-            value,
-            vec![
-                (self.id, Box::new(grad_self) as GradFn),
-                (other.id, Box::new(grad_other) as GradFn),
-            ],
-        )
+        self.tape.push(value, op)
     }
 
     // ------------------------------------------------------------------
@@ -180,35 +208,37 @@ impl Var {
 
     /// Elementwise sum.
     pub fn add(&self, other: &Var) -> Var {
+        let _s = stats::fwd(OpKind::Add);
         let v = self.value().add(&other.value());
-        self.binary(other, v, |g| g.clone(), |g| g.clone())
+        self.binary(other, v, Op::Add(self.id, other.id))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Var) -> Var {
+        let _s = stats::fwd(OpKind::Sub);
         let v = self.value().sub(&other.value());
-        self.binary(other, v, |g| g.clone(), |g| g.scale(-1.0))
+        self.binary(other, v, Op::Sub(self.id, other.id))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Var) -> Var {
-        let a = self.value();
-        let b = other.value();
-        let v = a.mul(&b);
-        let (ga, gb) = (b, a);
-        self.binary(other, v, move |g| g.mul(&ga), move |g| g.mul(&gb))
+        let _s = stats::fwd(OpKind::Mul);
+        let v = self.value().mul(&other.value());
+        self.binary(other, v, Op::Mul(self.id, other.id))
     }
 
     /// Multiplication by a constant scalar.
     pub fn scale(&self, s: f32) -> Var {
+        let _t = stats::fwd(OpKind::Scale);
         let v = self.value().scale(s);
-        self.unary(v, move |g| g.scale(s))
+        self.unary(v, Op::Scale(self.id, s))
     }
 
     /// Addition of a constant scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Var {
+        let _t = stats::fwd(OpKind::AddScalar);
         let v = self.value().map(|x| x + s);
-        self.unary(v, |g| g.clone())
+        self.unary(v, Op::AddScalar(self.id))
     }
 
     /// Negation.
@@ -218,6 +248,7 @@ impl Var {
 
     /// Adds a row vector `bias [M]` to every row of a `[N, M]` matrix.
     pub fn add_rowvec(&self, bias: &Var) -> Var {
+        let _t = stats::fwd(OpKind::AddRowVec);
         let x = self.value();
         assert_eq!(x.shape().ndim(), 2, "add_rowvec lhs must be rank 2");
         let (n, m) = (x.shape().dim(0), x.shape().dim(1));
@@ -237,21 +268,16 @@ impl Var {
         self.binary(
             bias,
             out,
-            |g| g.clone(),
-            move |g| {
-                let mut gb = Tensor::zeros([m]);
-                for row in 0..n {
-                    for col in 0..m {
-                        gb.data_mut()[col] += g.data()[row * m + col];
-                    }
-                }
-                gb
+            Op::AddRowVec {
+                x: self.id,
+                b: bias.id,
             },
         )
     }
 
     /// Adds a per-channel bias `[C]` to a `[N, C, H, W]` tensor.
     pub fn add_channel_bias(&self, bias: &Var) -> Var {
+        let _t = stats::fwd(OpKind::AddChannelBias);
         let x = self.value();
         assert_eq!(x.shape().ndim(), 4, "add_channel_bias input must be rank 4");
         let (n, c, h, w) = (
@@ -281,16 +307,9 @@ impl Var {
         self.binary(
             bias,
             out,
-            |g| g.clone(),
-            move |g| {
-                let mut gb = Tensor::zeros([c]);
-                for bi in 0..n {
-                    for ci in 0..c {
-                        let base = (bi * c + ci) * hw;
-                        gb.data_mut()[ci] += g.data()[base..base + hw].iter().sum::<f32>();
-                    }
-                }
-                gb
+            Op::AddChannelBias {
+                x: self.id,
+                b: bias.id,
             },
         )
     }
@@ -301,91 +320,67 @@ impl Var {
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&self) -> Var {
+        let _t = stats::fwd(OpKind::Sigmoid);
         let v = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
-        let out = Rc::new(v.clone());
-        self.unary(v, move |g| g.zip(&out, |gi, y| gi * y * (1.0 - y)))
+        self.unary(v, Op::Sigmoid(self.id))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
+        let _t = stats::fwd(OpKind::Tanh);
         let v = self.value().map(f32::tanh);
-        let out = Rc::new(v.clone());
-        self.unary(v, move |g| g.zip(&out, |gi, y| gi * (1.0 - y * y)))
+        self.unary(v, Op::Tanh(self.id))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
-        let x = self.value();
-        let v = x.map(|v| v.max(0.0));
-        self.unary(v, move |g| {
-            g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 })
-        })
+        let _t = stats::fwd(OpKind::Relu);
+        let v = self.value().map(|v| v.max(0.0));
+        self.unary(v, Op::Relu(self.id))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, alpha: f32) -> Var {
-        let x = self.value();
-        let v = x.map(|v| if v > 0.0 { v } else { alpha * v });
-        self.unary(v, move |g| {
-            g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { alpha * gi })
-        })
+        let _t = stats::fwd(OpKind::LeakyRelu);
+        let v = self.value().map(|v| if v > 0.0 { v } else { alpha * v });
+        self.unary(v, Op::LeakyRelu(self.id, alpha))
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var {
+        let _t = stats::fwd(OpKind::Exp);
         let v = self.value().map(f32::exp);
-        let out = Rc::new(v.clone());
-        self.unary(v, move |g| g.mul(&out))
+        self.unary(v, Op::Exp(self.id))
     }
 
     /// Numerically-stable softplus `ln(1 + e^x)`.
     pub fn softplus(&self) -> Var {
-        let x = self.value();
-        let v = x.map(softplus_scalar);
-        self.unary(v, move |g| g.zip(&x, |gi, xi| gi / (1.0 + (-xi).exp())))
+        let _t = stats::fwd(OpKind::Softplus);
+        let v = self.value().map(ops::softplus_scalar);
+        self.unary(v, Op::Softplus(self.id))
     }
 
     /// Elementwise division `self / other` (no zero handling — caller
     /// guarantees the denominator is bounded away from zero).
     pub fn div(&self, other: &Var) -> Var {
-        let a = self.value();
-        let b = other.value();
-        let v = a.zip(&b, |x, y| x / y);
-        let (b2, a2, b3) = (b.clone(), a, b);
-        self.binary(
-            other,
-            v,
-            move |g| g.zip(&b2, |gi, yi| gi / yi),
-            move |g| {
-                g.zip(&a2, |gi, xi| gi * xi)
-                    .zip(&b3, |t, yi| -t / (yi * yi))
-            },
-        )
+        let _t = stats::fwd(OpKind::Div);
+        let v = self.value().zip(&other.value(), |x, y| x / y);
+        self.binary(other, v, Op::Div(self.id, other.id))
     }
 
     /// Elementwise square root of a positive tensor, stabilized as
     /// `sqrt(x + eps)`.
     pub fn sqrt_eps(&self, eps: f32) -> Var {
+        let _t = stats::fwd(OpKind::SqrtEps);
         let v = self.value().map(|x| (x + eps).sqrt());
-        let out = Rc::new(v.clone());
-        self.unary(v, move |g| g.zip(&out, |gi, y| gi * 0.5 / y))
+        self.unary(v, Op::SqrtEps(self.id))
     }
 
     /// Elementwise absolute value (subgradient 0 at the kink).
     pub fn abs(&self) -> Var {
-        let x = self.value();
-        let v = x.map(f32::abs);
-        self.unary(v, move |g| {
-            g.zip(&x, |gi, xi| {
-                if xi > 0.0 {
-                    gi
-                } else if xi < 0.0 {
-                    -gi
-                } else {
-                    0.0
-                }
-            })
-        })
+        let _t = stats::fwd(OpKind::Abs);
+        let v = self.value().map(f32::abs);
+        self.unary(v, Op::Abs(self.id))
     }
 
     /// Clamps every element into `[lo, hi]`; the gradient is passed
@@ -393,18 +388,16 @@ impl Var {
     /// at the boundary is not used).
     pub fn clamp(&self, lo: f32, hi: f32) -> Var {
         assert!(lo <= hi, "clamp bounds reversed");
-        let x = self.value();
-        let v = x.map(|e| e.clamp(lo, hi));
-        self.unary(v, move |g| {
-            g.zip(&x, |gi, xi| if xi > lo && xi < hi { gi } else { 0.0 })
-        })
+        let _t = stats::fwd(OpKind::Clamp);
+        let v = self.value().map(|e| e.clamp(lo, hi));
+        self.unary(v, Op::Clamp { x: self.id, lo, hi })
     }
 
     /// Elementwise square (cheaper than `mul` with itself: one parent).
     pub fn square(&self) -> Var {
-        let x = self.value();
-        let v = x.map(|e| e * e);
-        self.unary(v, move |g| g.zip(&x, |gi, xi| 2.0 * gi * xi))
+        let _t = stats::fwd(OpKind::Square);
+        let v = self.value().map(|e| e * e);
+        self.unary(v, Op::Square(self.id))
     }
 
     // ------------------------------------------------------------------
@@ -413,41 +406,86 @@ impl Var {
 
     /// Matrix product `[m, k] @ [k, n] → [m, n]`.
     pub fn matmul(&self, other: &Var) -> Var {
-        let a = self.value();
-        let b = other.value();
-        let v = a.matmul(&b);
-        let (a2, b2) = (Rc::clone(&a), Rc::clone(&b));
-        self.binary(
-            other,
-            v,
-            move |g| g.matmul(&b2.transpose2()),
-            move |g| a2.transpose2().matmul(g),
-        )
+        let _t = stats::fwd(OpKind::Matmul);
+        let v = self.value().matmul(&other.value());
+        self.binary(other, v, Op::Matmul(self.id, other.id))
     }
 
     /// Matrix product with a *constant* right operand — records a single
     /// parent, so gradients never flow into `matrix`. Used for the fixed
     /// inverse-rFFT basis in the spectrum generator.
     pub fn matmul_const(&self, matrix: &Tensor) -> Var {
+        let _t = stats::fwd(OpKind::MatmulConst);
         let v = self.value().matmul(matrix);
-        let m = matrix.clone();
-        self.unary(v, move |g| g.matmul(&m.transpose2()))
+        self.unary(
+            v,
+            Op::MatmulConst {
+                x: self.id,
+                m: Rc::new(matrix.clone()),
+            },
+        )
     }
 
     /// 2-D cross-correlation (see [`Tensor::conv2d`]) with trainable
     /// input and weight, stride 1, zero padding `pad`.
     pub fn conv2d(&self, weight: &Var, pad: usize) -> Var {
-        let x = self.value();
-        let w = weight.value();
-        let v = x.conv2d(&w, pad);
-        let x_shape = x.shape().clone();
-        let w_shape = w.shape().clone();
-        let (x2, w2) = (Rc::clone(&x), Rc::clone(&w));
+        let _t = stats::fwd(OpKind::Conv2d);
+        let v = self.value().conv2d(&weight.value(), pad);
         self.binary(
             weight,
             v,
-            move |g| Tensor::conv2d_grad_input(g, &w2, &x_shape, pad),
-            move |g| Tensor::conv2d_grad_weight(g, &x2, &w_shape, pad),
+            Op::Conv2d {
+                x: self.id,
+                w: weight.id,
+                pad,
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Fused kernels
+    // ------------------------------------------------------------------
+
+    /// Fused `act(self @ w + bias)` — the linear-layer chain as a single
+    /// node. Bit-equal (forward and backward) to
+    /// `self.matmul(w).add_rowvec(bias)` followed by the activation;
+    /// see [`crate::ops`] for why.
+    pub fn matmul_bias_act(&self, w: &Var, bias: &Var, act: FusedAct) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape, &w.tape) && Rc::ptr_eq(&self.tape, &bias.tape),
+            "fused op on Vars from different tapes"
+        );
+        let _t = stats::fwd(OpKind::MatmulBiasAct);
+        let v = ops::matmul_bias_act_forward(&self.value(), &w.value(), &bias.value(), act);
+        self.tape.push(
+            v,
+            Op::MatmulBiasAct {
+                a: self.id,
+                w: w.id,
+                b: bias.id,
+                act,
+            },
+        )
+    }
+
+    /// Fused `conv2d(self, w, pad) + bias` — the conv-layer chain as a
+    /// single node, bit-equal to `self.conv2d(w, pad)
+    /// .add_channel_bias(bias)`.
+    pub fn conv2d_bias(&self, w: &Var, bias: &Var, pad: usize) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape, &w.tape) && Rc::ptr_eq(&self.tape, &bias.tape),
+            "fused op on Vars from different tapes"
+        );
+        let _t = stats::fwd(OpKind::Conv2dBias);
+        let v = ops::conv2d_bias_forward(&self.value(), &w.value(), &bias.value(), pad);
+        self.tape.push(
+            v,
+            Op::Conv2dBias {
+                x: self.id,
+                w: w.id,
+                b: bias.id,
+                pad,
+            },
         )
     }
 
@@ -457,71 +495,49 @@ impl Var {
 
     /// Reshape preserving element count.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Var {
-        let shape = shape.into();
-        let old = self.shape();
-        let v = self.value().reshape(shape);
-        self.unary(v, move |g| g.reshape(old.clone()))
+        let _t = stats::fwd(OpKind::Reshape);
+        let v = self.value().reshape(shape.into());
+        self.unary(v, Op::Reshape(self.id))
     }
 
     /// Permutes axes (see [`Tensor::permute`]); the gradient applies
     /// the inverse permutation.
     pub fn permute(&self, perm: &[usize]) -> Var {
+        let _t = stats::fwd(OpKind::Permute);
         let v = self.value().permute(perm);
         let mut inverse = vec![0usize; perm.len()];
         for (i, &p) in perm.iter().enumerate() {
             inverse[p] = i;
         }
-        self.unary(v, move |g| g.permute(&inverse))
+        self.unary(
+            v,
+            Op::Permute {
+                x: self.id,
+                inverse,
+            },
+        )
     }
 
     /// 2×2 average pooling, stride 2 (see [`Tensor::avg_pool2`]); the
     /// gradient spreads each pooled gradient over its 2×2 window.
     pub fn avg_pool2(&self) -> Var {
-        let x = self.value();
-        let v = x.avg_pool2();
-        let in_shape = x.shape().clone();
-        self.unary(v, move |g| {
-            let (n, c) = (in_shape.dim(0), in_shape.dim(1));
-            let (h, w) = (in_shape.dim(2), in_shape.dim(3));
-            let (oh, ow) = (h / 2, w / 2);
-            let mut out = Tensor::zeros(in_shape.clone());
-            for b in 0..n {
-                for ch in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let gv = 0.25 * g.at(&[b, ch, oy, ox]);
-                            let base = ((b * c + ch) * h + 2 * oy) * w + 2 * ox;
-                            out.data_mut()[base] += gv;
-                            out.data_mut()[base + 1] += gv;
-                            out.data_mut()[base + w] += gv;
-                            out.data_mut()[base + w + 1] += gv;
-                        }
-                    }
-                }
-            }
-            out
-        })
+        let _t = stats::fwd(OpKind::AvgPool2);
+        let v = self.value().avg_pool2();
+        self.unary(v, Op::AvgPool2(self.id))
     }
 
     /// Contiguous slice `start..start+len` along `axis`.
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
-        let x = self.value();
-        let v = x.narrow(axis, start, len);
-        let full = x.shape().clone();
-        self.unary(v, move |g| {
-            // Scatter the slice gradient back into a zero tensor.
-            let mut out = Tensor::zeros(full.clone());
-            let dims = full.dims();
-            let outer: usize = dims[..axis].iter().product();
-            let inner: usize = dims[axis + 1..].iter().product();
-            for o in 0..outer {
-                let dst = (o * dims[axis] + start) * inner;
-                let src = o * len * inner;
-                out.data_mut()[dst..dst + len * inner]
-                    .copy_from_slice(&g.data()[src..src + len * inner]);
-            }
-            out
-        })
+        let _t = stats::fwd(OpKind::Narrow);
+        let v = self.value().narrow(axis, start, len);
+        self.unary(
+            v,
+            Op::Narrow {
+                x: self.id,
+                axis,
+                start,
+            },
+        )
     }
 
     /// Concatenates variables along `axis`.
@@ -530,26 +546,24 @@ impl Var {
     /// Panics on an empty list or mismatched tapes/shapes.
     pub fn concat(parts: &[Var], axis: usize) -> Var {
         assert!(!parts.is_empty(), "concat of zero Vars");
+        let _t = stats::fwd(OpKind::Concat);
         let tape = Rc::clone(&parts[0].tape);
-        let values: Vec<Rc<Tensor>> = parts.iter().map(|p| p.value()).collect();
-        let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
-        let out = Tensor::concat(&refs, axis);
-        let mut parents: Vec<(usize, GradFn)> = Vec::with_capacity(parts.len());
-        let mut start = 0usize;
-        for (p, v) in parts.iter().zip(&values) {
+        for p in parts {
             assert!(
                 Rc::ptr_eq(&p.tape, &tape),
                 "concat on Vars from different tapes"
             );
-            let len = v.shape().dim(axis);
-            let s = start;
-            parents.push((
-                p.id,
-                Box::new(move |g: &Tensor| g.narrow(axis, s, len)) as GradFn,
-            ));
-            start += len;
         }
-        tape.push(out, parents)
+        let values: Vec<Rc<Tensor>> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
+        let out = Tensor::concat(&refs, axis);
+        tape.push(
+            out,
+            Op::Concat {
+                parts: parts.iter().map(|p| p.id).collect(),
+                axis,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -558,23 +572,21 @@ impl Var {
 
     /// Sum of all elements (scalar output).
     pub fn sum(&self) -> Var {
-        let x = self.value();
-        let shape = x.shape().clone();
-        let v = Tensor::scalar(x.sum());
-        self.unary(v, move |g| Tensor::full(shape.clone(), g.item()))
+        let _t = stats::fwd(OpKind::Sum);
+        let v = Tensor::scalar(self.value().sum());
+        self.unary(v, Op::Sum(self.id))
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean(&self) -> Var {
-        let x = self.value();
-        let n = x.numel() as f32;
-        let shape = x.shape().clone();
-        let v = Tensor::scalar(x.mean());
-        self.unary(v, move |g| Tensor::full(shape.clone(), g.item() / n))
+        let _t = stats::fwd(OpKind::Mean);
+        let v = Tensor::scalar(self.value().mean());
+        self.unary(v, Op::Mean(self.id))
     }
 
     /// Mean absolute error against a constant target.
     pub fn l1_to(&self, target: &Tensor) -> Var {
+        let _t = stats::fwd(OpKind::L1To);
         let x = self.value();
         assert_eq!(
             x.shape(),
@@ -583,26 +595,19 @@ impl Var {
             target.shape(),
             x.shape()
         );
-        let n = x.numel() as f32;
         let v = Tensor::scalar(x.zip(target, |a, b| (a - b).abs()).mean());
-        let t = target.clone();
-        let x2 = Rc::clone(&x);
-        self.unary(v, move |g| {
-            let gi = g.item() / n;
-            x2.zip(&t, |a, b| {
-                if a > b {
-                    gi
-                } else if a < b {
-                    -gi
-                } else {
-                    0.0
-                }
-            })
-        })
+        self.unary(
+            v,
+            Op::L1To {
+                x: self.id,
+                target: Rc::new(target.clone()),
+            },
+        )
     }
 
     /// Mean squared error against a constant target.
     pub fn mse_to(&self, target: &Tensor) -> Var {
+        let _t = stats::fwd(OpKind::MseTo);
         let x = self.value();
         assert_eq!(
             x.shape(),
@@ -611,14 +616,14 @@ impl Var {
             target.shape(),
             x.shape()
         );
-        let n = x.numel() as f32;
         let v = Tensor::scalar(x.zip(target, |a, b| (a - b) * (a - b)).mean());
-        let t = target.clone();
-        let x2 = Rc::clone(&x);
-        self.unary(v, move |g| {
-            let gi = 2.0 * g.item() / n;
-            x2.zip(&t, |a, b| gi * (a - b))
-        })
+        self.unary(
+            v,
+            Op::MseTo {
+                x: self.id,
+                target: Rc::new(target.clone()),
+            },
+        )
     }
 
     /// Binary cross-entropy with logits against a constant label `y`
@@ -627,26 +632,10 @@ impl Var {
     /// This is the standard numerically-stable GAN discriminator /
     /// generator loss; `y = 1` for "real", `y = 0` for "fake".
     pub fn bce_with_logits(&self, y: f32) -> Var {
+        let _t = stats::fwd(OpKind::BceWithLogits);
         let x = self.value();
-        let n = x.numel() as f32;
-        let v = Tensor::scalar(x.map(|xi| softplus_scalar(xi) - y * xi).mean());
-        let x2 = Rc::clone(&x);
-        self.unary(v, move |g| {
-            let gi = g.item() / n;
-            // d/dx [softplus(x) − y·x] = σ(x) − y.
-            x2.map(|xi| gi * (1.0 / (1.0 + (-xi).exp()) - y))
-        })
-    }
-}
-
-/// Numerically stable `ln(1 + e^x)`.
-fn softplus_scalar(x: f32) -> f32 {
-    if x > 20.0 {
-        x
-    } else if x < -20.0 {
-        x.exp()
-    } else {
-        x.exp().ln_1p()
+        let v = Tensor::scalar(x.map(|xi| ops::softplus_scalar(xi) - y * xi).mean());
+        self.unary(v, Op::BceWithLogits { x: self.id, y })
     }
 }
 
@@ -748,6 +737,20 @@ mod tests {
         let tape = Tape::new();
         let a = tape.leaf(Tensor::zeros([2]));
         tape.backward(&a);
+    }
+
+    #[test]
+    fn reset_keep_capacity_clears_nodes() {
+        let tape = Tape::new();
+        for _ in 0..10 {
+            let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+            let z = a.square().sum();
+            let g = tape.backward(&z);
+            assert_eq!(g.get(&a).unwrap().data(), &[2.0, 4.0]);
+            assert_eq!(tape.len(), 3);
+            tape.reset_keep_capacity();
+            assert!(tape.is_empty());
+        }
     }
 
     #[test]
@@ -895,6 +898,120 @@ mod tests {
                 .matmul(&v[3])
                 .bce_with_logits(1.0)
         });
+    }
+
+    #[test]
+    fn gc_fused_matmul_bias_act() {
+        let mut r = rng();
+        // Shift inputs away from relu kinks (as the unfused checks do).
+        let x = Tensor::randn([3, 4], &mut r).map(|v| v + v.signum() * 0.2);
+        let w = Tensor::randn([4, 5], &mut r);
+        let b = Tensor::randn([5], &mut r);
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Sigmoid,
+            FusedAct::Tanh,
+            FusedAct::Relu,
+            FusedAct::LeakyRelu(0.2),
+        ] {
+            grad_check(&[x.clone(), w.clone(), b.clone()], move |_, v| {
+                v[0].matmul_bias_act(&v[1], &v[2], act).mean()
+            });
+        }
+    }
+
+    #[test]
+    fn gc_fused_conv2d_bias() {
+        let mut r = rng();
+        let x = Tensor::randn([1, 2, 5, 5], &mut r);
+        let w = Tensor::randn([3, 2, 3, 3], &mut r);
+        let b = Tensor::randn([3], &mut r);
+        for pad in [0usize, 1] {
+            grad_check(&[x.clone(), w.clone(), b.clone()], move |_, v| {
+                v[0].conv2d_bias(&v[1], &v[2], pad).mean()
+            });
+        }
+    }
+
+    /// The fused kernels must be **bitwise** equal to their unfused
+    /// compositions, forward and backward — this is what lets the layer
+    /// stack switch to them without perturbing the golden fixtures.
+    #[test]
+    fn fused_matches_unfused_bitwise() {
+        let mut r = rng();
+        let x = Tensor::randn([4, 6], &mut r);
+        let w = Tensor::randn([6, 3], &mut r);
+        let b = Tensor::randn([3], &mut r);
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Sigmoid,
+            FusedAct::Tanh,
+            FusedAct::Relu,
+            FusedAct::LeakyRelu(0.2),
+        ] {
+            let run = |fused: bool| -> Vec<u32> {
+                let tape = Tape::new();
+                let (xv, wv, bv) = (
+                    tape.leaf(x.clone()),
+                    tape.leaf(w.clone()),
+                    tape.leaf(b.clone()),
+                );
+                let y = if fused {
+                    xv.matmul_bias_act(&wv, &bv, act)
+                } else {
+                    let pre = xv.matmul(&wv).add_rowvec(&bv);
+                    match act {
+                        FusedAct::Identity => pre,
+                        FusedAct::Sigmoid => pre.sigmoid(),
+                        FusedAct::Tanh => pre.tanh(),
+                        FusedAct::Relu => pre.relu(),
+                        FusedAct::LeakyRelu(a) => pre.leaky_relu(a),
+                    }
+                };
+                let loss = y.bce_with_logits(1.0);
+                let grads = tape.backward(&loss);
+                y.value()
+                    .data()
+                    .iter()
+                    .chain(grads.get(&xv).unwrap().data())
+                    .chain(grads.get(&wv).unwrap().data())
+                    .chain(grads.get(&bv).unwrap().data())
+                    .map(|v| v.to_bits())
+                    .collect()
+            };
+            assert_eq!(run(true), run(false), "act {act:?} diverges");
+        }
+
+        // conv2d + bias.
+        let x4 = Tensor::randn([2, 2, 6, 6], &mut r);
+        let w4 = Tensor::randn([3, 2, 3, 3], &mut r);
+        let b4 = Tensor::randn([3], &mut r);
+        for pad in [0usize, 1] {
+            let run = |fused: bool| -> Vec<u32> {
+                let tape = Tape::new();
+                let (xv, wv, bv) = (
+                    tape.leaf(x4.clone()),
+                    tape.leaf(w4.clone()),
+                    tape.leaf(b4.clone()),
+                );
+                let y = if fused {
+                    xv.conv2d_bias(&wv, &bv, pad)
+                } else {
+                    xv.conv2d(&wv, pad).add_channel_bias(&bv)
+                };
+                let loss = y.mean();
+                let grads = tape.backward(&loss);
+                y.value()
+                    .data()
+                    .iter()
+                    .chain(grads.get(&xv).unwrap().data())
+                    .chain(grads.get(&wv).unwrap().data())
+                    .chain(grads.get(&bv).unwrap().data())
+                    .map(|v| v.to_bits())
+                    .collect()
+            };
+            assert_eq!(run(true), run(false), "pad {pad} diverges");
+        }
     }
 
     #[test]

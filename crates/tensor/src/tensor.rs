@@ -2,20 +2,41 @@
 //!
 //! [`Tensor`] is a contiguous, row-major `f32` buffer plus a [`Shape`].
 //! The differentiable layer ([`crate::tape`]) builds on these routines:
-//! every backward closure ultimately calls plain `Tensor` math, so the
+//! the backward interpreter ultimately calls plain `Tensor` math, so the
 //! convolution/matmul gradients live here too ([`Tensor::conv2d`],
 //! [`Tensor::conv2d_grad_input`], [`Tensor::conv2d_grad_weight`]).
+//!
+//! Buffers come from the thread-local [`crate::arena`] pool: every
+//! constructor asks the arena for storage and `Drop` returns it, so
+//! shapes that recur step to step (all of training) are served without
+//! touching the allocator.
 
+use crate::arena;
 use crate::shape::Shape;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense row-major `f32` tensor.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: arena::clone_buf(&self.data),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -44,7 +65,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: arena::take_zeroed(n),
         }
     }
 
@@ -59,7 +80,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: arena::take_filled(n, value),
         }
     }
 
@@ -67,7 +88,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::new(&[]),
-            data: vec![value],
+            data: arena::take_filled(1, value),
         }
     }
 
@@ -76,7 +97,7 @@ impl Tensor {
     pub fn randn(shape: impl Into<Shape>, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        let mut data = Vec::with_capacity(n);
+        let mut data = arena::take(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
@@ -94,7 +115,8 @@ impl Tensor {
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        let mut data = arena::take(n);
+        data.extend((0..n).map(|_| rng.gen_range(lo..hi)));
         Tensor { shape, data }
     }
 
@@ -127,8 +149,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-index.
@@ -163,7 +185,7 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: self.data.clone(),
+            data: arena::clone_buf(&self.data),
         }
     }
 
@@ -173,9 +195,11 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = arena::take(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -189,14 +213,11 @@ impl Tensor {
             "elementwise op on mismatched shapes {} vs {}",
             self.shape, other.shape
         );
+        let mut data = arena::take(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -303,7 +324,7 @@ impl Tensor {
             "matmul inner dims differ: {} vs {}",
             self.shape, other.shape
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = arena::take_zeroed(m * n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let o_row = &mut out[i * n..(i + 1) * n];
@@ -329,7 +350,7 @@ impl Tensor {
             self.shape
         );
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
-        let mut out = vec![0.0f32; m * n];
+        let mut out = arena::take_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
@@ -539,7 +560,7 @@ impl Tensor {
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out_dims = dims.to_vec();
         out_dims[axis] = len;
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let mut out = arena::take(outer * len * inner);
         for o in 0..outer {
             let base = (o * dims[axis] + start) * inner;
             out.extend_from_slice(&self.data[base..base + len * inner]);
@@ -565,7 +586,7 @@ impl Tensor {
         let in_strides = self.shape.strides();
         let out_shape = Shape::new(&out_dims);
         let out_strides = out_shape.strides();
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = arena::take_zeroed(self.numel());
         // Walk output positions in order, mapping back to input offsets.
         let mut idx = vec![0usize; nd];
         for (o, slot) in out.iter_mut().enumerate() {
@@ -632,7 +653,7 @@ impl Tensor {
         let inner: usize = first[axis + 1..].iter().product();
         let mut out_dims = first.to_vec();
         out_dims[axis] = axis_total;
-        let mut out = Vec::with_capacity(outer * axis_total * inner);
+        let mut out = arena::take(outer * axis_total * inner);
         for o in 0..outer {
             for p in parts {
                 let len = p.shape.dims()[axis];
