@@ -274,7 +274,9 @@ impl Conv3dLstmLite {
         let z_vec: Vec<f32> = (0..cfg.noise_dim).map(|_| randn1(&mut rng)).collect();
         let side = cfg.patch_traffic;
         let px = cfg.pixels();
-        let mut patches = Vec::with_capacity(layout.positions().len());
+        // Stream each patch straight into the running sew sums instead
+        // of materializing every overlapping patch for the whole city.
+        let mut acc = layout.sew_accumulator(t_out);
         for &pos in layout.positions().to_vec().iter() {
             let ctx_t = layout.extract_context(&ctx_std, pos);
             let d = ctx_t.shape().dims().to_vec();
@@ -307,9 +309,9 @@ impl Conv3dLstmLite {
                     }
                 }
             }
-            patches.push(patch);
+            acc.push(&patch);
         }
-        let mut map = layout.sew(&patches);
+        let mut map = acc.finish();
         for v in map.data_mut() {
             *v = v.max(0.0);
         }

@@ -240,7 +240,9 @@ impl Pix2PixLite {
         let mut rng = StdRng::seed_from_u64(seed);
         let side = cfg.patch_traffic;
         let pool = cfg.frame_pool.max(1);
-        let mut patches = Vec::with_capacity(layout.positions().len());
+        // Stream each patch straight into the running sew sums instead
+        // of materializing every overlapping patch for the whole city.
+        let mut acc = layout.sew_accumulator(t_out);
         for &pos in layout.positions().to_vec().iter() {
             let ctx_t = layout.extract_context(&ctx_std, pos);
             let ctx_b = stack(&vec![&ctx_t; pool]);
@@ -258,9 +260,9 @@ impl Pix2PixLite {
                     }
                 }
             }
-            patches.push(patch);
+            acc.push(&patch);
         }
-        let mut map = layout.sew(&patches);
+        let mut map = acc.finish();
         for v in map.data_mut() {
             *v = v.max(0.0);
         }

@@ -1,6 +1,7 @@
-//! Perf smoke gate for CI: times the hot nn kernels and a short
-//! training run, prints a fixed-width table (step time, buffer-pool
-//! traffic per step) and writes the numbers to `BENCH_pr3.json` so
+//! Perf smoke gate for CI: times the hot nn kernels, a short training
+//! run, and a full-city generation sweep, prints fixed-width tables
+//! (step time, buffer-pool traffic per step, generation throughput and
+//! peak arena bytes) and writes the numbers to `BENCH_pr4.json` so
 //! regressions show up in the job summary rather than only in local
 //! Criterion runs.
 //!
@@ -10,10 +11,12 @@
 //!
 //! This is a *smoke* gate: one process, a handful of seconds, absolute
 //! numbers that drift with runner hardware. The useful signals are the
-//! relative ones — fused vs. unfused kernel time, and fresh
-//! allocations per steady-state training step (which must stay ~0; the
-//! hard assertion lives in `spectragan-nn`'s `alloc_steady_state`
-//! test).
+//! relative ones — fused vs. unfused kernel time, fresh allocations per
+//! steady-state training step (which must stay ~0; the hard assertion
+//! lives in `spectragan-nn`'s `alloc_steady_state` test), and peak
+//! arena bytes during city generation (which must stay O(in-flight
+//! window), not O(city × overlap); the hard assertion lives in
+//! `spectragan-core`'s `streaming_generation` test).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,9 +46,19 @@ struct TrainGate {
 }
 
 #[derive(Serialize)]
+struct GenRow {
+    city: String,
+    t_out: usize,
+    wall_s: f64,
+    mpx_steps_per_s: f64,
+    peak_arena_mib: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     micro: Vec<MicroRow>,
     train: TrainGate,
+    generate: Vec<GenRow>,
 }
 
 /// Times `f` over `iters` iterations after `warmup` unrecorded ones.
@@ -170,9 +183,50 @@ fn train_gate() -> TrainGate {
     }
 }
 
+/// Full-city generation sweep: untrained weights (throughput and peak
+/// memory do not depend on weight values), tiny config, three city ×
+/// duration shapes that cover k = 1 and long spectral expansion.
+fn gen_gate() -> Vec<GenRow> {
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        // Unit scale so the requested city extents are the real ones.
+        size_scale: 1.0,
+    };
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let mut rows = Vec::new();
+    for (side, t_out) in [(64usize, 24usize), (64, 72), (128, 336)] {
+        let city = generate_city(
+            &CityConfig {
+                name: format!("GG{side}"),
+                height: side,
+                width: side,
+                seed: 11,
+            },
+            &ds,
+        );
+        arena::reset_high_water();
+        let base = arena::live_bytes();
+        let start = Instant::now();
+        let map = model.generate(&city.context, t_out, 5);
+        let wall = start.elapsed().as_secs_f64();
+        let peak = (arena::high_water_bytes() - base).max(0) as f64;
+        let px_steps = (map.len_t() * map.height() * map.width()) as f64;
+        rows.push(GenRow {
+            city: format!("{side}x{side}"),
+            t_out,
+            wall_s: wall,
+            mpx_steps_per_s: px_steps / wall / 1e6,
+            peak_arena_mib: peak / (1024.0 * 1024.0),
+        });
+    }
+    rows
+}
+
 fn main() {
     let micro = micro_benches();
     let train = train_gate();
+    let generate = gen_gate();
 
     println!("perf gate — kernel microbenches");
     println!("{:<36} {:>8} {:>14}", "bench", "iters", "us/iter");
@@ -206,9 +260,25 @@ fn main() {
         "pooled MiB",
         format!("{:.1}", train.pooled_mib)
     );
+    println!();
+    println!("perf gate — full-city generation (streaming sew)");
+    println!(
+        "{:<10} {:>7} {:>10} {:>14} {:>16}",
+        "city", "t_out", "wall s", "Mpx·steps/s", "peak arena MiB"
+    );
+    for r in &generate {
+        println!(
+            "{:<10} {:>7} {:>10.2} {:>14.2} {:>16.1}",
+            r.city, r.t_out, r.wall_s, r.mpx_steps_per_s, r.peak_arena_mib
+        );
+    }
 
-    let report = Report { micro, train };
+    let report = Report {
+        micro,
+        train,
+        generate,
+    };
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write("BENCH_pr3.json", json).expect("write BENCH_pr3.json");
-    eprintln!("wrote BENCH_pr3.json");
+    std::fs::write("BENCH_pr4.json", json).expect("write BENCH_pr4.json");
+    eprintln!("wrote BENCH_pr4.json");
 }

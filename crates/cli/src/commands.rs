@@ -9,6 +9,7 @@ use spectragan_core::{
 use spectragan_geo::io::{atomic_write, load_context, load_traffic, save_traffic, traffic_to_csv};
 use spectragan_metrics::{ac_l1, fvd, m_emd, m_tv, ssim_mean_maps, tstr_r2};
 use spectragan_synthdata::{country1, country2, DatasetConfig};
+use spectragan_tensor::arena;
 use std::fs;
 use std::path::Path;
 
@@ -216,7 +217,8 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 /// `spectragan generate --model MODEL --context FILE.sgcm --hours N
-/// --out FILE.sgtm [--seed N] [--csv]` — generate traffic for a region.
+/// --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]` — generate
+/// traffic for a region, reporting throughput and peak buffer memory.
 pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let ctx_path = args.require("context").map_err(|e| e.to_string())?;
@@ -227,6 +229,12 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let seed = args
         .get_parsed("seed", 0u64, "integer")
         .map_err(|e| e.to_string())?;
+    let gen_batch = args
+        .get_parsed("gen-batch", 16usize, "integer")
+        .map_err(|e| e.to_string())?;
+    if gen_batch == 0 {
+        return Err("--gen-batch must be at least 1".into());
+    }
 
     let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let model = SpectraGan::from_model_json(&json).map_err(|e| e.to_string())?;
@@ -236,7 +244,14 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
         model.config().train_len / 168
     };
     let t_out = hours * steps_per_hour.max(1);
-    let map = model.generate(&context, t_out, seed);
+    // Peak-memory accounting: watch the arena's high-water mark over
+    // the generation region only.
+    let base = arena::reset_high_water();
+    let start = std::time::Instant::now();
+    let map = model.generate_batched(&context, t_out, seed, true, gen_batch);
+    let wall = start.elapsed().as_secs_f64();
+    let peak_mib = (arena::high_water_bytes() - base).max(0) as f64 / (1024.0 * 1024.0);
+    let px_steps = (map.len_t() * map.height() * map.width()) as f64;
     if args.switch("csv") {
         atomic_write(Path::new(out), traffic_to_csv(&map).as_bytes())
             .map_err(|e| format!("write {out}: {e}"))?;
@@ -248,6 +263,12 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
         map.len_t(),
         map.height(),
         map.width()
+    );
+    println!(
+        "  {:.2} s, {:.2} Mpx·steps/s, peak buffers {:.1} MiB (gen-batch {gen_batch})",
+        wall,
+        px_steps / wall / 1e6,
+        peak_mib
     );
     Ok(())
 }
@@ -330,7 +351,7 @@ USAGE:
   spectragan train    --data DIR --out MODEL.json [--steps N] [--lr F] [--variant V] [--holdout CITY] [--seed N] [--quiet]
                       [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N] [--op-stats]
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
-  spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--csv]
+  spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
@@ -345,4 +366,9 @@ whose gradient norm exceeds --guard-grad-norm are skipped, logged, and
 retried with a re-rolled RNG lane (at most --guard-max-retries times).
 --op-stats adds a per-op instrumentation table (call counts, wall time,
 buffer-pool traffic) to every train_log.jsonl record.
+
+Generation streams patch chunks through a bounded in-flight window, so
+peak memory is independent of city size and patch overlap; --gen-batch
+sets the patches per generator chunk (default 16) and the summary line
+reports wall time, Mpx·steps/s and peak buffer MiB.
 ";

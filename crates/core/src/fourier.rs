@@ -8,8 +8,10 @@
 //! which keeps the whole generator differentiable with no bespoke
 //! autodiff op (§2.2.2 notes IFFT differentiability as the requirement).
 
-use spectragan_dsp::{expand_spectrum, irfft, mask_quantile, rfft, Complex};
+use spectragan_dsp::{mask_quantile, rfft, Complex};
 use spectragan_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Builds the constant inverse-rFFT basis `B ∈ R^{2F×T}` for the
 /// crate's *normalized* spectrum convention: the network works with
@@ -106,28 +108,57 @@ pub fn masked_spec_rows(patch: &Tensor, q: f64) -> Tensor {
     out
 }
 
+/// Cache of expanded inverse-rFFT bases keyed by `(t, k)`. Bases are
+/// pure functions of their key, so generation reuses one copy across
+/// every chunk of every city instead of rebuilding per batch.
+type BasisCache = Mutex<HashMap<(usize, usize), Arc<Tensor>>>;
+static EXPANDED_BASES: OnceLock<BasisCache> = OnceLock::new();
+
+/// The inverse-rFFT basis for `k`-expanded spectra of a length-`t`
+/// signal: `B_k ∈ R^{2F×k·t}`, cached per `(t, k)`.
+///
+/// Expansion maps bin `i` of the length-`t` spectrum to bin `k·i` of
+/// the length-`k·t` spectrum (scaled by `k`, which the normalized
+/// convention absorbs), and the inverse transform of that comb is
+/// exactly the `t`-periodic tiling of the original series. Moreover
+/// bin `k·i` keeps bin `i`'s one-sided weight class — DC maps to DC,
+/// the even-`t` Nyquist `t/2` maps to the Nyquist `k·t/2`, interior
+/// bins stay interior — so the expanded basis is [`irfft_basis`]`(t)`
+/// with every row tiled `k` times, no reweighting needed.
+pub fn expanded_irfft_basis(t: usize, k: usize) -> Arc<Tensor> {
+    assert!(k >= 1, "expansion factor must be at least 1");
+    let cache = EXPANDED_BASES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("basis cache poisoned");
+    Arc::clone(cache.entry((t, k)).or_insert_with(|| {
+        let base = irfft_basis(t);
+        if k == 1 {
+            return Arc::new(base);
+        }
+        let two_f = base.shape().dim(0);
+        let mut tiled = Tensor::zeros([two_f, k * t]);
+        for r in 0..two_f {
+            let src = &base.data()[r * t..(r + 1) * t];
+            for rep in 0..k {
+                let d0 = r * k * t + rep * t;
+                tiled.data_mut()[d0..d0 + t].copy_from_slice(src);
+            }
+        }
+        Arc::new(tiled)
+    }))
+}
+
 /// Expands *normalized* spectrum rows `[N, 2F]` of a length-`t` signal
 /// by an integer factor `k` and inverse-transforms them, returning
 /// time rows `[N, k·t]` (the §2.2.4 long-generation path).
+///
+/// One matmul against the cached [`expanded_irfft_basis`] — agreeing
+/// with the per-pixel `expand_spectrum` + `irfft` DSP path to ≤1e-4
+/// (they are the same linear map; only the float rounding differs).
 pub fn expand_rows_to_series(rows: &Tensor, t: usize, k: usize) -> Tensor {
-    let n = rows.shape().dim(0);
     let two_f = rows.shape().dim(1);
     assert_eq!(two_f, 2 * (t / 2 + 1), "row width does not match t");
-    let t_out = k * t;
-    let mut out = Tensor::zeros([n, t_out]);
-    for i in 0..n {
-        // Undo the 1/T normalization before the DSP-side transforms.
-        let spec: Vec<Complex> = row_to_complex(&rows.data()[i * two_f..(i + 1) * two_f])
-            .into_iter()
-            .map(|z| z.scale(t as f64))
-            .collect();
-        let expanded = expand_spectrum(&spec, t, k);
-        let series = irfft(&expanded, t_out);
-        for (j, v) in series.iter().enumerate() {
-            out.data_mut()[i * t_out + j] = *v as f32;
-        }
-    }
-    out
+    let basis = expanded_irfft_basis(t, k);
+    rows.matmul(&basis)
 }
 
 #[cfg(test)]
@@ -199,6 +230,59 @@ mod tests {
             let nonzero = row.iter().filter(|v| v.abs() > 1e-9).count();
             assert!(nonzero > 0 && nonzero < 30, "px {px}: {nonzero} nonzero");
         }
+    }
+
+    /// The cached tiled basis and the per-pixel DSP route
+    /// (`expand_spectrum` + `irfft`) are the same linear map; pin them
+    /// against each other to ≤1e-4 over odd/even lengths and several
+    /// expansion factors.
+    #[test]
+    fn cached_basis_matches_dsp_expansion_path() {
+        use spectragan_dsp::{expand_spectrum, irfft};
+        for (t, k) in [(24usize, 1usize), (24, 2), (24, 7), (25, 3), (48, 4)] {
+            let f = t / 2 + 1;
+            // Three synthetic pixels with distinct spectra.
+            let mut rows = Tensor::zeros([3, 2 * f]);
+            for px in 0..3 {
+                let series: Vec<f64> = (0..t)
+                    .map(|n| {
+                        (px + 1) as f64
+                            + (2.0 * std::f64::consts::PI * n as f64 * (px + 1) as f64 / t as f64)
+                                .sin()
+                    })
+                    .collect();
+                let spec: Vec<Complex> = rfft(&series)
+                    .into_iter()
+                    .map(|z| z.scale(1.0 / t as f64))
+                    .collect();
+                rows.data_mut()[px * 2 * f..(px + 1) * 2 * f]
+                    .copy_from_slice(&complex_to_row(&spec));
+            }
+            let fast = expand_rows_to_series(&rows, t, k);
+            assert_eq!(fast.shape().dims(), &[3, k * t]);
+            for px in 0..3 {
+                let spec: Vec<Complex> = row_to_complex(&rows.data()[px * 2 * f..(px + 1) * 2 * f])
+                    .into_iter()
+                    .map(|z| z.scale(t as f64))
+                    .collect();
+                let slow = irfft(&expand_spectrum(&spec, t, k), k * t);
+                for (j, &s) in slow.iter().enumerate() {
+                    let g = fast.at(&[px, j]) as f64;
+                    assert!(
+                        (g - s).abs() <= 1e-4,
+                        "t={t} k={k} px={px} j={j}: {g} vs {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_basis_is_cached_by_key() {
+        let a = expanded_irfft_basis(24, 3);
+        let b = expanded_irfft_basis(24, 3);
+        assert!(Arc::ptr_eq(&a, &b), "same (t, k) must share one basis");
+        assert_eq!(a.shape().dims(), &[2 * 13, 72]);
     }
 
     #[test]

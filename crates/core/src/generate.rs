@@ -34,13 +34,6 @@ impl SpectraGan {
     /// patch, the configuration §2.2.4 warns against (the Eq. 2
     /// averaging then acts as an expectation and oversmooths the maps).
     /// Kept public to power the noise ablation bench.
-    ///
-    /// Patch batches run in parallel on the [`spectragan_tensor::pool`]
-    /// pool. Batch `i` always covers the same patches and feeds
-    /// [`PatchLayout::sew`] at the same indices, and fresh noise is
-    /// derived from `(seed, global patch index)` rather than a shared
-    /// sequential stream — so the output is bit-identical for a given
-    /// seed at every thread count and batch size.
     pub fn generate_opts(
         &self,
         context: &ContextMap,
@@ -48,7 +41,34 @@ impl SpectraGan {
         seed: u64,
         shared_noise: bool,
     ) -> TrafficMap {
+        self.generate_batched(context, t_out, seed, shared_noise, GEN_BATCH)
+    }
+
+    /// The fully-parameterized generation entry point: `gen_batch`
+    /// patches per generator chunk.
+    ///
+    /// Generation is **streaming and memory-bounded**: chunks of
+    /// patches run in parallel on the [`spectragan_tensor::pool`] pool
+    /// and are folded into a [`spectragan_geo::SewAccumulator`] in
+    /// chunk-index order via
+    /// [`par_fold_ordered`](spectragan_tensor::pool::par_fold_ordered),
+    /// then dropped — at most `2 × threads` chunks of patch tensors
+    /// exist at any moment, independent of city size and overlap.
+    /// Chunk `i` always covers the same patches and folds at the same
+    /// index, and fresh noise is derived from `(seed, global patch
+    /// index)` rather than a shared sequential stream — so the output
+    /// is bit-identical for a given seed at every thread count and
+    /// batch size, and bit-identical to the batch sew it replaced.
+    pub fn generate_batched(
+        &self,
+        context: &ContextMap,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+    ) -> TrafficMap {
         assert!(t_out > 0, "cannot generate an empty series");
+        assert!(gen_batch > 0, "gen_batch must be positive");
         let (cfg, store, gen) = self.parts();
         let k = t_out.div_ceil(cfg.train_len).max(1);
         let grid = GridSpec::new(context.height(), context.width());
@@ -65,58 +85,73 @@ impl SpectraGan {
             *v = gauss(&mut rng);
         }
 
-        let positions = layout.positions().to_vec();
+        let positions = layout.positions();
         let px = cfg.pixels_per_patch();
         let side = cfg.patch_traffic;
-        let chunks: Vec<_> = positions.chunks(GEN_BATCH).collect();
-        let per_chunk: Vec<Vec<Tensor>> = spectragan_tensor::pool::par_map(chunks.len(), |ci| {
-            let chunk = chunks[ci];
-            let p = chunk.len();
-            // Stack context patches.
-            let ctx_parts: Vec<Tensor> = chunk
-                .iter()
-                .map(|&pos| {
-                    let t = layout.extract_context(&ctx_std, pos);
-                    let d = t.shape().dims().to_vec();
-                    t.reshape([1, d[0], d[1], d[2]])
-                })
-                .collect();
-            let refs: Vec<&Tensor> = ctx_parts.iter().collect();
-            let ctx_batch = Tensor::concat(&refs, 0);
-            // Broadcast the shared noise (or derive per-patch noise
-            // from the global patch index when the ablation asks
-            // for it).
-            let mut z = Tensor::zeros([p, cfg.noise_dim, side, side]);
-            for pi in 0..p {
-                let patch_noise: Vec<f32> = if shared_noise {
-                    z_vec.clone()
-                } else {
-                    let patch_index = (ci * GEN_BATCH + pi) as u64;
-                    let mut patch_rng = StdRng::seed_from_u64(per_patch_seed(seed, patch_index));
-                    (0..cfg.noise_dim).map(|_| gauss(&mut patch_rng)).collect()
-                };
-                for (d, &nv) in patch_noise.iter().enumerate() {
-                    let base = (pi * cfg.noise_dim + d) * side * side;
-                    for e in 0..side * side {
-                        z.data_mut()[base + e] = nv;
+        let n_chunks = positions.len().div_ceil(gen_batch);
+        // Enough in-flight chunks to keep every worker busy while the
+        // consumer folds, small enough to bound patch memory.
+        let window = (spectragan_tensor::pool::threads() * 2).max(2);
+        let mut acc = layout.sew_accumulator(t_out);
+        spectragan_tensor::pool::par_fold_ordered(
+            n_chunks,
+            window,
+            |ci| {
+                let chunk = &positions[ci * gen_batch..((ci + 1) * gen_batch).min(positions.len())];
+                let p = chunk.len();
+                // Stack context patches.
+                let ctx_parts: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&pos| {
+                        let t = layout.extract_context(&ctx_std, pos);
+                        let d = t.shape().dims().to_vec();
+                        t.reshape([1, d[0], d[1], d[2]])
+                    })
+                    .collect();
+                let refs: Vec<&Tensor> = ctx_parts.iter().collect();
+                let ctx_batch = Tensor::concat(&refs, 0);
+                // Broadcast the shared noise (or derive per-patch noise
+                // from the global patch index when the ablation asks
+                // for it).
+                let mut z = Tensor::zeros([p, cfg.noise_dim, side, side]);
+                for pi in 0..p {
+                    let patch_noise: Vec<f32> = if shared_noise {
+                        z_vec.clone()
+                    } else {
+                        let patch_index = (ci * gen_batch + pi) as u64;
+                        let mut patch_rng =
+                            StdRng::seed_from_u64(per_patch_seed(seed, patch_index));
+                        (0..cfg.noise_dim).map(|_| gauss(&mut patch_rng)).collect()
+                    };
+                    for (d, &nv) in patch_noise.iter().enumerate() {
+                        let base = (pi * cfg.noise_dim + d) * side * side;
+                        for e in 0..side * side {
+                            z.data_mut()[base + e] = nv;
+                        }
                     }
                 }
-            }
-            let rows = gen.infer(store, &ctx_batch, &z, k);
-            let t_gen = rows.shape().dim(1);
-            assert!(
-                t_gen >= t_out,
-                "generator produced {t_gen} steps, fewer than the requested {t_out}"
-            );
-            (0..p)
-                .map(|pi| {
-                    let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out);
-                    crate::fourier::rows_to_patch(&patch_rows, side, side)
-                })
-                .collect()
-        });
-        let patches: Vec<Tensor> = per_chunk.into_iter().flatten().collect();
-        let mut map = layout.sew(&patches);
+                let rows = gen.infer(store, &ctx_batch, &z, k);
+                let t_gen = rows.shape().dim(1);
+                assert!(
+                    t_gen >= t_out,
+                    "generator produced {t_gen} steps, fewer than the requested {t_out}"
+                );
+                (0..p)
+                    .map(|pi| {
+                        let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out);
+                        crate::fourier::rows_to_patch(&patch_rows, side, side)
+                    })
+                    .collect::<Vec<Tensor>>()
+            },
+            |_, patches| {
+                // Fold in chunk order and drop the chunk's tensors
+                // right away (their buffers go back to the arena).
+                for patch in &patches {
+                    acc.push(patch);
+                }
+            },
+        );
+        let mut map = acc.finish();
         for v in map.data_mut() {
             if *v < 0.0 {
                 *v = 0.0;

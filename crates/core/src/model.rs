@@ -167,6 +167,8 @@ impl Generator {
         if let (Some(feat), Some(head)) = (&self.spec_feat, &self.spec_head) {
             let rows = to_rows(&lrelu(feat.forward_infer(store, &hz)));
             let spec = head.forward_infer(store, &rows);
+            // At k = 1 the cached expanded basis equals `self.basis`;
+            // the shared cache keeps one copy per (t, k) across chunks.
             series = Some(expand_rows_to_series(&spec, t, k));
         }
         if let (Some(feat), Some(lstm), Some(head)) =
@@ -176,23 +178,26 @@ impl Generator {
             let n_px = rows.shape().dim(0);
             let xw = rows.matmul(store.get(lstm.wx_param()));
             let (mut hh, mut cc) = lstm.zero_state_infer(n_px);
-            let mut xt = Tensor::zeros([n_px, t_out]);
+            // Roll out step-major: each step's head output is one
+            // contiguous row, so the write is a single memcpy instead
+            // of an n_px-way column scatter; transpose once at the end
+            // (same values, so the result stays bit-equal). Per-step
+            // buffers go back to the arena as they are replaced.
+            let mut steps = Tensor::zeros([t_out, n_px]);
             for step in 0..t_out {
                 let (h2, c2) = lstm.step_infer_projected(store, &xw, &hh, &cc);
                 hh = h2;
                 cc = c2;
                 let out = head.forward_infer(store, &hh);
-                for px in 0..n_px {
-                    xt.data_mut()[px * t_out + step] = out.data()[px];
-                }
+                steps.data_mut()[step * n_px..(step + 1) * n_px].copy_from_slice(out.data());
             }
+            let mut xt = steps.transpose2();
             if let Some(amp) = &self.amp_head {
                 let a = amp.forward_infer(store, &rows);
                 for px in 0..n_px {
                     let scale = softplus32(a.data()[px * 2]);
                     let offset = a.data()[px * 2 + 1];
-                    for step in 0..t_out {
-                        let v = &mut xt.data_mut()[px * t_out + step];
+                    for v in &mut xt.data_mut()[px * t_out..(px + 1) * t_out] {
                         *v = *v * scale + offset;
                     }
                 }

@@ -50,6 +50,17 @@ pub fn expand_spectrum(spec: &[Complex], t: usize, k: usize) -> Vec<Complex> {
 /// linear split is the "careful smoothing" — adjacent-bin leakage
 /// instead of aliasing.
 ///
+/// Bins carry **conjugate-symmetry weights**: DC and an even-length
+/// Nyquist bin appear once in the full spectrum, interior bins twice.
+/// A naive split ignores this, so whenever a weight-1 bin's mass lands
+/// on weight-2 bins (or vice versa — e.g. compressing an even-`t_in`
+/// spectrum so its Nyquist mass lands on interior bins, where `irfft`'s
+/// symmetry reconstruction counts it twice) the reconstructed tone's
+/// amplitude is doubled or halved. Each share is therefore scaled by
+/// `w_in(k)/w_out(j)`. The top boundary folds back instead of dropping:
+/// if `lo + 1` exceeds the last output bin, the `frac` share joins the
+/// `lo` share rather than silently losing that energy.
+///
 /// # Panics
 /// Panics if `spec.len() != t_in/2 + 1` or either length is < 2.
 pub fn expand_spectrum_fractional(spec: &[Complex], t_in: usize, t_out: usize) -> Vec<Complex> {
@@ -67,20 +78,35 @@ pub fn expand_spectrum_fractional(spec: &[Complex], t_in: usize, t_out: usize) -
     let ratio = t_out as f64 / t_in as f64;
     let mut out = vec![Complex::ZERO; f_out];
     for (k, &z) in spec.iter().enumerate() {
+        // `pos ≤ t_out/2`, so `lo` is always a valid output bin; only
+        // the `lo + 1` neighbour can fall off the end.
         let pos = k as f64 * ratio;
         let lo = pos.floor() as usize;
         let frac = pos - lo as f64;
-        let scaled = z.scale(ratio);
-        if lo < f_out {
-            out[lo] += scaled.scale(1.0 - frac);
-        }
-        if frac > 0.0 && lo + 1 < f_out {
-            out[lo + 1] += scaled.scale(frac);
+        let scaled = z.scale(ratio * one_sided_weight(k, t_in));
+        let lo_c = lo.min(f_out - 1);
+        let hi_c = (lo + 1).min(f_out - 1);
+        if hi_c == lo_c {
+            out[lo_c] += scaled.scale(1.0 / one_sided_weight(lo_c, t_out));
+        } else {
+            out[lo_c] += scaled.scale((1.0 - frac) / one_sided_weight(lo_c, t_out));
+            out[hi_c] += scaled.scale(frac / one_sided_weight(hi_c, t_out));
         }
     }
     // A real signal's DC must stay real; linear splitting preserves
     // this by construction (bin 0 maps to position 0 exactly).
     out
+}
+
+/// How many times bin `idx` of a length-`n` signal's one-sided spectrum
+/// appears in the full spectrum: once for DC and the even-`n` Nyquist,
+/// twice (conjugate pair) for interior bins.
+fn one_sided_weight(idx: usize, n: usize) -> f64 {
+    if idx == 0 || (n.is_multiple_of(2) && idx == n / 2) {
+        1.0
+    } else {
+        2.0
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +213,68 @@ mod tests {
             "mean level changed"
         );
         assert!(out[0].im.abs() < 1e-12);
+    }
+
+    /// `Σ_j w(j)·|spec[j]|` — the total one-sided tone amplitude scale;
+    /// for a single tone this is `n ×` its time-domain amplitude.
+    fn weighted_amplitude(spec: &[Complex], n: usize) -> f64 {
+        spec.iter()
+            .enumerate()
+            .map(|(j, z)| one_sided_weight(j, n) * z.abs())
+            .sum()
+    }
+
+    /// Regression: odd `t_in`, near-Nyquist interior bin, compressing
+    /// boundary fold. For `t_in = 25`, bin 12 at `t_out = 13` lands at
+    /// position 6.24 with `lo = f_out − 1`, so the old code dropped the
+    /// 24 % `frac` share (0.76× amplitude). The fold-back keeps it.
+    #[test]
+    fn fractional_boundary_fold_keeps_the_frac_share() {
+        let (t_in, t_out, bin) = (25usize, 13usize, 12usize);
+        let mut spec = vec![Complex::ZERO; t_in / 2 + 1];
+        spec[bin] = Complex::new(3.0, -1.5);
+        let out = expand_spectrum_fractional(&spec, t_in, t_out);
+        let want = (t_out as f64 / t_in as f64) * weighted_amplitude(&spec, t_in);
+        let got = weighted_amplitude(&out, t_out);
+        assert!(
+            (got - want).abs() < 1e-12 * want,
+            "amplitude not preserved: {got} vs {want}"
+        );
+    }
+
+    /// Regression: an interior (weight-2) bin sharing onto DC
+    /// (weight 1) under compression. The old unweighted split halved
+    /// the DC share's reconstructed amplitude.
+    #[test]
+    fn fractional_interior_share_onto_dc_is_reweighted() {
+        let (t_in, t_out, bin) = (48usize, 26usize, 1usize);
+        let mut spec = vec![Complex::ZERO; t_in / 2 + 1];
+        spec[bin] = Complex::new(2.0, 0.5);
+        let out = expand_spectrum_fractional(&spec, t_in, t_out);
+        let want = (t_out as f64 / t_in as f64) * weighted_amplitude(&spec, t_in);
+        let got = weighted_amplitude(&out, t_out);
+        assert!(
+            (got - want).abs() < 1e-12 * want,
+            "amplitude not preserved: {got} vs {want}"
+        );
+    }
+
+    /// Regression: an interior (weight-2) bin sharing onto the output
+    /// Nyquist (weight 1). `t_in = 25`, bin 12 at `t_out = 26` lands at
+    /// 12.48, splitting between interior bin 12 and the Nyquist 13;
+    /// the old code under-counted the Nyquist share by 2×.
+    #[test]
+    fn fractional_interior_share_onto_nyquist_is_reweighted() {
+        let (t_in, t_out, bin) = (25usize, 26usize, 12usize);
+        let mut spec = vec![Complex::ZERO; t_in / 2 + 1];
+        spec[bin] = Complex::new(-1.0, 2.0);
+        let out = expand_spectrum_fractional(&spec, t_in, t_out);
+        let want = (t_out as f64 / t_in as f64) * weighted_amplitude(&spec, t_in);
+        let got = weighted_amplitude(&out, t_out);
+        assert!(
+            (got - want).abs() < 1e-12 * want,
+            "amplitude not preserved: {got} vs {want}"
+        );
     }
 
     #[test]

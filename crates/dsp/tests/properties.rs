@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use spectragan_dsp::{
-    autocorrelation, expand_spectrum, fft, ifft, irfft, magnitude, mask_quantile, rfft, Complex,
+    autocorrelation, expand_spectrum, expand_spectrum_fractional, fft, ifft, irfft, magnitude,
+    mask_quantile, rfft, Complex,
 };
 
 fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -105,5 +106,69 @@ proptest! {
         for &v in &r {
             prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
         }
+    }
+
+    /// Fractional expansion preserves every single tone's weighted
+    /// amplitude exactly — `Σ_j w_out(j)·|out[j]| = ratio·w_in(k)·|z|`,
+    /// the conjugate-symmetry-corrected conservation law — for any
+    /// non-integer ratio, odd and even lengths, expansion and
+    /// compression, including bins folding at the output Nyquist.
+    #[test]
+    fn fractional_single_tone_weighted_amplitude_is_conserved(
+        t_in in 4usize..64,
+        t_out in 4usize..200,
+        bin_sel in 0u32..1000,
+        re in -50.0f64..50.0,
+        im in -50.0f64..50.0,
+    ) {
+        prop_assume!(!t_out.is_multiple_of(t_in));
+        let f_in = t_in / 2 + 1;
+        let bin = bin_sel as usize % f_in;
+        // DC (and even-length Nyquist) of a real signal is real.
+        let real_only = bin == 0 || (t_in.is_multiple_of(2) && bin == t_in / 2);
+        let z = Complex::new(re, if real_only { 0.0 } else { im });
+        prop_assume!(z.abs() > 1e-9);
+        let mut spec = vec![Complex::ZERO; f_in];
+        spec[bin] = z;
+        let out = expand_spectrum_fractional(&spec, t_in, t_out);
+        let w = |j: usize, n: usize| -> f64 {
+            if j == 0 || (n.is_multiple_of(2) && j == n / 2) { 1.0 } else { 2.0 }
+        };
+        let got: f64 = out
+            .iter()
+            .enumerate()
+            .map(|(j, v)| w(j, t_out) * v.abs())
+            .sum();
+        let want = t_out as f64 / t_in as f64 * w(bin, t_in) * z.abs();
+        prop_assert!(
+            (got - want).abs() < 1e-9 * want,
+            "t_in={} t_out={} bin={}: {} vs {}", t_in, t_out, bin, got, want
+        );
+    }
+
+    /// For ratios ≥ 2 no two source bins share an output bin, so total
+    /// spectral energy is bounded by the per-tone split factor
+    /// `(1−f)² + f² ∈ [0.5, 1]` of the integer-path scaling `ratio²`.
+    #[test]
+    fn fractional_expansion_energy_within_split_bounds(
+        x in arb_signal(60),
+        stretch in 1usize..40,
+    ) {
+        let t_in = x.len();
+        let t_out = 2 * t_in + stretch.min(t_in - 1);
+        prop_assume!(!t_out.is_multiple_of(t_in));
+        let spec = rfft(&x);
+        let e_in = spectragan_dsp::spectrum::one_sided_energy(&spec, t_in);
+        prop_assume!(e_in > 1e-9);
+        let out = expand_spectrum_fractional(&spec, t_in, t_out);
+        prop_assert_eq!(out.len(), t_out / 2 + 1);
+        let e_out = spectragan_dsp::spectrum::one_sided_energy(&out, t_out);
+        let ratio = t_out as f64 / t_in as f64;
+        let scale = ratio * ratio * e_in;
+        prop_assert!(
+            e_out >= 0.45 * scale && e_out <= 1.05 * scale,
+            "t_in={} t_out={}: e_out {} outside [{}, {}]",
+            t_in, t_out, e_out, 0.45 * scale, 1.05 * scale
+        );
     }
 }

@@ -169,6 +169,11 @@ impl PatchLayout {
     /// each pixel's value is the average over all patches containing
     /// it. `patches[i]` must be `[T, H_t, W_t]` for position `i`.
     ///
+    /// Equivalent to pushing every patch through a
+    /// [`SewAccumulator`] — the streaming form used by bounded-memory
+    /// generation — and bit-identical to it, since both add each
+    /// patch's contribution in position order.
+    ///
     /// # Panics
     /// Panics on count or shape mismatches.
     pub fn sew(&self, patches: &[Tensor]) -> TrafficMap {
@@ -179,39 +184,123 @@ impl PatchLayout {
             self.positions.len(),
             patches.len()
         );
-        let side = self.spec.traffic;
-        let t = patches
-            .first()
-            .map(|p| {
-                assert_eq!(p.shape().ndim(), 3, "patch must be [T, H_t, W_t]");
-                assert_eq!(p.shape().dim(1), side, "patch height mismatch");
-                assert_eq!(p.shape().dim(2), side, "patch width mismatch");
-                p.shape().dim(0)
-            })
-            .unwrap_or(0);
+        let t = patches.first().map(|p| p.shape().dim(0)).unwrap_or(0);
+        let mut acc = self.sew_accumulator(t);
+        for patch in patches {
+            acc.push(patch);
+        }
+        acc.finish()
+    }
+
+    /// Starts a streaming sew over this layout for patches of `t` time
+    /// steps. Push patches in position order; peak memory is one
+    /// running sum map plus per-pixel counts, independent of how many
+    /// patches the city needs.
+    pub fn sew_accumulator(&self, t: usize) -> SewAccumulator<'_> {
         let (h, w) = (self.grid.height, self.grid.width);
-        let mut sum = TrafficMap::zeros(t, h, w);
-        let mut count = vec![0u32; h * w];
-        for (patch, &(py, px)) in patches.iter().zip(&self.positions) {
-            assert_eq!(patch.shape().dim(0), t, "patches disagree on T");
+        SewAccumulator {
+            layout: self,
+            sum: TrafficMap::zeros(t, h, w),
+            count: vec![0u32; h * w],
+            next: 0,
+        }
+    }
+}
+
+/// Streaming counterpart of [`PatchLayout::sew`]: patches are folded
+/// into a running per-pixel sum/count as they arrive and can be dropped
+/// immediately, so sewing a city holds O(1) patch tensors instead of
+/// all of them.
+///
+/// Bit-equality with the batch path holds by construction: every
+/// destination element receives exactly one contribution per covering
+/// patch, applied in patch-position order, so the accumulation order
+/// per element is identical no matter how patches are produced or
+/// batched. [`PatchLayout::sew`] is itself implemented on top of this
+/// type.
+pub struct SewAccumulator<'a> {
+    layout: &'a PatchLayout,
+    sum: TrafficMap,
+    count: Vec<u32>,
+    /// Index of the next expected patch position.
+    next: usize,
+}
+
+impl SewAccumulator<'_> {
+    /// Number of patches pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.next
+    }
+
+    /// Adds the patch for the next position (`[T, H_t, W_t]`) into the
+    /// running sums. Rows are accumulated as contiguous slices: source
+    /// row `(ti, dy)` of the patch adds onto the destination row
+    /// starting at `(ti, py+dy, px)`.
+    ///
+    /// # Panics
+    /// Panics if more patches arrive than the layout has positions, or
+    /// on a shape mismatch.
+    pub fn push(&mut self, patch: &Tensor) {
+        let positions = &self.layout.positions;
+        assert!(
+            self.next < positions.len(),
+            "more patches than layout positions ({})",
+            positions.len()
+        );
+        let side = self.layout.spec.traffic;
+        let t = self.sum.len_t();
+        assert_eq!(patch.shape().ndim(), 3, "patch must be [T, H_t, W_t]");
+        assert_eq!(patch.shape().dim(0), t, "patches disagree on T");
+        assert_eq!(patch.shape().dim(1), side, "patch height mismatch");
+        assert_eq!(patch.shape().dim(2), side, "patch width mismatch");
+        let (py, px) = positions[self.next];
+        self.next += 1;
+        let (h, w) = (self.sum.height(), self.sum.width());
+        let src = patch.data();
+        let dst = self.sum.data_mut();
+        for ti in 0..t {
             for dy in 0..side {
-                for dx in 0..side {
-                    count[(py + dy) * w + (px + dx)] += 1;
-                    for ti in 0..t {
-                        *sum.at_mut(ti, py + dy, px + dx) += patch.at(&[ti, dy, dx]);
-                    }
+                let s = &src[(ti * side + dy) * side..(ti * side + dy) * side + side];
+                let d0 = (ti * h + py + dy) * w + px;
+                let d = &mut dst[d0..d0 + side];
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv += *sv;
                 }
             }
         }
-        for (i, &n) in count.iter().enumerate() {
-            assert!(n > 0, "pixel {i} not covered by any patch");
-            let inv = 1.0 / n as f32;
-            let (y, x) = self.grid.coords(i);
-            for ti in 0..t {
-                *sum.at_mut(ti, y, x) *= inv;
+        for dy in 0..side {
+            let c0 = (py + dy) * w + px;
+            for c in &mut self.count[c0..c0 + side] {
+                *c += 1;
             }
         }
-        sum
+    }
+
+    /// Divides the sums by the per-pixel cover counts and returns the
+    /// sewn map.
+    ///
+    /// # Panics
+    /// Panics if any position's patch was never pushed, or any pixel is
+    /// uncovered.
+    pub fn finish(mut self) -> TrafficMap {
+        assert_eq!(
+            self.next,
+            self.layout.positions.len(),
+            "expected {} patches, got {}",
+            self.layout.positions.len(),
+            self.next
+        );
+        let t = self.sum.len_t();
+        let (h, w) = (self.sum.height(), self.sum.width());
+        let data = self.sum.data_mut();
+        for (i, &n) in self.count.iter().enumerate() {
+            assert!(n > 0, "pixel {i} not covered by any patch");
+            let inv = 1.0 / n as f32;
+            for ti in 0..t {
+                data[ti * h * w + i] *= inv;
+            }
+        }
+        self.sum
     }
 }
 
@@ -299,6 +388,46 @@ mod tests {
         for (a, b) in sewn.data().iter().zip(map.data()) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn streaming_sew_is_bitwise_equal_to_batch() {
+        let layout = PatchLayout::new(GridSpec::new(9, 10), spec());
+        let patches: Vec<Tensor> = (0..layout.positions().len())
+            .map(|i| {
+                let data: Vec<f32> = (0..3 * 4 * 4)
+                    .map(|j| ((i * 31 + j * 7) % 101) as f32 * 0.137)
+                    .collect();
+                Tensor::from_vec(data, [3, 4, 4])
+            })
+            .collect();
+        let batch = layout.sew(&patches);
+        let mut acc = layout.sew_accumulator(3);
+        for p in &patches {
+            acc.push(p);
+        }
+        let streamed = acc.finish();
+        assert_eq!(
+            batch.data(),
+            streamed.data(),
+            "streaming sew must be bit-identical to batch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more patches than layout positions")]
+    fn accumulator_rejects_extra_patches() {
+        let layout = PatchLayout::new(GridSpec::new(4, 4), PatchSpec::new(4, 4, 4));
+        let mut acc = layout.sew_accumulator(1);
+        acc.push(&Tensor::zeros([1, 4, 4]));
+        acc.push(&Tensor::zeros([1, 4, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 patches, got 0")]
+    fn accumulator_finish_requires_all_positions() {
+        let layout = PatchLayout::new(GridSpec::new(4, 4), PatchSpec::new(4, 4, 4));
+        layout.sew_accumulator(2).finish();
     }
 
     #[test]

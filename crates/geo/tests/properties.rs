@@ -44,6 +44,38 @@ proptest! {
         }
     }
 
+    /// Streaming sew (push patches one at a time, drop immediately) is
+    /// bit-identical to batch sew for any overlap regime — stride 8
+    /// (none), 4 (2×) and 2 (4×) — and any patch length, including odd
+    /// lengths that do not divide the batch sizes generation uses.
+    #[test]
+    fn streaming_sew_bitwise_equals_batch(
+        h in 8usize..24,
+        w in 8usize..24,
+        t in 1usize..9,
+        stride_sel in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let stride = [8usize, 4, 2][stride_sel];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let layout = PatchLayout::new(GridSpec::new(h, w), PatchSpec::new(8, 16, stride));
+        let patches: Vec<Tensor> = (0..layout.positions().len())
+            .map(|_| {
+                let data: Vec<f32> =
+                    (0..t * 64).map(|_| rand::Rng::gen_range(&mut rng, -2.0..2.0)).collect();
+                Tensor::from_vec(data, [t, 8, 8])
+            })
+            .collect();
+        let batch = layout.sew(&patches);
+        let mut acc = layout.sew_accumulator(t);
+        for p in &patches {
+            acc.push(p);
+        }
+        let streamed = acc.finish();
+        prop_assert_eq!(batch.data(), streamed.data());
+    }
+
     /// Context extraction agrees with the map inside bounds and is zero
     /// outside, for any position.
     #[test]

@@ -23,6 +23,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Upper bound on bytes parked per thread (256 MiB). Steady-state
 /// training keeps well under this; the cap only guards pathological
@@ -44,6 +45,54 @@ pub struct ArenaStats {
     pub recycled: u64,
     /// Buffers dropped because the pool was at capacity.
     pub dropped: u64,
+}
+
+/// Process-wide bytes currently handed out by [`take`] and not yet
+/// returned via [`recycle`] — live tensor storage across *all* threads
+/// (workers of [`crate::pool`] included), unlike the thread-local
+/// counters above.
+///
+/// The count is approximate by design: buffers that enter a tensor from
+/// outside the arena (e.g. [`crate::Tensor::from_vec`] over a caller's
+/// `Vec`) are debited on drop without ever having been credited, and
+/// buffers extracted with `into_vec` stay credited. Both flows are rare
+/// and small on the hot paths this exists to watch (generation and
+/// training), so the *high-water delta since a [`reset_high_water`]* is
+/// a faithful peak-memory signal even though the absolute value drifts.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// Maximum of [`LIVE_BYTES`] since the last [`reset_high_water`].
+static HIGH_WATER_BYTES: AtomicI64 = AtomicI64::new(0);
+
+#[inline]
+fn note_live(bytes: usize) {
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    HIGH_WATER_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn note_dead(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// Process-wide live arena bytes right now (see [`LIVE_BYTES`] for the
+/// accounting caveats).
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Highest [`live_bytes`] observed since the last [`reset_high_water`].
+pub fn high_water_bytes() -> i64 {
+    HIGH_WATER_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water tracking from the current live level.
+/// Returns the live level the mark was reset to, so callers can report
+/// the peak *delta* of the region they are about to run.
+pub fn reset_high_water() -> i64 {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    HIGH_WATER_BYTES.store(live, Ordering::Relaxed);
+    live
 }
 
 struct Arena {
@@ -71,7 +120,7 @@ thread_local! {
 /// pooled buffer of exactly that capacity when one is available.
 pub fn take(n: usize) -> Vec<f32> {
     let bytes = (n * 4) as u64;
-    ARENA
+    let buf = ARENA
         .try_with(|a| {
             let mut a = a.borrow_mut();
             if let Some(bucket) = a.buckets.get_mut(&n) {
@@ -89,7 +138,9 @@ pub fn take(n: usize) -> Vec<f32> {
             Vec::with_capacity(n)
         })
         // Thread teardown: the arena TLS is already gone — allocate.
-        .unwrap_or_else(|_| Vec::with_capacity(n))
+        .unwrap_or_else(|_| Vec::with_capacity(n));
+    note_live(buf.capacity() * 4);
+    buf
 }
 
 /// [`take`] followed by zero-filling to length `n`.
@@ -121,6 +172,7 @@ pub fn recycle(mut buf: Vec<f32>) {
     if cap == 0 {
         return;
     }
+    note_dead(cap * 4);
     let _ = ARENA.try_with(|a| {
         let mut a = a.borrow_mut();
         if a.pooled_bytes + cap * 4 > MAX_POOLED_BYTES {
@@ -197,5 +249,29 @@ mod tests {
         stats_take();
         recycle(Vec::new());
         assert_eq!(stats_take().recycled, 0);
+    }
+
+    /// The global live/high-water counters see a large allocation and
+    /// its release. Other tests allocate concurrently, so the
+    /// assertions are lower bounds around a buffer far bigger than any
+    /// unit-test churn.
+    #[test]
+    fn high_water_tracks_large_allocations() {
+        const BIG: usize = 1 << 22; // 16 MiB of f32s
+        let before = reset_high_water();
+        let buf = take_zeroed(BIG);
+        assert!(
+            live_bytes() >= before + (BIG * 4) as i64,
+            "live bytes did not grow"
+        );
+        assert!(
+            high_water_bytes() >= before + (BIG * 4) as i64,
+            "high water missed the allocation"
+        );
+        recycle(buf);
+        assert!(
+            live_bytes() < before + (BIG * 4) as i64,
+            "release was not debited"
+        );
     }
 }

@@ -24,7 +24,7 @@
 //! calling thread — no pool, no atomics, no unsafe.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Programmatic override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -158,6 +158,171 @@ struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// Shared state of [`par_fold_ordered`]: a ring of `window` slots plus
+/// the claim/fold frontiers, all under one mutex.
+struct FoldState<T> {
+    /// Slot `i % window` holds task `i`'s output between production and
+    /// consumption. The claim gate guarantees a slot is vacated before
+    /// the index `window` later can be claimed, so slots never collide.
+    slots: Vec<Option<T>>,
+    /// Next unclaimed task index (monotonic).
+    next: usize,
+    /// Number of outputs the consumer has taken from the ring; tasks
+    /// `0..folded` are done from the ring's point of view.
+    folded: usize,
+    /// Set when a worker or the consumer panicked, so every other
+    /// participant wakes up and bails instead of waiting forever.
+    poisoned: bool,
+}
+
+/// Wakes everyone and marks the run poisoned if dropped while armed —
+/// i.e. during a panic unwind in `produce` or `fold`. Turns would-be
+/// deadlocks (peers waiting on a slot that will never fill, or on
+/// window space that will never free) into a clean scope join that
+/// propagates the original panic.
+struct PoisonGuard<'a, T> {
+    state: &'a Mutex<FoldState<T>>,
+    space: &'a Condvar,
+    ready: &'a Condvar,
+    armed: bool,
+}
+
+impl<T> Drop for PoisonGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // The std mutex may itself be poisoned mid-unwind; the
+            // state is still coherent (no lock is held across user
+            // callbacks), so recover the guard and proceed.
+            let mut s = self
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            s.poisoned = true;
+            drop(s);
+            self.space.notify_all();
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Runs `produce(i)` for `i in 0..n_tasks` across the pool and folds
+/// every output **in task-index order on the calling thread** —
+/// semantically identical to `for i in 0..n_tasks { fold(i, produce(i)) }`
+/// at any thread count, including the order in which `fold` observes
+/// results. Use it when the reduction is order-sensitive (bit-exact
+/// accumulation) and outputs are too large to buffer all at once.
+///
+/// `window` bounds the number of tasks past the fold frontier that may
+/// be *claimed* at any moment: a worker does not start task `i` until
+/// `i < folded + window`. At most `window` outputs therefore exist
+/// simultaneously (in flight or parked in the ring), independent of
+/// `n_tasks` — that is the memory bound streaming callers rely on.
+/// Workers block for space and the consumer blocks for the next
+/// in-order output (classic bounded-buffer backpressure); a panic in
+/// `produce` or `fold` wakes all parties and propagates instead of
+/// deadlocking.
+///
+/// With one worker (or `window == 1`, which serializes anyway) this is
+/// exactly the plain serial loop.
+///
+/// # Panics
+/// Panics if `window` is zero.
+pub fn par_fold_ordered<T, P, F>(n_tasks: usize, window: usize, produce: P, mut fold: F)
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+    F: FnMut(usize, T),
+{
+    assert!(window >= 1, "window must be at least 1");
+    let workers = threads().min(n_tasks).min(window);
+    if workers <= 1 {
+        for i in 0..n_tasks {
+            fold(i, produce(i));
+        }
+        return;
+    }
+
+    let state: Mutex<FoldState<T>> = Mutex::new(FoldState {
+        slots: (0..window).map(|_| None).collect(),
+        next: 0,
+        folded: 0,
+        poisoned: false,
+    });
+    let space = Condvar::new();
+    let ready = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Claim the next index once it is inside the window.
+                let i = {
+                    let mut s = state.lock().unwrap();
+                    loop {
+                        if s.poisoned || s.next >= n_tasks {
+                            return;
+                        }
+                        if s.next < s.folded + window {
+                            break;
+                        }
+                        s = space.wait(s).unwrap();
+                    }
+                    let i = s.next;
+                    s.next += 1;
+                    i
+                };
+                let mut guard = PoisonGuard {
+                    state: &state,
+                    space: &space,
+                    ready: &ready,
+                    armed: true,
+                };
+                let out = produce(i);
+                guard.armed = false;
+                {
+                    let mut s = state.lock().unwrap();
+                    debug_assert!(
+                        s.slots[i % window].is_none(),
+                        "window gate must vacate a slot before reuse"
+                    );
+                    s.slots[i % window] = Some(out);
+                }
+                ready.notify_one();
+            });
+        }
+
+        // Consumer: the calling thread folds in index order.
+        for i in 0..n_tasks {
+            let item = {
+                let mut s = state.lock().unwrap();
+                loop {
+                    if s.poisoned {
+                        break None;
+                    }
+                    if let Some(v) = s.slots[i % window].take() {
+                        s.folded = i + 1;
+                        break Some(v);
+                    }
+                    s = ready.wait(s).unwrap();
+                }
+            };
+            let Some(item) = item else {
+                // A worker panicked; exit so the scope joins and
+                // propagates its panic.
+                break;
+            };
+            space.notify_all();
+            let mut guard = PoisonGuard {
+                state: &state,
+                space: &space,
+                ready: &ready,
+                armed: true,
+            };
+            fold(i, item);
+            guard.armed = false;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +388,108 @@ mod tests {
     fn ragged_chunks_are_rejected() {
         let mut data = vec![0.0f32; 10];
         par_chunks_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn fold_ordered_matches_serial_loop() {
+        let _g = LOCK.lock().unwrap();
+        let serial: Vec<(usize, u64)> = (0..37).map(|i| (i, (i * i) as u64)).collect();
+        for t in [1, 2, 3, 8] {
+            set_threads(Some(t));
+            for window in [1, 2, 4, 64] {
+                let mut got = Vec::new();
+                par_fold_ordered(37, window, |i| (i * i) as u64, |i, v| got.push((i, v)));
+                assert_eq!(got, serial, "threads={t} window={window}");
+            }
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn fold_ordered_handles_empty_and_single() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let mut seen = Vec::new();
+        par_fold_ordered(0, 4, |i| i, |i, v| seen.push((i, v)));
+        assert!(seen.is_empty());
+        par_fold_ordered(1, 4, |i| i + 9, |i, v| seen.push((i, v)));
+        assert_eq!(seen, vec![(0, 9)]);
+        set_threads(None);
+    }
+
+    /// The claim gate keeps produced-but-unconsumed outputs bounded by
+    /// the window. Outstanding is counted from `produce` entry to
+    /// `fold` entry; the consumer may have taken one item out of the
+    /// ring before its `fold` call decrements, hence the `+ 1`.
+    #[test]
+    fn fold_ordered_bounds_outstanding_outputs() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let window = 3;
+        let outstanding = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        par_fold_ordered(
+            64,
+            window,
+            |i| {
+                let now = outstanding.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                // Give other workers a chance to pile up against the gate.
+                std::thread::yield_now();
+                vec![i as f32; 256]
+            },
+            |_, buf| {
+                outstanding.fetch_sub(1, Ordering::SeqCst);
+                assert_eq!(buf.len(), 256);
+            },
+        );
+        set_threads(None);
+        assert!(
+            peak.load(Ordering::SeqCst) <= window + 1,
+            "window gate leaked: peak {} > {}",
+            peak.load(Ordering::SeqCst),
+            window + 1
+        );
+    }
+
+    #[test]
+    fn fold_ordered_worker_panic_propagates() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_fold_ordered(
+                32,
+                4,
+                |i| {
+                    if i == 5 {
+                        panic!("produce failed");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        }));
+        set_threads(None);
+        assert!(r.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn fold_ordered_consumer_panic_propagates() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_fold_ordered(
+                32,
+                4,
+                |i| i,
+                |i, _| {
+                    if i == 3 {
+                        panic!("fold failed");
+                    }
+                },
+            );
+        }));
+        set_threads(None);
+        assert!(r.is_err(), "consumer panic must reach the caller");
     }
 }
