@@ -1,9 +1,10 @@
 //! Perf smoke gate for CI: times the hot nn kernels, a short training
-//! run, and a full-city generation sweep, prints fixed-width tables
-//! (step time, buffer-pool traffic per step, generation throughput and
-//! peak arena bytes) and writes the numbers to `BENCH_pr4.json` so
-//! regressions show up in the job summary rather than only in local
-//! Criterion runs.
+//! run, a full-city generation sweep, and the observability layer's
+//! disabled-mode overhead, prints fixed-width tables (step time,
+//! buffer-pool traffic per step, generation throughput and peak arena
+//! bytes, projected obs overhead) and writes the numbers to
+//! `BENCH_pr5.json` so regressions show up in the job summary rather
+//! than only in local Criterion runs.
 //!
 //! ```text
 //! cargo run --release -p spectragan-bench --bin perf_gate
@@ -17,16 +18,30 @@
 //! arena bytes during city generation (which must stay O(in-flight
 //! window), not O(city × overlap); the hard assertion lives in
 //! `spectragan-core`'s `streaming_generation` test).
+//!
+//! One check here *is* hard: the projected per-step cost of the
+//! disabled observability layer must stay under
+//! [`MAX_DISABLED_OBS_OVERHEAD_PCT`] of a training step. The
+//! projection multiplies the measured cost of one disabled gate probe
+//! by a counted (not guessed) number of gate sites per step, so it
+//! cannot be fooled by wall-clock noise the way a naive off-vs-on
+//! step-time comparison can — the off-vs-on medians are still printed
+//! as an informative cross-check.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use spectragan_core::{SpectraGan, SpectraGanConfig, TrainConfig};
 use spectragan_nn::{Binding, Conv2d, Linear, ParamStore};
+use spectragan_obs as obs;
 use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
 use spectragan_tensor::{arena, FusedAct, Tape, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Hard ceiling on the projected disabled-mode obs cost per training
+/// step, as a percentage of the step itself.
+const MAX_DISABLED_OBS_OVERHEAD_PCT: f64 = 2.0;
 
 #[derive(Serialize)]
 struct MicroRow {
@@ -55,10 +70,25 @@ struct GenRow {
 }
 
 #[derive(Serialize)]
+struct ObsGate {
+    ns_per_disabled_span: f64,
+    ns_per_disabled_counter: f64,
+    ns_per_disabled_hist: f64,
+    ns_per_enabled_check: f64,
+    spans_per_step: f64,
+    pool_tasks_per_step: f64,
+    gate_sites_per_step: f64,
+    ms_per_step_off: f64,
+    ms_per_step_on: f64,
+    projected_overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     micro: Vec<MicroRow>,
     train: TrainGate,
     generate: Vec<GenRow>,
+    obs: ObsGate,
 }
 
 /// Times `f` over `iters` iterations after `warmup` unrecorded ones.
@@ -183,6 +213,119 @@ fn train_gate() -> TrainGate {
     }
 }
 
+/// Overhead gate for the observability layer.
+///
+/// Disabled-mode cost is projected, not wall-clocked: each disabled
+/// gate is one relaxed atomic load, far below the noise floor of a
+/// step timing, so the gate (a) microbenches the disabled primitives
+/// to get ns/probe, (b) runs an instrumented training run to *count*
+/// gate sites per step (emitted spans from the drained sink, pool
+/// tasks from the metrics registry), and (c) hard-asserts
+/// `sites × ns/probe` under [`MAX_DISABLED_OBS_OVERHEAD_PCT`] of the
+/// measured disabled-mode step. Off-vs-on step times are reported as
+/// an informative cross-check only.
+fn obs_gate(ms_per_step_off: f64) -> ObsGate {
+    assert!(!obs::enabled(), "gate must start with obs disabled");
+
+    // (a) Disabled primitives. `span` returns `None` after one relaxed
+    // load; registry handles self-gate the same way.
+    let iters = 4_000_000u64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(obs::span(black_box("gate_probe")));
+    }
+    let ns_span = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let c = obs::counter("perf_gate_probe_total");
+    let t = Instant::now();
+    for _ in 0..iters {
+        c.inc(black_box(1));
+    }
+    let ns_counter = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let h = obs::histogram("perf_gate_probe_ns");
+    let t = Instant::now();
+    for _ in 0..iters {
+        h.record(black_box(7));
+    }
+    let ns_hist = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(obs::enabled());
+    }
+    let ns_check = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+    // (b) Count gate sites with the layer live. The guard keeps the
+    // flag on across the run; `train` itself leaves draining to us, so
+    // the sink holds every span of the run afterwards.
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.36,
+    };
+    let city = generate_city(
+        &CityConfig {
+            name: "OG".into(),
+            height: 17,
+            width: 17,
+            seed: 4,
+        },
+        &ds,
+    );
+    let tc = TrainConfig {
+        steps: 10,
+        batch_patches: 2,
+        lr: 3e-3,
+        seed: 7,
+    };
+    let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    model
+        .train(std::slice::from_ref(&city), &tc)
+        .expect("obs gate warm-up failed");
+
+    let guard = obs::ObsGuard::new(true);
+    obs::drain_events();
+    obs::reset_metrics();
+    let start = Instant::now();
+    model
+        .train(std::slice::from_ref(&city), &tc)
+        .expect("obs gate instrumented run failed");
+    let ms_per_step_on = start.elapsed().as_secs_f64() * 1e3 / tc.steps as f64;
+    let events = obs::drain_events();
+    let pool_tasks = obs::counter("spectragan_pool_tasks_total").get();
+    drop(guard);
+
+    let steps = tc.steps as f64;
+    let spans_per_step = events.len() as f64 / steps;
+    let pool_tasks_per_step = pool_tasks as f64 / steps;
+
+    // (c) Project. Disabled sites per step: every span open is one
+    // probe; every pool task passes up to three timer gates (claim /
+    // task / fold-wait); a fixed handful covers optimizer, IO and
+    // checkpoint gates. Cost each at the *most expensive* disabled
+    // probe measured, for a conservative bound.
+    let gate_sites_per_step = spans_per_step + 3.0 * pool_tasks_per_step + 16.0;
+    let worst_ns = ns_span.max(ns_counter).max(ns_hist).max(ns_check);
+    let projected_overhead_pct = gate_sites_per_step * worst_ns / (ms_per_step_off * 1e6) * 100.0;
+    assert!(
+        projected_overhead_pct < MAX_DISABLED_OBS_OVERHEAD_PCT,
+        "disabled obs layer projects to {projected_overhead_pct:.3}% of a \
+         {ms_per_step_off:.1} ms step ({gate_sites_per_step:.0} sites × \
+         {worst_ns:.1} ns) — over the {MAX_DISABLED_OBS_OVERHEAD_PCT}% budget"
+    );
+
+    ObsGate {
+        ns_per_disabled_span: ns_span,
+        ns_per_disabled_counter: ns_counter,
+        ns_per_disabled_hist: ns_hist,
+        ns_per_enabled_check: ns_check,
+        spans_per_step,
+        pool_tasks_per_step,
+        gate_sites_per_step,
+        ms_per_step_off,
+        ms_per_step_on,
+        projected_overhead_pct,
+    }
+}
+
 /// Full-city generation sweep: untrained weights (throughput and peak
 /// memory do not depend on weight values), tiny config, three city ×
 /// duration shapes that cover k = 1 and long spectral expansion.
@@ -205,19 +348,14 @@ fn gen_gate() -> Vec<GenRow> {
             },
             &ds,
         );
-        arena::reset_high_water();
-        let base = arena::live_bytes();
-        let start = Instant::now();
-        let map = model.generate(&city.context, t_out, 5);
-        let wall = start.elapsed().as_secs_f64();
-        let peak = (arena::high_water_bytes() - base).max(0) as f64;
+        let (map, report) = model.generate_batched_report(&city.context, t_out, 5, true, 16);
         let px_steps = (map.len_t() * map.height() * map.width()) as f64;
         rows.push(GenRow {
             city: format!("{side}x{side}"),
             t_out,
-            wall_s: wall,
-            mpx_steps_per_s: px_steps / wall / 1e6,
-            peak_arena_mib: peak / (1024.0 * 1024.0),
+            wall_s: report.wall_s,
+            mpx_steps_per_s: px_steps / report.wall_s / 1e6,
+            peak_arena_mib: report.peak_arena_bytes as f64 / (1024.0 * 1024.0),
         });
     }
     rows
@@ -227,6 +365,7 @@ fn main() {
     let micro = micro_benches();
     let train = train_gate();
     let generate = gen_gate();
+    let obs = obs_gate(train.ms_per_step);
 
     println!("perf gate — kernel microbenches");
     println!("{:<36} {:>8} {:>14}", "bench", "iters", "us/iter");
@@ -273,12 +412,36 @@ fn main() {
         );
     }
 
+    println!();
+    println!("perf gate — observability overhead");
+    println!(
+        "{:<28} {:>12}",
+        "disabled span ns/probe",
+        format!("{:.2}", obs.ns_per_disabled_span)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "gate sites/step",
+        format!("{:.0}", obs.gate_sites_per_step)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "ms/step off | on",
+        format!("{:.1} | {:.1}", obs.ms_per_step_off, obs.ms_per_step_on)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "projected overhead %",
+        format!("{:.4}", obs.projected_overhead_pct)
+    );
+
     let report = Report {
         micro,
         train,
         generate,
+        obs,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write("BENCH_pr4.json", json).expect("write BENCH_pr4.json");
-    eprintln!("wrote BENCH_pr4.json");
+    std::fs::write("BENCH_pr5.json", json).expect("write BENCH_pr5.json");
+    eprintln!("wrote BENCH_pr5.json");
 }

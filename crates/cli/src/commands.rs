@@ -8,8 +8,8 @@ use spectragan_core::{
 };
 use spectragan_geo::io::{atomic_write, load_context, load_traffic, save_traffic, traffic_to_csv};
 use spectragan_metrics::{ac_l1, fvd, m_emd, m_tv, ssim_mean_maps, tstr_r2};
+use spectragan_obs as obs;
 use spectragan_synthdata::{country1, country2, DatasetConfig};
-use spectragan_tensor::arena;
 use std::fs;
 use std::path::Path;
 
@@ -187,6 +187,9 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             .map(|s| if s == 0 { None } else { Some(s) })
             .map_err(|e| e.to_string())?,
         op_stats: args.switch("op-stats"),
+        obs: false,
+        trace: args.get("trace").map(Path::new),
+        metrics_snapshot: args.get("metrics-snapshot").map(Path::new),
     };
     if !args.switch("quiet") {
         match &resume {
@@ -244,13 +247,24 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
         model.config().train_len / 168
     };
     let t_out = hours * steps_per_hour.max(1);
-    // Peak-memory accounting: watch the arena's high-water mark over
-    // the generation region only.
-    let base = arena::reset_high_water();
-    let start = std::time::Instant::now();
-    let map = model.generate_batched(&context, t_out, seed, true, gen_batch);
-    let wall = start.elapsed().as_secs_f64();
-    let peak_mib = (arena::high_water_bytes() - base).max(0) as f64 / (1024.0 * 1024.0);
+    let trace = args.get("trace").map(Path::new);
+    let metrics_snapshot = args.get("metrics-snapshot").map(Path::new);
+    let obs_on = trace.is_some() || metrics_snapshot.is_some();
+    let _obs_guard = obs::ObsGuard::new(obs_on);
+    let (map, report) = model.generate_batched_report(&context, t_out, seed, true, gen_batch);
+    if obs_on {
+        let events = obs::drain_events();
+        if let Some(path) = trace {
+            atomic_write(path, obs::chrome_trace(&events).as_bytes())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        if let Some(path) = metrics_snapshot {
+            atomic_write(path, obs::prometheus_snapshot().as_bytes())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+    }
+    let wall = report.wall_s;
+    let peak_mib = report.peak_arena_bytes as f64 / (1024.0 * 1024.0);
     let px_steps = (map.len_t() * map.height() * map.width()) as f64;
     if args.switch("csv") {
         atomic_write(Path::new(out), traffic_to_csv(&map).as_bytes())
@@ -350,8 +364,10 @@ USAGE:
   spectragan dataset  --out DIR [--country 1|2|all] [--weeks N] [--granularity 60|30|15] [--scale F]
   spectragan train    --data DIR --out MODEL.json [--steps N] [--lr F] [--variant V] [--holdout CITY] [--seed N] [--quiet]
                       [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N] [--op-stats]
+                      [--trace TRACE.json] [--metrics-snapshot FILE.prom]
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
   spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
+                      [--trace TRACE.json] [--metrics-snapshot FILE.prom]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
@@ -371,4 +387,11 @@ Generation streams patch chunks through a bounded in-flight window, so
 peak memory is independent of city size and patch overlap; --gen-batch
 sets the patches per generator chunk (default 16) and the summary line
 reports wall time, Mpx·steps/s and peak buffer MiB.
+
+Observability: --trace writes a Chrome trace-event JSON (load it in
+Perfetto or chrome://tracing) covering the span tree of the run; and
+--metrics-snapshot writes a Prometheus text snapshot of all counters,
+gauges and histograms. For train, spans are also aggregated per step
+into train_log.jsonl and a metrics.prom is dropped in the run dir.
+Instrumentation never changes numerics: outputs stay bit-identical.
 ";

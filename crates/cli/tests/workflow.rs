@@ -210,6 +210,83 @@ fn op_stats_flag_populates_train_log() {
     );
 }
 
+/// `--trace` and `--metrics-snapshot` write their artifacts for both
+/// train and generate, train drops metrics.prom in the run dir, and
+/// the per-step log records carry span aggregates.
+///
+/// The obs toggle is process-global and other tests in this binary
+/// train concurrently, so their spans may ride along in the trace —
+/// assertions here are existence/shape only, not event counts.
+#[test]
+fn trace_and_metrics_snapshot_flags_write_artifacts() {
+    let data = tmp("obs_data");
+    let model = tmp("obs_model.json");
+    let run_dir = tmp("obs_run");
+    let trace = tmp("obs_trace.json");
+    let prom = tmp("obs_metrics.prom");
+    let synth = tmp("obs_synth.sgtm");
+    let gen_trace = tmp("obs_gen_trace.json");
+    let gen_prom = tmp("obs_gen_metrics.prom");
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    run(
+        cmd_dataset,
+        &format!(
+            "dataset --out {} --country 2 --weeks 1 --scale 0.3",
+            data.display()
+        ),
+    )
+    .unwrap();
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 2 --run-dir {} --trace {} --metrics-snapshot {} --quiet",
+            data.display(),
+            model.display(),
+            run_dir.display(),
+            trace.display(),
+            prom.display()
+        ),
+    )
+    .unwrap();
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let doc: serde::Value = serde_json::from_str(&trace_text).expect("trace must be valid JSON");
+    assert!(
+        matches!(doc.get("traceEvents"), Some(serde::Value::Arr(_))),
+        "trace lacks a traceEvents array"
+    );
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("# TYPE "), "snapshot has no metrics");
+    assert!(run_dir.join("metrics.prom").exists());
+    let log = std::fs::read_to_string(run_dir.join("train_log.jsonl")).unwrap();
+    assert!(
+        log.lines().all(|l| l.contains("\"spans\":[")),
+        "obs-on log records must embed span aggregates:\n{log}"
+    );
+
+    run(
+        cmd_generate,
+        &format!(
+            "generate --model {} --context {} --hours 6 --out {} --trace {} --metrics-snapshot {}",
+            model.display(),
+            data.join("city_1.sgcm").display(),
+            synth.display(),
+            gen_trace.display(),
+            gen_prom.display()
+        ),
+    )
+    .unwrap();
+    assert!(synth.exists());
+    let gen_trace_text = std::fs::read_to_string(&gen_trace).unwrap();
+    let doc: serde::Value =
+        serde_json::from_str(&gen_trace_text).expect("generate trace must be valid JSON");
+    assert!(matches!(doc.get("traceEvents"), Some(serde::Value::Arr(_))));
+    assert!(std::fs::read_to_string(&gen_prom)
+        .unwrap()
+        .contains("# TYPE "));
+}
+
 #[test]
 fn bad_inputs_give_clean_errors() {
     let err = run(cmd_train, "train --data /nonexistent --out /tmp/x.json").unwrap_err();

@@ -32,9 +32,32 @@ use crate::train::TrainStats;
 use serde::{Deserialize, Serialize};
 use spectragan_geo::io::{atomic_write, decode_checked, encode_checked};
 use spectragan_nn::{AdamState, ParamStore};
+use spectragan_obs as obs;
+use spectragan_obs::SpanStat;
 use spectragan_tensor::OpStatEntry;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cached metric handles for checkpoint persistence. Recording
+/// self-gates on [`obs::enabled`].
+struct CkptMetrics {
+    /// Framed checkpoint bytes written.
+    bytes: &'static obs::Counter,
+    /// End-to-end latency of one checkpoint write (serialize, frame,
+    /// atomic write; the fsync inside is also broken out separately
+    /// as `spectragan_io_fsync_ns` by `geo::io`).
+    write_ns: &'static obs::Histogram,
+}
+
+fn ckpt_metrics() -> &'static CkptMetrics {
+    static M: OnceLock<CkptMetrics> = OnceLock::new();
+    M.get_or_init(|| CkptMetrics {
+        bytes: obs::counter("spectragan_checkpoint_bytes_total"),
+        write_ns: obs::histogram("spectragan_checkpoint_write_ns"),
+    })
+}
 
 /// Magic bytes of the checkpoint container.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"SGCK";
@@ -117,6 +140,7 @@ pub fn checkpoint_file(step: usize) -> String {
 /// Writes `ckpt` into `run_dir` atomically and prunes snapshots beyond
 /// the [`RETAIN`] newest. Returns the written path.
 pub fn save(run_dir: &Path, ckpt: &Checkpoint) -> Result<PathBuf, CoreError> {
+    let t0 = obs::enabled().then(Instant::now);
     fs::create_dir_all(run_dir).map_err(|e| CoreError::io(run_dir, e))?;
     let json = serde_json::to_string(ckpt)
         .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
@@ -124,6 +148,11 @@ pub fn save(run_dir: &Path, ckpt: &Checkpoint) -> Result<PathBuf, CoreError> {
     let path = run_dir.join(checkpoint_file(ckpt.step));
     atomic_write(&path, &framed)
         .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", path.display())))?;
+    if let Some(t0) = t0 {
+        let m = ckpt_metrics();
+        m.bytes.inc(framed.len() as u64);
+        m.write_ns.record(t0.elapsed().as_nanos() as u64);
+    }
     // Retention: drop everything but the RETAIN newest snapshots.
     let mut steps = list_steps(run_dir)?;
     steps.sort_unstable();
@@ -253,6 +282,9 @@ pub struct LogRecord {
     /// Per-op instrumentation for this step (only with `--op-stats`;
     /// serializes as `null` when absent).
     pub op_stats: Option<Vec<OpStatEntry>>,
+    /// Aggregated observability span tree for this step attempt (only
+    /// when the obs layer is on; serializes as `null` when absent).
+    pub spans: Option<Vec<SpanStat>>,
 }
 
 // Manual Deserialize: divergence events legitimately carry NaN/inf
@@ -285,6 +317,10 @@ impl serde::Deserialize for LogRecord {
             },
             op_stats: match v.get("op_stats") {
                 Some(arr @ serde::Value::Arr(_)) => Some(Vec::<OpStatEntry>::from_value(arr)?),
+                _ => None,
+            },
+            spans: match v.get("spans") {
+                Some(arr @ serde::Value::Arr(_)) => Some(Vec::<SpanStat>::from_value(arr)?),
                 _ => None,
             },
         })
@@ -467,6 +503,15 @@ mod tests {
                         None
                     },
                     op_stats: None,
+                    spans: if step == 1 {
+                        Some(vec![SpanStat {
+                            path: "train_step/forward".into(),
+                            calls: 1,
+                            nanos: 42,
+                        }])
+                    } else {
+                        None
+                    },
                 },
             )
             .unwrap();
@@ -482,6 +527,10 @@ mod tests {
 
         let log = read_log(&dir).unwrap();
         assert_eq!(log.len(), 4, "torn line skipped");
+        let spans = log[1].spans.as_ref().expect("spans survive the roundtrip");
+        assert_eq!(spans[0].path, "train_step/forward");
+        assert_eq!((spans[0].calls, spans[0].nanos), (1, 42));
+        assert!(log[0].spans.is_none());
         assert!(log[2].d_loss.is_nan());
         assert_eq!(log[2].event.as_deref(), Some("divergence: d_loss = NaN"));
         assert_eq!(log[3].step, 3);

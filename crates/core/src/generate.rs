@@ -7,10 +7,25 @@ use crate::train::SpectraGan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spectragan_geo::{ContextMap, GridSpec, PatchLayout, PatchSpec, TrafficMap};
-use spectragan_tensor::Tensor;
+use spectragan_obs as obs;
+use spectragan_tensor::{arena, Tensor};
+use std::time::Instant;
 
 /// How many patches to push through the generator at once.
 const GEN_BATCH: usize = 16;
+
+/// Resource report of one [`SpectraGan::generate_batched_report`]
+/// run. The peak is measured with a per-run scoped
+/// [`arena::PeakRegion`], so back-to-back generations in one process
+/// report independent peaks instead of inheriting an earlier run's
+/// high-water mark.
+#[derive(Debug, Clone, Copy)]
+pub struct GenReport {
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Peak arena bytes allocated above the level at run start.
+    pub peak_arena_bytes: u64,
+}
 
 impl SpectraGan {
     /// Generates `t_out` steps of synthetic traffic for a previously
@@ -67,8 +82,26 @@ impl SpectraGan {
         shared_noise: bool,
         gen_batch: usize,
     ) -> TrafficMap {
+        self.generate_batched_report(context, t_out, seed, shared_noise, gen_batch)
+            .0
+    }
+
+    /// [`SpectraGan::generate_batched`] plus a [`GenReport`] with the
+    /// run's wall time and per-run-scoped peak arena bytes. The
+    /// traffic output is byte-identical to `generate_batched`'s.
+    pub fn generate_batched_report(
+        &self,
+        context: &ContextMap,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+    ) -> (TrafficMap, GenReport) {
         assert!(t_out > 0, "cannot generate an empty series");
         assert!(gen_batch > 0, "gen_batch must be positive");
+        let start = Instant::now();
+        let peak_region = arena::PeakRegion::begin();
+        let sp_run = obs::span_cat("generate", "generate");
         let (cfg, store, gen) = self.parts();
         let k = t_out.div_ceil(cfg.train_len).max(1);
         let grid = GridSpec::new(context.height(), context.width());
@@ -97,6 +130,7 @@ impl SpectraGan {
             n_chunks,
             window,
             |ci| {
+                let sp = obs::span_cat("patch_chunk", "generate");
                 let chunk = &positions[ci * gen_batch..((ci + 1) * gen_batch).min(positions.len())];
                 let p = chunk.len();
                 // Stack context patches.
@@ -136,28 +170,40 @@ impl SpectraGan {
                     t_gen >= t_out,
                     "generator produced {t_gen} steps, fewer than the requested {t_out}"
                 );
-                (0..p)
+                let out = (0..p)
                     .map(|pi| {
                         let patch_rows = rows.narrow(0, pi * px, px).narrow(1, 0, t_out);
                         crate::fourier::rows_to_patch(&patch_rows, side, side)
                     })
-                    .collect::<Vec<Tensor>>()
+                    .collect::<Vec<Tensor>>();
+                drop(sp);
+                out
             },
             |_, patches| {
                 // Fold in chunk order and drop the chunk's tensors
                 // right away (their buffers go back to the arena).
+                let _sp = obs::span_cat("sew_fold", "generate");
                 for patch in &patches {
                     acc.push(patch);
                 }
             },
         );
+        let sp = obs::span_cat("sew_finish", "generate");
         let mut map = acc.finish();
         for v in map.data_mut() {
             if *v < 0.0 {
                 *v = 0.0;
             }
         }
-        map
+        drop(sp);
+        drop(sp_run);
+        let peak_arena_bytes = peak_region.end();
+        obs::gauge("spectragan_generate_peak_arena_bytes").set(peak_arena_bytes as f64);
+        let report = GenReport {
+            wall_s: start.elapsed().as_secs_f64(),
+            peak_arena_bytes,
+        };
+        (map, report)
     }
 }
 

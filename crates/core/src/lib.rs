@@ -48,4 +48,5 @@ pub mod train;
 pub use checkpoint::{Checkpoint, LogRecord};
 pub use config::{SpectraGanConfig, TrainConfig, Variant};
 pub use error::CoreError;
+pub use generate::GenReport;
 pub use train::{SpectraGan, TrainOptions, TrainStats};

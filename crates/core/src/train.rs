@@ -39,12 +39,20 @@ use crate::fourier::{masked_spec_rows, patch_to_rows};
 use crate::model::{Discriminators, Generator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use spectragan_geo::io::atomic_write;
 use spectragan_geo::{City, PatchLayout, PatchSpec};
 use spectragan_nn::{Adam, Binding, ParamStore, Tape, Tensor};
+use spectragan_obs as obs;
 use spectragan_tensor::stats;
 use std::path::Path;
 use std::rc::Rc;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+fn guard_retries_counter() -> &'static obs::Counter {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("spectragan_train_guard_retries_total"))
+}
 
 /// One training sample: a context window with its traffic patch in both
 /// representations.
@@ -100,6 +108,17 @@ pub struct TrainOptions<'a> {
     /// traffic. Off by default — disabled instrumentation costs one
     /// relaxed atomic load per op.
     pub op_stats: bool,
+    /// Enable the unified observability layer for this run without
+    /// writing extra files: every log record carries the step's
+    /// aggregated span tree, and `metrics.prom` is written to the run
+    /// directory at the end. Implied by `trace`/`metrics_snapshot`.
+    pub obs: bool,
+    /// Write a Chrome trace-event JSON file of the whole run here
+    /// (loadable in `chrome://tracing` / Perfetto). Implies `obs`.
+    pub trace: Option<&'a Path>,
+    /// Write a Prometheus-style text snapshot of all metrics here when
+    /// the run finishes. Implies `obs`.
+    pub metrics_snapshot: Option<&'a Path>,
 }
 
 impl Default for TrainOptions<'_> {
@@ -112,7 +131,18 @@ impl Default for TrainOptions<'_> {
             guard_max_retries: 3,
             abort_at_step: None,
             op_stats: false,
+            obs: false,
+            trace: None,
+            metrics_snapshot: None,
         }
+    }
+}
+
+impl TrainOptions<'_> {
+    /// Whether the unified observability layer should be on for this
+    /// run.
+    fn obs_on(&self) -> bool {
+        self.obs || self.trace.is_some() || self.metrics_snapshot.is_some()
     }
 }
 
@@ -404,6 +434,11 @@ impl SpectraGan {
             stats::set_enabled(true);
             stats::take_table(); // drop counters from before this run
         }
+        let obs_on = opts.obs_on();
+        let _obs_guard = obs::ObsGuard::new(obs_on);
+        // Chrome-trace export needs the raw events of the whole run;
+        // span stats per step only need that step's batch.
+        let mut trace_events: Vec<obs::SpanEvent> = Vec::new();
         // One tape for the whole run: resetting between steps keeps the
         // node arena's capacity and returns every activation buffer to
         // the pool, so steady-state steps are allocation-free.
@@ -427,21 +462,36 @@ impl SpectraGan {
                 );
                 let wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
                 let op_stats = opts.op_stats.then(stats::take_table);
+                let spans = obs_on.then(|| {
+                    let events = obs::drain_events();
+                    let aggregated = obs::aggregate_spans(&events);
+                    if opts.trace.is_some() {
+                        trace_events.extend(events);
+                    }
+                    aggregated
+                });
                 match &outcome.reason {
                     Some(reason) => {
                         // The update was NOT applied: weights and
                         // optimizer moments are still the last good
                         // state. Log the event and re-roll the lane.
+                        guard_retries_counter().inc(1);
                         if let Some(dir) = opts.run_dir {
                             checkpoint::append_log(
                                 dir,
-                                &outcome.record(step, wall_ms, Some(reason.clone()), op_stats),
+                                &outcome.record(
+                                    step,
+                                    wall_ms,
+                                    Some(reason.clone()),
+                                    op_stats,
+                                    spans,
+                                ),
                             )?;
                         }
                         last_reason = reason.clone();
                     }
                     None => {
-                        applied = Some(outcome.record(step, wall_ms, None, op_stats));
+                        applied = Some(outcome.record(step, wall_ms, None, op_stats, spans));
                         break;
                     }
                 }
@@ -465,7 +515,9 @@ impl SpectraGan {
             if let Some(dir) = opts.run_dir {
                 let due = opts.checkpoint_every > 0 && completed % opts.checkpoint_every == 0;
                 if due || completed == tc.steps {
+                    let sp = obs::span_cat("checkpoint", "train");
                     checkpoint::save(dir, &self.snapshot(completed, tc, &opt_g, &opt_d, &stats))?;
+                    drop(sp);
                 }
             }
             if opts.abort_at_step == Some(completed) {
@@ -473,6 +525,29 @@ impl SpectraGan {
                 // the way an OOM-kill would, with no unwinding.
                 eprintln!("aborting at step {completed} (crash injection)");
                 std::process::abort();
+            }
+        }
+
+        // ---- Observability exports -----------------------------------
+        if obs_on {
+            // Pick up spans recorded after the last per-step drain
+            // (the final checkpoint span).
+            let tail = obs::drain_events();
+            if let Some(path) = opts.trace {
+                trace_events.extend(tail);
+                let json = obs::chrome_trace(&trace_events);
+                atomic_write(path, json.as_bytes())
+                    .map_err(|e| CoreError::Checkpoint(format!("{}: {e}", path.display())))?;
+            }
+            let prom = obs::prometheus_snapshot();
+            if let Some(path) = opts.metrics_snapshot {
+                atomic_write(path, prom.as_bytes())
+                    .map_err(|e| CoreError::Checkpoint(format!("{}: {e}", path.display())))?;
+            }
+            if let Some(dir) = opts.run_dir {
+                let path = dir.join("metrics.prom");
+                atomic_write(&path, prom.as_bytes())
+                    .map_err(|e| CoreError::Checkpoint(format!("{}: {e}", path.display())))?;
             }
         }
         Ok(stats)
@@ -498,8 +573,10 @@ impl SpectraGan {
         // Drop the previous attempt's graph; buffers go back to the
         // pool and the node arena keeps its capacity.
         tape.reset_keep_capacity();
+        let sp_step = obs::span_cat("train_step", "train");
         let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step as u64, lane as u64));
         // ---- Minibatch assembly -----------------------------------
+        let sp = obs::span_cat("minibatch", "train");
         let batch: Vec<&Sample> = (0..tc.batch_patches)
             .map(|_| &samples[rng.gen_range(0..samples.len())])
             .collect();
@@ -535,7 +612,9 @@ impl SpectraGan {
                 }
             }
         }
+        drop(sp);
         // ---- Forward ------------------------------------------------
+        let sp = obs::span_cat("forward", "train");
         let bind = Binding::new(tape, &self.store);
         let ctx_var = tape.leaf(ctx_batch.clone());
         let z_var = tape.leaf(z);
@@ -622,10 +701,13 @@ impl SpectraGan {
         let dv = d_loss.value().item();
         let gv = g_adv.value().item();
         let l1v = l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0);
+        drop(sp);
 
         // ---- Guard + updates ----------------------------------------
+        let sp = obs::span_cat("backward", "train");
         let grads_d = tape.backward(&d_loss);
         let grads_g = tape.backward(&g_loss);
+        drop(sp);
         let bound = bind.bound();
         let boundary = self.gen_param_end;
         let (g_bound, d_bound): (Vec<_>, Vec<_>) =
@@ -634,9 +716,12 @@ impl SpectraGan {
         let gng = grad_norm(&g_bound, &grads_g);
         let reason = health_reason(dv, gv, l1v, gnd, gng, guard_grad_norm);
         if reason.is_none() {
+            let sp = obs::span_cat("optimizer", "train");
             opt_d.step(&mut self.store, &d_bound, &grads_d);
             opt_g.step(&mut self.store, &g_bound, &grads_g);
+            drop(sp);
         }
+        drop(sp_step);
         StepOutcome {
             d_loss: dv,
             g_adv: gv,
@@ -666,6 +751,7 @@ impl StepOutcome {
         wall_ms: f64,
         event: Option<String>,
         op_stats: Option<Vec<spectragan_tensor::OpStatEntry>>,
+        spans: Option<Vec<obs::SpanStat>>,
     ) -> LogRecord {
         LogRecord {
             step,
@@ -677,6 +763,7 @@ impl StepOutcome {
             wall_ms,
             event,
             op_stats,
+            spans,
         }
     }
 }

@@ -12,7 +12,7 @@
 
 use spectragan_core::{SpectraGan, SpectraGanConfig, Variant};
 use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
-use spectragan_tensor::{arena, pool};
+use spectragan_tensor::pool;
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -87,9 +87,8 @@ fn large_city_peak_memory_is_window_bounded() {
     );
 
     pool::set_threads(Some(4));
-    let base = arena::reset_high_water();
-    let map = model.generate(&c.context, t_out, 11);
-    let peak = (arena::high_water_bytes() - base).max(0) as usize;
+    let (map, report) = model.generate_batched_report(&c.context, t_out, 11, true, 16);
+    let peak = report.peak_arena_bytes as usize;
     assert_eq!((map.len_t(), map.height(), map.width()), (t_out, 128, 128));
     assert!(
         peak < bound_bytes,
@@ -106,4 +105,37 @@ fn large_city_peak_memory_is_window_bounded() {
         map.data(),
         "large-city output depends on threads"
     );
+}
+
+/// Regression (peak-report pollution): the peak-buffer figure is scoped
+/// to each run. A small generation right after a much larger one must
+/// report its own small peak — before [`GenReport`] scoped the
+/// measurement, the second in-process report inherited the first run's
+/// process-global high-water mark.
+#[test]
+fn back_to_back_generation_peaks_are_independent() {
+    let _g = LOCK.lock().unwrap();
+    let cfg = SpectraGanConfig::tiny().with_variant(Variant::SpecOnly);
+    let model = SpectraGan::new(cfg, 3);
+    let c = city(48, 7);
+
+    // Peak memory is O(window × gen_batch × t_out) by design (city size
+    // cancels out), so a heavy first run followed by a light one is the
+    // discriminating pair: a leaked mark would make the light run
+    // report the heavy run's peak.
+    pool::set_threads(Some(2));
+    let (_, heavy) = model.generate_batched_report(&c.context, 336, 11, true, 64);
+    let (_, light) = model.generate_batched_report(&c.context, 24, 11, true, 1);
+    pool::set_threads(None);
+
+    assert!(heavy.peak_arena_bytes > 0, "heavy run saw no arena traffic");
+    assert!(light.peak_arena_bytes > 0, "light run saw no arena traffic");
+    assert!(
+        light.peak_arena_bytes < heavy.peak_arena_bytes / 2,
+        "light-run peak {} B is not well under the heavy-run peak {} B — \
+         the report is leaking the previous run's high-water mark",
+        light.peak_arena_bytes,
+        heavy.peak_arena_bytes
+    );
+    assert!(heavy.wall_s > 0.0 && light.wall_s > 0.0);
 }

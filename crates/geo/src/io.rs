@@ -32,10 +32,34 @@
 
 use crate::context::ContextMap;
 use crate::traffic::TrafficMap;
+use spectragan_obs as obs;
 use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cached metric handles for the persistent-write path. Recording
+/// self-gates on [`obs::enabled`]; disabled cost is one relaxed load
+/// per [`atomic_write`].
+struct IoMetrics {
+    /// Payload bytes handed to [`atomic_write`].
+    write_bytes: &'static obs::Counter,
+    /// Completed [`atomic_write`] calls.
+    writes: &'static obs::Counter,
+    /// `fsync` (`File::sync_all`) latency of the payload file.
+    fsync_ns: &'static obs::Histogram,
+}
+
+fn io_metrics() -> &'static IoMetrics {
+    static M: OnceLock<IoMetrics> = OnceLock::new();
+    M.get_or_init(|| IoMetrics {
+        write_bytes: obs::counter("spectragan_io_write_bytes_total"),
+        writes: obs::counter("spectragan_io_writes_total"),
+        fsync_ns: obs::histogram("spectragan_io_fsync_ns"),
+    })
+}
 
 /// Current container version.
 pub const FORMAT_VERSION: u16 = 1;
@@ -128,7 +152,11 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), IoError>
     let write_and_sync = || -> std::io::Result<()> {
         let mut f = fs::File::create(&tmp)?;
         f.write_all(bytes)?;
+        let t0 = obs::enabled().then(Instant::now);
         f.sync_all()?;
+        if let Some(t0) = t0 {
+            io_metrics().fsync_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     };
     if let Err(e) = write_and_sync() {
@@ -138,6 +166,11 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), IoError>
     if let Err(e) = fs::rename(&tmp, path) {
         let _ = fs::remove_file(&tmp);
         return Err(IoError::Fs(e));
+    }
+    if obs::enabled() {
+        let m = io_metrics();
+        m.write_bytes.inc(bytes.len() as u64);
+        m.writes.inc(1);
     }
     // Best-effort directory fsync so the rename itself is durable; some
     // platforms refuse to open directories, which is fine to ignore.

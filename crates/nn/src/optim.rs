@@ -8,8 +8,30 @@
 
 use crate::param::{ParamId, ParamStore};
 use serde::{Deserialize, Serialize};
+use spectragan_obs as obs;
 use spectragan_tensor::{Gradients, Tensor};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Cached metric handles for optimizer steps. Recording self-gates on
+/// [`obs::enabled`]; disabled cost is one relaxed load per step.
+struct OptimMetrics {
+    /// Pre-clip global gradient L2 norm of the most recent step.
+    grad_norm: &'static obs::Gauge,
+    /// Optimizer steps taken.
+    steps: &'static obs::Counter,
+    /// Steps whose gradients were rescaled by the clip.
+    clips: &'static obs::Counter,
+}
+
+fn optim_metrics() -> &'static OptimMetrics {
+    static M: OnceLock<OptimMetrics> = OnceLock::new();
+    M.get_or_init(|| OptimMetrics {
+        grad_norm: obs::gauge("spectragan_optim_grad_norm"),
+        steps: obs::counter("spectragan_optim_steps_total"),
+        clips: obs::counter("spectragan_optim_clip_total"),
+    })
+}
 
 /// Serializable snapshot of one parameter's Adam moments.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -207,19 +229,37 @@ impl Sgd {
 }
 
 /// Scales all gradients so their joint L2 norm does not exceed
-/// `max_norm` (no-op when `None` or already within bounds).
+/// `max_norm` (no-op when `None` or already within bounds). Also
+/// feeds the grad-norm/clip-rate observability gauges; the norm is
+/// computed only when clipping or observability needs it, and reading
+/// it never changes the update math.
 fn apply_clip(updates: &mut [(ParamId, Tensor)], clip: Option<f32>) {
-    let Some(max_norm) = clip else { return };
+    let observing = obs::enabled();
+    if clip.is_none() && !observing {
+        return;
+    }
     let total: f32 = updates
         .iter()
         .flat_map(|(_, g)| g.data())
         .map(|&v| v * v)
         .sum::<f32>()
         .sqrt();
-    if total > max_norm && total > 0.0 {
-        let s = max_norm / total;
-        for (_, g) in updates.iter_mut() {
-            *g = g.scale(s);
+    let mut clipped = false;
+    if let Some(max_norm) = clip {
+        if total > max_norm && total > 0.0 {
+            clipped = true;
+            let s = max_norm / total;
+            for (_, g) in updates.iter_mut() {
+                *g = g.scale(s);
+            }
+        }
+    }
+    if observing {
+        let m = optim_metrics();
+        m.grad_norm.set(total as f64);
+        m.steps.inc(1);
+        if clipped {
+            m.clips.inc(1);
         }
     }
 }

@@ -1,0 +1,400 @@
+//! Lock-free metrics registry: counters, gauges and fixed
+//! log2-bucketed histograms.
+//!
+//! Handles are `&'static` references leaked once per name, so a hot
+//! site caches its handles in a `OnceLock` struct and each record is
+//! one or two relaxed atomic RMWs — no locks, no allocation. Every
+//! record method self-gates on [`crate::enabled`], so instrumented
+//! code can call them unconditionally for the usual one-relaxed-load
+//! disabled cost.
+
+use crate::enabled;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonically increasing counter.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n`; a no-op when the layer is disabled.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins gauge holding an `f64`.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge; a no-op when the layer is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets. Bucket 0 holds exactly the value 0;
+/// bucket `i` (1 ≤ i < last) holds `[2^(i-1), 2^i)`; the last bucket
+/// is the overflow `[2^(HIST_BUCKETS-2), ∞)`.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Fixed log2-bucketed histogram of `u64` samples (typically
+/// nanoseconds or bytes). Recording is one relaxed RMW per sample on
+/// two atomics; buckets never reallocate.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// Index of the bucket a value lands in (shared by record and tests).
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        let idx = 64 - v.leading_zeros() as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket). Bounds are strictly monotone — property-tested.
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample; a no-op when the layer is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(HIST_BUCKETS);
+        for b in &self.buckets {
+            buckets.push(b.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`] (serializable, mergeable).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, length [`HIST_BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Snapshot with no samples.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise associative merge (property-tested: `(a⊕b)⊕c ==
+    /// a⊕(b⊕c)` and counts are conserved).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets.get(i).copied().unwrap_or(0)
+                + other.buckets.get(i).copied().unwrap_or(0);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` = overflow).
+    pub fn upper_bound(i: usize) -> u64 {
+        bucket_upper_bound(i)
+    }
+
+    /// Bucket index a value lands in.
+    pub fn index_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+}
+
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<(&'static str, Slot)>> = Mutex::new(Vec::new());
+
+fn with_registry<T>(f: impl FnOnce(&mut Vec<(&'static str, Slot)>) -> T) -> T {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut reg)
+}
+
+/// Returns the counter registered under `name`, creating it on first
+/// use. Panics if `name` is already registered as a different kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    with_registry(|reg| {
+        for (n, s) in reg.iter() {
+            if *n == name {
+                match s {
+                    Slot::Counter(c) => return *c,
+                    _ => panic!("metric {name:?} already registered as a different kind"),
+                }
+            }
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        reg.push((name, Slot::Counter(c)));
+        c
+    })
+}
+
+/// Returns the gauge registered under `name`, creating it on first
+/// use. Panics if `name` is already registered as a different kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    with_registry(|reg| {
+        for (n, s) in reg.iter() {
+            if *n == name {
+                match s {
+                    Slot::Gauge(g) => return *g,
+                    _ => panic!("metric {name:?} already registered as a different kind"),
+                }
+            }
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        reg.push((name, Slot::Gauge(g)));
+        g
+    })
+}
+
+/// Returns the histogram registered under `name`, creating it on
+/// first use. Panics if `name` is already registered as a different
+/// kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    with_registry(|reg| {
+        for (n, s) in reg.iter() {
+            if *n == name {
+                match s {
+                    Slot::Histogram(h) => return *h,
+                    _ => panic!("metric {name:?} already registered as a different kind"),
+                }
+            }
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        reg.push((name, Slot::Histogram(h)));
+        h
+    })
+}
+
+/// What kind of metric a snapshot row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Last-write-wins gauge.
+    Gauge,
+    /// Log2-bucketed histogram.
+    Histogram,
+}
+
+/// One registry entry copied out by [`metrics_snapshot`].
+pub struct MetricSnapshot {
+    /// Registered metric name.
+    pub name: &'static str,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Counter value (0 for other kinds).
+    pub counter: u64,
+    /// Gauge value (0.0 for other kinds).
+    pub gauge: f64,
+    /// Histogram state (`None` for other kinds).
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// Copies every registered metric, sorted by name so exporter output
+/// is deterministic.
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    let mut out = with_registry(|reg| {
+        reg.iter()
+            .map(|(name, slot)| match slot {
+                Slot::Counter(c) => MetricSnapshot {
+                    name,
+                    kind: MetricKind::Counter,
+                    counter: c.get(),
+                    gauge: 0.0,
+                    histogram: None,
+                },
+                Slot::Gauge(g) => MetricSnapshot {
+                    name,
+                    kind: MetricKind::Gauge,
+                    counter: 0,
+                    gauge: g.get(),
+                    histogram: None,
+                },
+                Slot::Histogram(h) => MetricSnapshot {
+                    name,
+                    kind: MetricKind::Histogram,
+                    counter: 0,
+                    gauge: 0.0,
+                    histogram: Some(h.snapshot()),
+                },
+            })
+            .collect::<Vec<_>>()
+    });
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    out
+}
+
+/// Zeroes every registered metric (names stay registered). Used to
+/// scope metric values to one run.
+pub fn reset_metrics() {
+    with_registry(|reg| {
+        for (_, slot) in reg.iter() {
+            match slot {
+                Slot::Counter(c) => c.reset(),
+                Slot::Gauge(g) => g.reset(),
+                Slot::Histogram(h) => h.reset(),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+
+    #[test]
+    fn disabled_metrics_do_not_record() {
+        let _l = crate::span::test_lock();
+        set_enabled(false);
+        let c = counter("test_disabled_counter");
+        let before = c.get();
+        c.inc(5);
+        assert_eq!(c.get(), before);
+        let h = histogram("test_disabled_hist");
+        let n = h.snapshot().count();
+        h.record(7);
+        assert_eq!(h.snapshot().count(), n);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let _l = crate::span::test_lock();
+        set_enabled(true);
+        let c = counter("test_rt_counter");
+        c.reset();
+        c.inc(3);
+        c.inc(4);
+        assert_eq!(c.get(), 7);
+        let g = gauge("test_rt_gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        let h = histogram("test_rt_hist");
+        h.reset();
+        h.record(0);
+        h.record(1);
+        h.record(1023);
+        h.record(1024);
+        let s = h.snapshot();
+        set_enabled(false);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum, 2048);
+        assert!(s.buckets[bucket_index(0)] >= 1);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+    }
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let a = counter("test_same_handle") as *const Counter;
+        let b = counter("test_same_handle") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1), "i={i}");
+        }
+    }
+}

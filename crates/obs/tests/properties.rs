@@ -1,0 +1,264 @@
+//! Property tests for the observability layer: histogram bucketing
+//! algebra, span nesting/exactly-once emission, and the exporters
+//! (Chrome trace + Prometheus text) parsing and conserving events.
+//!
+//! The span sink, the enabled flag and the metrics registry are
+//! process-global, so every property that toggles them holds `GLOBAL`
+//! for its whole body (cases inside one property run sequentially; the
+//! lock serializes *across* properties in this binary).
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use spectragan_obs as obs;
+use spectragan_obs::{HistogramSnapshot, HIST_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A metric name nobody else in the process has registered, so each
+/// case starts from zero counts (registry handles are `&'static` and
+/// never deregistered).
+fn fresh_name(prefix: &str) -> &'static str {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    Box::leak(format!("{prefix}_{n}").into_boxed_str())
+}
+
+/// Bucket upper bounds are strictly monotone with the overflow bucket
+/// last — deterministic over the whole (tiny) domain, so a plain test.
+#[test]
+fn bucket_bounds_strictly_monotone() {
+    for i in 1..HIST_BUCKETS {
+        assert!(
+            HistogramSnapshot::upper_bound(i) > HistogramSnapshot::upper_bound(i - 1),
+            "bounds not strictly increasing at bucket {i}"
+        );
+    }
+    assert_eq!(HistogramSnapshot::upper_bound(HIST_BUCKETS - 1), u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value lands in the unique bucket whose bounds bracket it:
+    /// `bound(i-1) < v <= bound(i)`.
+    #[test]
+    fn bucket_index_brackets_value(v in 0u64..=u64::MAX) {
+        let i = HistogramSnapshot::index_of(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!(v <= HistogramSnapshot::upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > HistogramSnapshot::upper_bound(i - 1));
+        }
+    }
+
+    /// Recording N samples into a fresh histogram conserves both the
+    /// count (bucket totals == N) and the exact sum, and each sample
+    /// sits in the bucket `index_of` names.
+    #[test]
+    fn histogram_conserves_count_and_sum(values in prop::collection::vec(0u64..(1u64 << 48), 1..200)) {
+        let _g = global_lock();
+        let _obs = obs::ObsGuard::new(true);
+        let h = obs::histogram(fresh_name("prop_hist"));
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        let mut expect = vec![0u64; HIST_BUCKETS];
+        for &v in &values {
+            expect[HistogramSnapshot::index_of(v)] += 1;
+        }
+        prop_assert_eq!(snap.buckets, expect);
+    }
+
+    /// Merge is associative and commutative and conserves counts/sums.
+    #[test]
+    fn merge_is_associative_and_conserving(
+        a in prop::collection::vec(0u64..(1u64 << 32), HIST_BUCKETS..HIST_BUCKETS + 1),
+        b in prop::collection::vec(0u64..(1u64 << 32), HIST_BUCKETS..HIST_BUCKETS + 1),
+        c in prop::collection::vec(0u64..(1u64 << 32), HIST_BUCKETS..HIST_BUCKETS + 1),
+        (sa, sb, sc) in (0u64..(1u64 << 40), 0u64..(1u64 << 40), 0u64..(1u64 << 40)),
+    ) {
+        let a = HistogramSnapshot { buckets: a, sum: sa };
+        let b = HistogramSnapshot { buckets: b, sum: sb };
+        let c = HistogramSnapshot { buckets: c, sum: sc };
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).count(), a.count() + b.count());
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty()), a.clone());
+    }
+
+    /// Spans are emitted exactly once each, with unique ids, and the
+    /// parent links reproduce the lexical nesting: `width` roots each
+    /// holding a chain of `depth` children.
+    #[test]
+    fn spans_emit_exactly_once_and_nest(width in 1usize..5, depth in 1usize..7) {
+        let _g = global_lock();
+        let _obs = obs::ObsGuard::new(true);
+        obs::drain_events();
+        let mut root_ids = Vec::new();
+        for _ in 0..width {
+            let root = obs::span("root").unwrap();
+            root_ids.push(root.id());
+            let mut chain = Vec::new();
+            for _ in 0..depth {
+                chain.push(obs::span("child").unwrap());
+            }
+            // LIFO teardown: innermost child first, root last.
+            while let Some(s) = chain.pop() {
+                drop(s);
+            }
+            drop(root);
+        }
+        let events = obs::drain_events();
+        prop_assert_eq!(events.len(), width * (depth + 1));
+        let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), events.len(), "duplicate span ids emitted");
+        for e in &events {
+            match e.name {
+                "root" => prop_assert_eq!(e.parent, 0, "roots must be parentless"),
+                _ => prop_assert!(
+                    e.parent != 0 && !root_ids.contains(&e.id),
+                    "child span lost its parent link"
+                ),
+            }
+        }
+        // Interval containment: every child lies inside its parent.
+        // `start_ns` (epoch clock) and `dur_ns` (the span's own
+        // `Instant`) are read a few ns apart, so allow a small skew.
+        const SKEW_NS: u64 = 50_000;
+        for e in &events {
+            if e.parent == 0 {
+                continue;
+            }
+            let p = events.iter().find(|pe| pe.id == e.parent);
+            prop_assert!(p.is_some(), "parent event not emitted");
+            let p = p.unwrap();
+            prop_assert!(p.start_ns <= e.start_ns);
+            prop_assert!(
+                e.start_ns + e.dur_ns <= p.start_ns + p.dur_ns + SKEW_NS,
+                "child [{}, +{}] escapes parent [{}, +{}]",
+                e.start_ns,
+                e.dur_ns,
+                p.start_ns,
+                p.dur_ns
+            );
+        }
+        prop_assert!(obs::drain_events().is_empty(), "events emitted twice");
+    }
+
+    /// The Chrome trace export parses as JSON and carries every event
+    /// exactly once with the µs timestamps the ns inputs imply.
+    #[test]
+    fn chrome_trace_parses_and_conserves_events(width in 1usize..4, depth in 1usize..5) {
+        let _g = global_lock();
+        let _obs = obs::ObsGuard::new(true);
+        obs::drain_events();
+        for _ in 0..width {
+            let _root = obs::span("trace_root");
+            for _ in 0..depth {
+                let _c = obs::span("trace_child");
+            }
+        }
+        let events = obs::drain_events();
+        let doc: serde::Value = serde_json::from_str(&obs::chrome_trace(&events))
+            .map_err(|e| TestCaseError::Fail(format!("trace does not parse: {e}")))?;
+        let arr = match doc.get("traceEvents") {
+            Some(serde::Value::Arr(a)) => a,
+            other => return Err(TestCaseError::Fail(format!("traceEvents missing: {other:?}"))),
+        };
+        prop_assert_eq!(arr.len(), events.len());
+        for (row, e) in arr.iter().zip(&events) {
+            match (row.get("ph"), row.get("ts"), row.get("name")) {
+                (
+                    Some(serde::Value::Str(ph)),
+                    Some(serde::Value::Num(ts)),
+                    Some(serde::Value::Str(name)),
+                ) => {
+                    prop_assert_eq!(ph.as_str(), "X");
+                    prop_assert!((ts - e.start_ns as f64 / 1000.0).abs() < 1e-6);
+                    prop_assert_eq!(name.as_str(), e.name);
+                }
+                other => return Err(TestCaseError::Fail(format!("bad trace row: {other:?}"))),
+            }
+        }
+    }
+
+    /// The Prometheus snapshot renders every recorded sample exactly
+    /// once: cumulative bucket rows are monotone, the `+Inf` bucket and
+    /// `_count` both equal the sample count, `_sum` is exact.
+    #[test]
+    fn prometheus_histogram_rows_are_cumulative(values in prop::collection::vec(0u64..(1u64 << 20), 1..50)) {
+        let _g = global_lock();
+        let _obs = obs::ObsGuard::new(true);
+        let name = fresh_name("prop_prom_hist");
+        let h = obs::histogram(name);
+        for &v in &values {
+            h.record(v);
+        }
+        let text = obs::prometheus_snapshot();
+        let mut cumulative_rows = Vec::new();
+        let mut count_row = None;
+        let mut sum_row = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(&format!("{name}_bucket{{le=\"")) {
+                let v: u64 = rest
+                    .rsplit(' ')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| TestCaseError::Fail(format!("bad bucket row: {line}")))?;
+                cumulative_rows.push(v);
+            } else if let Some(rest) = line.strip_prefix(&format!("{name}_count ")) {
+                count_row = rest.trim().parse::<u64>().ok();
+            } else if let Some(rest) = line.strip_prefix(&format!("{name}_sum ")) {
+                sum_row = rest.trim().parse::<u64>().ok();
+            }
+        }
+        prop_assert!(!cumulative_rows.is_empty(), "histogram missing from snapshot");
+        prop_assert!(
+            cumulative_rows.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative buckets must be monotone: {cumulative_rows:?}"
+        );
+        let n = values.len() as u64;
+        prop_assert_eq!(*cumulative_rows.last().unwrap(), n, "+Inf bucket != sample count");
+        prop_assert_eq!(count_row, Some(n));
+        prop_assert_eq!(sum_row, Some(values.iter().sum::<u64>()));
+    }
+
+    /// Aggregating spans conserves calls (one per event) and total
+    /// nanoseconds per path, and round-trips through JSON — the same
+    /// shape `train_log.jsonl` embeds per step.
+    #[test]
+    fn aggregation_conserves_calls_and_roundtrips(width in 1usize..5, depth in 1usize..5) {
+        let _g = global_lock();
+        let _obs = obs::ObsGuard::new(true);
+        obs::drain_events();
+        for _ in 0..width {
+            let _root = obs::span("agg_root");
+            for _ in 0..depth {
+                let _c = obs::span("agg_child");
+            }
+        }
+        let events = obs::drain_events();
+        let stats = obs::aggregate_spans(&events);
+        let calls: u64 = stats.iter().map(|s| s.calls).sum();
+        prop_assert_eq!(calls, events.len() as u64);
+        let paths: Vec<&str> = stats.iter().map(|s| s.path.as_str()).collect();
+        let sorted = paths.windows(2).all(|w| w[0] < w[1]);
+        prop_assert!(sorted, "aggregate paths must be sorted and unique: {paths:?}");
+        let json = serde_json::to_string(&stats)
+            .map_err(|e| TestCaseError::Fail(format!("serialize: {e}")))?;
+        let back: Vec<obs::SpanStat> = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+        prop_assert_eq!(back, stats);
+    }
+}

@@ -95,6 +95,38 @@ pub fn reset_high_water() -> i64 {
     live
 }
 
+/// Scoped peak-memory measurement: [`begin`](PeakRegion::begin) resets
+/// the high-water mark to the current live level, [`end`](PeakRegion::end)
+/// returns the peak *delta* reached inside the region.
+///
+/// This is how callers should report per-run peaks — reading the raw
+/// globals directly leaks state between back-to-back runs in one
+/// process (an earlier run's mark pollutes the next report). Regions
+/// still share the process-wide counters, so concurrent regions
+/// observe each other's traffic; the workspace runs one generation or
+/// training region at a time.
+#[must_use = "call end() to read the region's peak"]
+pub struct PeakRegion {
+    base: i64,
+}
+
+impl PeakRegion {
+    /// Starts a region: resets the high-water mark to the current
+    /// live level.
+    pub fn begin() -> Self {
+        PeakRegion {
+            base: reset_high_water(),
+        }
+    }
+
+    /// Ends the region, returning the peak bytes allocated above the
+    /// level at [`begin`](PeakRegion::begin) (clamped at 0: the
+    /// approximate accounting can drift slightly negative).
+    pub fn end(self) -> u64 {
+        (high_water_bytes() - self.base).max(0) as u64
+    }
+}
+
 struct Arena {
     /// Free buffers bucketed by exact capacity.
     buckets: HashMap<usize, Vec<Vec<f32>>>,

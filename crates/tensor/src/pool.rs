@@ -23,8 +23,37 @@
 //! At one thread every routine degrades to a plain serial loop on the
 //! calling thread — no pool, no atomics, no unsafe.
 
+use spectragan_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cached `&'static` metric handles so hot paths pay no registry
+/// lookup. All recording self-gates on [`obs::enabled`]; when the
+/// observability layer is off each parallel routine costs one extra
+/// relaxed atomic load per *call* (not per task).
+struct PoolMetrics {
+    /// Tasks executed across all parallel routines.
+    tasks: &'static obs::Counter,
+    /// Per-task `produce` duration in [`par_fold_ordered`].
+    task_ns: &'static obs::Histogram,
+    /// Worker time from arrival to claiming an index (lock + window
+    /// gate) in [`par_fold_ordered`].
+    space_wait_ns: &'static obs::Histogram,
+    /// Consumer time waiting for the next in-order output in
+    /// [`par_fold_ordered`].
+    fold_wait_ns: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        tasks: obs::counter("spectragan_pool_tasks_total"),
+        task_ns: obs::histogram("spectragan_pool_task_ns"),
+        space_wait_ns: obs::histogram("spectragan_pool_space_wait_ns"),
+        fold_wait_ns: obs::histogram("spectragan_pool_fold_wait_ns"),
+    })
+}
 
 /// Programmatic override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -74,6 +103,9 @@ where
     R: Send + Sync,
     F: Fn(usize) -> R + Sync,
 {
+    if obs::enabled() {
+        metrics().tasks.inc(n_tasks as u64);
+    }
     let workers = threads().min(n_tasks);
     if workers <= 1 {
         return (0..n_tasks).map(f).collect();
@@ -118,6 +150,9 @@ where
         "chunk_len must divide the buffer length"
     );
     let n_chunks = data.len() / chunk_len;
+    if obs::enabled() {
+        metrics().tasks.inc(n_chunks as u64);
+    }
     let workers = threads().min(n_chunks);
     if workers <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -234,6 +269,9 @@ where
     F: FnMut(usize, T),
 {
     assert!(window >= 1, "window must be at least 1");
+    if obs::enabled() {
+        metrics().tasks.inc(n_tasks as u64);
+    }
     let workers = threads().min(n_tasks).min(window);
     if workers <= 1 {
         for i in 0..n_tasks {
@@ -255,6 +293,7 @@ where
         for _ in 0..workers {
             scope.spawn(|| loop {
                 // Claim the next index once it is inside the window.
+                let t_claim = obs::enabled().then(Instant::now);
                 let i = {
                     let mut s = state.lock().unwrap();
                     loop {
@@ -270,13 +309,22 @@ where
                     s.next += 1;
                     i
                 };
+                if let Some(t0) = t_claim {
+                    metrics()
+                        .space_wait_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
                 let mut guard = PoisonGuard {
                     state: &state,
                     space: &space,
                     ready: &ready,
                     armed: true,
                 };
+                let t_task = obs::enabled().then(Instant::now);
                 let out = produce(i);
+                if let Some(t0) = t_task {
+                    metrics().task_ns.record(t0.elapsed().as_nanos() as u64);
+                }
                 guard.armed = false;
                 {
                     let mut s = state.lock().unwrap();
@@ -292,6 +340,7 @@ where
 
         // Consumer: the calling thread folds in index order.
         for i in 0..n_tasks {
+            let t_wait = obs::enabled().then(Instant::now);
             let item = {
                 let mut s = state.lock().unwrap();
                 loop {
@@ -305,6 +354,11 @@ where
                     s = ready.wait(s).unwrap();
                 }
             };
+            if let Some(t0) = t_wait {
+                metrics()
+                    .fold_wait_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
             let Some(item) = item else {
                 // A worker panicked; exit so the scope joins and
                 // propagates its panic.
