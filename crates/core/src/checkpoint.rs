@@ -277,6 +277,10 @@ pub struct LogRecord {
     /// Wall-clock milliseconds the step took (including retries so
     /// far).
     pub wall_ms: f64,
+    /// Kernel backend the step ran under (`"scalar"` / `"simd"`);
+    /// logs written before backends existed read back as `"scalar"`,
+    /// which is what they ran.
+    pub backend: String,
     /// Divergence-guard annotation (`None` for a healthy step).
     pub event: Option<String>,
     /// Per-op instrumentation for this step (only with `--op-stats`;
@@ -311,6 +315,10 @@ impl serde::Deserialize for LogRecord {
             grad_norm_d: num("grad_norm_d")? as f32,
             grad_norm_g: num("grad_norm_g")? as f32,
             wall_ms: num("wall_ms")?,
+            backend: match v.get("backend") {
+                Some(serde::Value::Str(s)) => s.clone(),
+                _ => "scalar".to_string(),
+            },
             event: match v.get("event") {
                 Some(serde::Value::Str(s)) => Some(s.clone()),
                 _ => None,
@@ -497,6 +505,7 @@ mod tests {
                     grad_norm_d: 2.0,
                     grad_norm_g: 3.0,
                     wall_ms: 1.5,
+                    backend: "scalar".to_string(),
                     event: if step == 2 {
                         Some("divergence: d_loss = NaN".into())
                     } else {

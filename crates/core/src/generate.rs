@@ -102,6 +102,12 @@ impl SpectraGan {
         let start = Instant::now();
         let peak_region = arena::PeakRegion::begin();
         let sp_run = obs::span_cat("generate", "generate");
+        // Instantaneous backend marker, mirroring train_step: dropped
+        // immediately so it never parents the run's real spans.
+        drop(obs::span_cat(
+            spectragan_tensor::backend::kind().name(),
+            "backend",
+        ));
         let (cfg, store, gen) = self.parts();
         let k = t_out.div_ceil(cfg.train_len).max(1);
         let grid = GridSpec::new(context.height(), context.width());

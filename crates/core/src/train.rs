@@ -574,6 +574,14 @@ impl SpectraGan {
         // pool and the node arena keeps its capacity.
         tape.reset_keep_capacity();
         let sp_step = obs::span_cat("train_step", "train");
+        // Instantaneous marker span naming the kernel backend this step
+        // runs under, so exported traces are attributable to scalar vs.
+        // simd. Dropped immediately: it must not become the parent of
+        // the step's real spans.
+        drop(obs::span_cat(
+            spectragan_tensor::backend::kind().name(),
+            "backend",
+        ));
         let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step as u64, lane as u64));
         // ---- Minibatch assembly -----------------------------------
         let sp = obs::span_cat("minibatch", "train");
@@ -761,6 +769,7 @@ impl StepOutcome {
             grad_norm_d: self.grad_norm_d,
             grad_norm_g: self.grad_norm_g,
             wall_ms,
+            backend: spectragan_tensor::backend::kind().name().to_string(),
             event,
             op_stats,
             spans,

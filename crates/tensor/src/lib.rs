@@ -36,12 +36,16 @@
 //! tricks, shapes are checked at runtime with precise panic messages,
 //! and every op has a numerical gradient check in the test suite.
 //!
-//! Heavy kernels (the conv2d family) run on the deterministic
-//! work-stealing pool in [`pool`]; results are bit-identical at every
-//! thread count because work is split into index-addressed tiles with
+//! Heavy kernels (the conv2d and matmul families) dispatch through the
+//! [`backend`] layer — a bit-exact scalar reference backend and an
+//! im2col + blocked-GEMM SIMD backend, selected via `SPECTRAGAN_BACKEND`
+//! or [`set_backend`] — and run on the deterministic work-stealing pool
+//! in [`pool`]; per backend, results are bit-identical at every thread
+//! count because work is split into index-addressed tiles with
 //! unchanged per-tile summation order.
 
 pub mod arena;
+pub mod backend;
 pub mod ops;
 pub mod pool;
 pub mod shape;
@@ -50,6 +54,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use arena::ArenaStats;
+pub use backend::{set_backend, Backend, BackendKind};
 pub use ops::{FusedAct, Op};
 pub use shape::Shape;
 pub use stats::{OpKind, OpStatEntry};

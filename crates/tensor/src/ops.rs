@@ -178,77 +178,64 @@ pub(crate) fn softplus_scalar(x: f32) -> f32 {
     }
 }
 
-/// Applies a fused activation in place, with the exact scalar
-/// expressions of the standalone activation ops.
-pub(crate) fn apply_act_inplace(y: &mut Tensor, act: FusedAct) {
+/// Applies a fused activation to a slice, with the same expressions as
+/// the standalone activation ops — the smooth activations route
+/// through the active backend's elementwise kernels so fused and
+/// unfused compositions stay bit-equal per backend.
+pub(crate) fn apply_act_slice(y: &mut [f32], act: FusedAct) {
     match act {
         FusedAct::Identity => {}
-        FusedAct::Sigmoid => {
-            for v in y.data_mut() {
-                *v = 1.0 / (1.0 + (-*v).exp());
-            }
-        }
-        FusedAct::Tanh => {
-            for v in y.data_mut() {
-                *v = v.tanh();
-            }
-        }
+        FusedAct::Sigmoid => crate::backend::active().sigmoid_slice(y),
+        FusedAct::Tanh => crate::backend::active().tanh_slice(y),
         FusedAct::Relu => {
-            for v in y.data_mut() {
+            for v in y {
                 *v = v.max(0.0);
             }
         }
         FusedAct::LeakyRelu(alpha) => {
-            for v in y.data_mut() {
+            for v in y {
                 *v = if *v > 0.0 { *v } else { alpha * *v };
             }
         }
     }
 }
 
-/// Forward kernel of [`Op::MatmulBiasAct`]: the plain matmul kernel,
-/// then the bias added in `add_rowvec`'s loop order, then the
-/// activation in place — bit-equal to the unfused three-node chain.
+/// Applies a fused activation in place over a whole tensor.
+pub(crate) fn apply_act_inplace(y: &mut Tensor, act: FusedAct) {
+    apply_act_slice(y.data_mut(), act);
+}
+
+/// Forward kernel of [`Op::MatmulBiasAct`]: validates shapes, then
+/// dispatches to the active backend's fused kernel. On the scalar
+/// backend this is the plain matmul kernel, then the bias added in
+/// `add_rowvec`'s loop order, then the activation in place — bit-equal
+/// to the unfused three-node chain.
 pub(crate) fn matmul_bias_act_forward(a: &Tensor, w: &Tensor, b: &Tensor, act: FusedAct) -> Tensor {
-    let mut y = a.matmul(w);
-    let (n, m) = (y.shape().dim(0), y.shape().dim(1));
+    crate::tensor::matmul_check(a, w);
+    let m = w.shape().dim(1);
     assert_eq!(
         b.shape().dims(),
         &[m],
         "bias shape {} does not match row width {m}",
         b.shape()
     );
-    for row in 0..n {
-        for col in 0..m {
-            y.data_mut()[row * m + col] += b.data()[col];
-        }
-    }
-    apply_act_inplace(&mut y, act);
-    y
+    crate::backend::active().matmul_bias_act(a, w, b, act)
 }
 
-/// Forward kernel of [`Op::Conv2dBias`]: the plain conv2d kernel, then
-/// the bias added in `add_channel_bias`'s loop order.
+/// Forward kernel of [`Op::Conv2dBias`]: validates shapes, then
+/// dispatches to the active backend's fused kernel. On the scalar
+/// backend this is the plain conv2d kernel, then the bias added in
+/// `add_channel_bias`'s loop order.
 pub(crate) fn conv2d_bias_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor {
-    let mut y = x.conv2d(w, pad);
-    let (n, c) = (y.shape().dim(0), y.shape().dim(1));
+    crate::backend::conv2d_out_shape(x.shape(), w.shape(), pad);
+    let c = w.shape().dim(0);
     assert_eq!(
         b.shape().dims(),
         &[c],
         "bias shape {} does not match channels {c}",
         b.shape()
     );
-    let hw = y.shape().dim(2) * y.shape().dim(3);
-    for bi in 0..n {
-        for ci in 0..c {
-            let base = (bi * c + ci) * hw;
-            let bv = b.data()[ci];
-            for v in &mut y.data_mut()[base..base + hw] {
-                *v += bv;
-            }
-        }
-    }
-    y
+    crate::backend::active().conv2d_bias(x, w, b, pad)
 }
 
 /// Pre-activation gradient of a fused activation, from the upstream
@@ -394,10 +381,10 @@ pub(crate) fn backward_node(
         }
         Op::Square(x) => acc(grads, *x, g.zip(val(*x), |gi, xi| 2.0 * gi * xi)),
         Op::Matmul(a, b) => {
-            acc(grads, *a, g.matmul(&val(*b).transpose2()));
-            acc(grads, *b, val(*a).transpose2().matmul(g));
+            acc(grads, *a, g.matmul_bt(val(*b)));
+            acc(grads, *b, val(*a).matmul_tb(g));
         }
-        Op::MatmulConst { x, m } => acc(grads, *x, g.matmul(&m.transpose2())),
+        Op::MatmulConst { x, m } => acc(grads, *x, g.matmul_bt(m)),
         Op::Conv2d { x, w, pad } => {
             acc(
                 grads,
@@ -502,8 +489,8 @@ pub(crate) fn backward_node(
         }
         Op::MatmulBiasAct { a, w, b, act } => {
             let gpre = act_backward(g, val(id), *act);
-            acc(grads, *a, gpre.matmul(&val(*w).transpose2()));
-            acc(grads, *w, val(*a).transpose2().matmul(&gpre));
+            acc(grads, *a, gpre.matmul_bt(val(*w)));
+            acc(grads, *w, val(*a).matmul_tb(&gpre));
             acc(grads, *b, rowvec_bias_grad(&gpre));
         }
         Op::Conv2dBias { x, w, b, pad } => {

@@ -76,21 +76,29 @@ pub fn set_threads(n: Option<usize>) {
 }
 
 /// The worker count parallel routines will use right now.
+///
+/// The environment/default resolution is cached on first use:
+/// `std::env::var` takes the process environment lock and allocates,
+/// which is far too expensive for a query made by every parallel
+/// kernel call. Runtime changes go through [`set_threads`].
 pub fn threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("SPECTRAGAN_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("SPECTRAGAN_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f(0..n_tasks)` across the pool and returns the results in

@@ -122,6 +122,10 @@ struct Slot {
 pub struct OpStatEntry {
     /// Op kind name ([`OpKind::as_str`]).
     pub op: String,
+    /// Kernel backend the table was drained under
+    /// ([`crate::backend::kind`]); `None` in logs written before
+    /// backends existed.
+    pub backend: Option<String>,
     /// Forward invocations.
     pub fwd_calls: u64,
     /// Nanoseconds spent in forward invocations.
@@ -272,6 +276,7 @@ pub fn take_table() -> Vec<OpStatEntry> {
                 }
                 out.push(OpStatEntry {
                     op: kind.as_str().to_string(),
+                    backend: Some(crate::backend::kind().name().to_string()),
                     fwd_calls: slot.fwd_calls,
                     fwd_nanos: slot.fwd_nanos,
                     bwd_calls: slot.bwd_calls,

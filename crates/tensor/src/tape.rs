@@ -318,17 +318,21 @@ impl Var {
     // Activations
     // ------------------------------------------------------------------
 
-    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    /// Logistic sigmoid `1 / (1 + e^{-x})`, dispatched to the active
+    /// backend's elementwise kernel.
     pub fn sigmoid(&self) -> Var {
         let _t = stats::fwd(OpKind::Sigmoid);
-        let v = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut v = self.value().map(|x| x);
+        crate::backend::active().sigmoid_slice(v.data_mut());
         self.unary(v, Op::Sigmoid(self.id))
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent, dispatched to the active backend's
+    /// elementwise kernel.
     pub fn tanh(&self) -> Var {
         let _t = stats::fwd(OpKind::Tanh);
-        let v = self.value().map(f32::tanh);
+        let mut v = self.value().map(|x| x);
+        crate::backend::active().tanh_slice(v.data_mut());
         self.unary(v, Op::Tanh(self.id))
     }
 

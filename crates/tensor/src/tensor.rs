@@ -300,45 +300,74 @@ impl Tensor {
     // Linear algebra
     // ------------------------------------------------------------------
 
-    /// Matrix product of two rank-2 tensors: `[m, k] @ [k, n] → [m, n]`.
+    /// Matrix product of two rank-2 tensors: `[m, k] @ [k, n] → [m, n]`,
+    /// dispatched to the active [`crate::backend`].
     ///
     /// # Panics
     /// Panics unless both operands are rank 2 with matching inner dims.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        matmul_check(self, other);
+        crate::backend::active().matmul(self, other)
+    }
+
+    /// `self @ otherᵀ` for rank-2 tensors: `[m, k] @ [n, k]ᵀ → [m, n]`.
+    ///
+    /// Semantically identical to `self.matmul(&other.transpose2())`;
+    /// backends may skip materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 with matching inner dims.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.shape.ndim(),
             2,
-            "matmul lhs must be rank 2, got {}",
+            "matmul_bt lhs must be rank 2, got {}",
             self.shape
         );
         assert_eq!(
             other.shape.ndim(),
             2,
-            "matmul rhs must be rank 2, got {}",
+            "matmul_bt rhs must be rank 2, got {}",
             other.shape
         );
-        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
-        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(
-            k, k2,
-            "matmul inner dims differ: {} vs {}",
-            self.shape, other.shape
+            self.shape.dim(1),
+            other.shape.dim(1),
+            "matmul_bt inner dims differ: {} vs {}ᵀ",
+            self.shape,
+            other.shape
         );
-        let mut out = arena::take_zeroed(m * n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, [m, n])
+        crate::backend::active().matmul_bt(self, other)
+    }
+
+    /// `selfᵀ @ other` for rank-2 tensors: `[m, k]ᵀ @ [m, n] → [k, n]`.
+    ///
+    /// Semantically identical to `self.transpose2().matmul(other)`;
+    /// backends may skip materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 with matching inner dims.
+    pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.shape.ndim(),
+            2,
+            "matmul_tb lhs must be rank 2, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.ndim(),
+            2,
+            "matmul_tb rhs must be rank 2, got {}",
+            other.shape
+        );
+        assert_eq!(
+            self.shape.dim(0),
+            other.shape.dim(0),
+            "matmul_tb inner dims differ: {}ᵀ vs {}",
+            self.shape,
+            other.shape
+        );
+        crate::backend::active().matmul_tb(self, other)
     }
 
     /// Transpose of a rank-2 tensor.
@@ -367,172 +396,37 @@ impl Tensor {
     /// `weight [Cout, Cin, KH, KW]`, stride 1, zero padding `pad` on all
     /// sides. Output is `[N, Cout, H + 2·pad − KH + 1, W + 2·pad − KW + 1]`.
     ///
-    /// Parallelized over `(batch, out-channel)` tiles on the
-    /// [`crate::pool`] pool; each tile writes only its own `OH·OW`
-    /// slice and the per-pixel summation order is unchanged, so the
-    /// output is bit-identical at every thread count.
+    /// Dispatched to the active [`crate::backend`]; each backend is
+    /// bit-identical to itself at every thread count.
     ///
     /// # Panics
-    /// Panics on rank/channel mismatches or kernels larger than the
-    /// padded input.
+    /// Panics on rank/channel mismatches, zero-extent kernels, or
+    /// kernels larger than the padded input.
     pub fn conv2d(&self, weight: &Tensor, pad: usize) -> Tensor {
-        let (n, cin, h, w) = dims4(self, "conv2d input");
-        let (cout, cin_w, kh, kw) = dims4(weight, "conv2d weight");
-        assert_eq!(cin, cin_w, "conv2d channels: input {cin} vs weight {cin_w}");
-        let oh = (h + 2 * pad)
-            .checked_sub(kh - 1)
-            .expect("kernel taller than padded input");
-        let ow = (w + 2 * pad)
-            .checked_sub(kw - 1)
-            .expect("kernel wider than padded input");
-        let mut out = Tensor::zeros([n, cout, oh, ow]);
-        if out.data.is_empty() {
-            return out;
-        }
-        crate::pool::par_chunks_mut(&mut out.data, oh * ow, |tile, plane| {
-            let b = tile / cout;
-            let oc = tile % cout;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ic in 0..cin {
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy - pad >= h {
-                                continue;
-                            }
-                            let iy = iy - pad;
-                            let in_base = ((b * cin + ic) * h + iy) * w;
-                            let w_base = ((oc * cin + ic) * kh + ky) * kw;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix - pad >= w {
-                                    continue;
-                                }
-                                acc += self.data[in_base + (ix - pad)] * weight.data[w_base + kx];
-                            }
-                        }
-                    }
-                    plane[oy * ow + ox] = acc;
-                }
-            }
-        });
-        out
+        crate::backend::active().conv2d(self, weight, pad)
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to the input, given
-    /// the upstream gradient `grad_out [N, Cout, OH, OW]`.
-    ///
-    /// Parallelized over `(batch, in-channel)` tiles; for each input
-    /// cell the contributions still accumulate in the serial
-    /// `oc → oy → ox → ky → kx` order, so the gradient is bit-identical
-    /// at every thread count.
+    /// the upstream gradient `grad_out [N, Cout, OH, OW]`. Dispatched
+    /// to the active [`crate::backend`].
     pub fn conv2d_grad_input(
         grad_out: &Tensor,
         weight: &Tensor,
         input_shape: &Shape,
         pad: usize,
     ) -> Tensor {
-        let (n, cout, oh, ow) = dims4(grad_out, "conv2d grad_out");
-        let (cout_w, cin, kh, kw) = dims4(weight, "conv2d weight");
-        assert_eq!(cout, cout_w, "conv2d grad channels mismatch");
-        assert_eq!(input_shape.dim(0), n, "conv2d grad batch mismatch");
-        assert_eq!(input_shape.dim(1), cin, "conv2d grad channel mismatch");
-        let h = input_shape.dim(2);
-        let w = input_shape.dim(3);
-        let mut grad_in = Tensor::zeros(input_shape.clone());
-        if grad_in.data.is_empty() {
-            return grad_in;
-        }
-        crate::pool::par_chunks_mut(&mut grad_in.data, h * w, |tile, plane| {
-            let b = tile / cin;
-            let ic = tile % cin;
-            for oc in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = grad_out.data[((b * cout + oc) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy - pad >= h {
-                                continue;
-                            }
-                            let row = (iy - pad) * w;
-                            let w_base = ((oc * cin + ic) * kh + ky) * kw;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix - pad >= w {
-                                    continue;
-                                }
-                                plane[row + (ix - pad)] += g * weight.data[w_base + kx];
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        grad_in
+        crate::backend::active().conv2d_grad_input(grad_out, weight, input_shape, pad)
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to the weight.
-    ///
-    /// Parallelized over out-channel tiles; for each weight cell the
-    /// contributions still accumulate in the serial `b → oy → ox`
-    /// order, so the gradient is bit-identical at every thread count.
+    /// Dispatched to the active [`crate::backend`].
     pub fn conv2d_grad_weight(
         grad_out: &Tensor,
         input: &Tensor,
         weight_shape: &Shape,
         pad: usize,
     ) -> Tensor {
-        let (n, cout, oh, ow) = dims4(grad_out, "conv2d grad_out");
-        let (n_i, cin, h, w) = dims4(input, "conv2d input");
-        assert_eq!(n, n_i, "conv2d grad batch mismatch");
-        assert_eq!(
-            weight_shape.dim(0),
-            cout,
-            "conv2d grad out-channel mismatch"
-        );
-        assert_eq!(weight_shape.dim(1), cin, "conv2d grad in-channel mismatch");
-        let kh = weight_shape.dim(2);
-        let kw = weight_shape.dim(3);
-        let mut grad_w = Tensor::zeros(weight_shape.clone());
-        if grad_w.data.is_empty() {
-            return grad_w;
-        }
-        crate::pool::par_chunks_mut(&mut grad_w.data, cin * kh * kw, |oc, kernel| {
-            for b in 0..n {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = grad_out.data[((b * cout + oc) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ic in 0..cin {
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < pad || iy - pad >= h {
-                                    continue;
-                                }
-                                let iy = iy - pad;
-                                let in_base = ((b * cin + ic) * h + iy) * w;
-                                let k_base = (ic * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    kernel[k_base + kx] += g * input.data[in_base + (ix - pad)];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        grad_w
+        crate::backend::active().conv2d_grad_weight(grad_out, input, weight_shape, pad)
     }
     // ------------------------------------------------------------------
     // Structural ops
@@ -663,6 +557,31 @@ impl Tensor {
         }
         Tensor::from_vec(out, out_dims)
     }
+}
+
+/// Validates the operands of a plain matrix product: both rank 2 with
+/// matching inner dims. Shared by [`Tensor::matmul`] and the fused
+/// matmul entry points in [`crate::ops`].
+pub(crate) fn matmul_check(a: &Tensor, b: &Tensor) {
+    assert_eq!(
+        a.shape().ndim(),
+        2,
+        "matmul lhs must be rank 2, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.shape().ndim(),
+        2,
+        "matmul rhs must be rank 2, got {}",
+        b.shape()
+    );
+    assert_eq!(
+        a.shape().dim(1),
+        b.shape().dim(0),
+        "matmul inner dims differ: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
 }
 
 /// Unpacks a rank-4 shape, with a contextual panic message.
