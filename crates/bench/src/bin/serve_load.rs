@@ -1,0 +1,244 @@
+//! Load-test harness for `spectragan serve`: concurrent mixed-city,
+//! mixed-duration request storms against an in-process server, with
+//! three hard gates and a JSON artifact for CI.
+//!
+//! ```text
+//! cargo run --release -p spectragan-bench --bin serve_load -- \
+//!     [--requests N] [--clients N] [--workers N] [--p99-budget-ms N] [--out FILE]
+//! ```
+//!
+//! Gates (process exits non-zero when any fails):
+//!
+//! 1. **Byte identity** — every streamed response reassembles to the
+//!    exact bytes of the offline `generate_batched` reference for its
+//!    `(city, t_out, seed)`.
+//! 2. **Zero 5xx under budget** — with the default admission budget no
+//!    request is shed or errored.
+//! 3. **Resource bounds** — p99 latency under `--p99-budget-ms`, and
+//!    the arena high-water mark stays at or under the admission
+//!    budget.
+//!
+//! A separate tiny-budget probe pins the admission budget full and
+//! verifies the 503 + `Retry-After` shed path fires.
+
+use spectragan_core::{SpectraGan, SpectraGanConfig};
+use spectragan_geo::io::save_context;
+use spectragan_geo::TrafficMap;
+use spectragan_serve::client::{assemble_bands, request};
+use spectragan_serve::{ServeConfig, Server};
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+use spectragan_tensor::arena;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("serve_load: FAIL: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let n_requests: usize = arg("--requests", 24);
+    let n_clients: usize = arg("--clients", 6);
+    let workers: usize = arg("--workers", 4);
+    let p99_budget_ms: u64 = arg("--p99-budget-ms", 30_000);
+    let out: String = arg("--out", "BENCH_pr7.json".to_string());
+
+    // Fixture: a shared tiny model over three cities of unequal size.
+    let dir = std::env::temp_dir().join(format!("sg_serve_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 11);
+    std::fs::write(dir.join("model.json"), model.to_model_json()).unwrap();
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.36,
+    };
+    let specs = [
+        ("city_a", 33usize, 33usize, 1u64),
+        ("city_b", 41, 37, 2),
+        ("city_c", 29, 45, 3),
+    ];
+    let mut contexts = HashMap::new();
+    for (name, height, width, seed) in specs {
+        let city = generate_city(
+            &CityConfig {
+                name: name.to_string(),
+                height,
+                width,
+                seed,
+            },
+            &ds,
+        );
+        save_context(&city.context, dir.join(format!("{name}.sgcm"))).unwrap();
+        contexts.insert(name.to_string(), city.context);
+    }
+
+    // The storm's job mix: cities × durations × seeds, cycled to
+    // n_requests. Offline references computed once per distinct job.
+    let durations = [24usize, 30, 48];
+    let jobs: Vec<(String, usize, u64)> = (0..n_requests)
+        .map(|i| {
+            let (name, ..) = specs[i % specs.len()];
+            let t_out = durations[(i / specs.len()) % durations.len()];
+            let seed = (i % 5) as u64;
+            (name.to_string(), t_out, seed)
+        })
+        .collect();
+    let mut references: HashMap<(String, usize, u64), TrafficMap> = HashMap::new();
+    for job in &jobs {
+        let (city, t_out, seed) = job;
+        references.entry(job.clone()).or_insert_with(|| {
+            model
+                .generate_batched_report(&contexts[city], *t_out, *seed, true, 8)
+                .0
+        });
+    }
+
+    let budget_bytes: usize = 2 << 30;
+    let mut cfg = ServeConfig::new("127.0.0.1:0", &dir);
+    cfg.workers = workers;
+    cfg.arena_budget_bytes = budget_bytes;
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let run_thread = std::thread::spawn(move || server.run().unwrap());
+
+    arena::reset_high_water();
+    let next = AtomicUsize::new(0);
+    let latencies_ms: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let n_shed = AtomicUsize::new(0);
+    let n_5xx = AtomicUsize::new(0);
+    let bytes_streamed = AtomicUsize::new(0);
+    let storm_started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..n_clients {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    return;
+                }
+                let (city, t_out, seed) = &jobs[i];
+                let body = format!(
+                    "{{\"city\":\"{city}\",\"t_out\":{t_out},\"seed\":{seed},\"gen_batch\":8}}"
+                );
+                let t0 = Instant::now();
+                let resp = request(&addr, "POST", "/generate", body.as_bytes())
+                    .unwrap_or_else(|e| fail(format!("request {i} ({city}, {t_out}): {e}")));
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                match resp.status {
+                    200 => {
+                        bytes_streamed.fetch_add(resp.body.len(), Ordering::Relaxed);
+                        let got = assemble_bands(&resp)
+                            .unwrap_or_else(|e| fail(format!("request {i}: bad stream: {e}")));
+                        let want = &references[&jobs[i]];
+                        if got.data() != want.data() {
+                            fail(format!(
+                                "request {i} ({city}, t_out {t_out}, seed {seed}): \
+                                 streamed bytes differ from offline generation"
+                            ));
+                        }
+                    }
+                    503 => {
+                        n_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    s if s >= 500 => {
+                        n_5xx.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => fail(format!("request {i}: unexpected status {other}")),
+                }
+                latencies_ms.lock().unwrap().push(ms);
+            });
+        }
+    });
+    let storm_s = storm_started.elapsed().as_secs_f64();
+    let peak_arena = arena::high_water_bytes().max(0) as usize;
+
+    // Tiny-budget probe on the same server: pin the budget full and
+    // confirm the shed path answers 503 + Retry-After deterministically.
+    let admission = {
+        // A second server instance with a 1 MiB budget — the running
+        // one keeps its production-shaped budget.
+        let mut probe_cfg = ServeConfig::new("127.0.0.1:0", &dir);
+        probe_cfg.arena_budget_bytes = 1 << 20;
+        let probe = Server::bind(probe_cfg).unwrap();
+        let probe_addr = probe.local_addr().unwrap().to_string();
+        let probe_handle = probe.handle();
+        let probe_admission = probe.admission();
+        let probe_thread = std::thread::spawn(move || probe.run().unwrap());
+        let permit = probe_admission.try_admit(1 << 20).expect("idle budget");
+        let shed = request(
+            &probe_addr,
+            "POST",
+            "/generate",
+            b"{\"city\":\"city_a\",\"t_out\":24}",
+        )
+        .unwrap_or_else(|e| fail(format!("probe request: {e}")));
+        if shed.status != 503 || shed.header("retry-after") != Some("1") {
+            fail(format!(
+                "admission probe expected 503 + Retry-After, got {}",
+                shed.status
+            ));
+        }
+        drop(permit);
+        probe_handle.shutdown();
+        probe_thread.join().unwrap();
+        true
+    };
+
+    handle.shutdown();
+    run_thread.join().unwrap();
+
+    let mut lat = latencies_ms.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat[((lat.len() as f64 - 1.0) * p).round() as usize];
+    let (p50, p99, max) = (pct(0.50), pct(0.99), lat[lat.len() - 1]);
+    let shed = n_shed.load(Ordering::Relaxed);
+    let err5 = n_5xx.load(Ordering::Relaxed);
+
+    println!("serve_load: {n_requests} requests, {n_clients} clients, {workers} workers");
+    println!("  wall {storm_s:.2} s, p50 {p50:.0} ms, p99 {p99:.0} ms, max {max:.0} ms");
+    println!(
+        "  peak arena {:.1} MiB (budget {:.0} MiB), 503s {shed}, 5xx {err5}",
+        peak_arena as f64 / (1 << 20) as f64,
+        budget_bytes as f64 / (1 << 20) as f64
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"requests\": {n_requests},\n  \"clients\": {n_clients},\n  \"workers\": {workers},\n  \"wall_s\": {storm_s:.3},\n  \"p50_ms\": {p50:.1},\n  \"p99_ms\": {p99:.1},\n  \"max_ms\": {max:.1},\n  \"bytes_streamed\": {},\n  \"peak_arena_bytes\": {peak_arena},\n  \"admission_budget_bytes\": {budget_bytes},\n  \"n_503\": {shed},\n  \"n_5xx\": {err5},\n  \"byte_equal\": true,\n  \"admission_probe_503\": {admission}\n}}\n",
+        bytes_streamed.load(Ordering::Relaxed)
+    );
+    std::fs::write(PathBuf::from(&out), json).unwrap_or_else(|e| fail(format!("write {out}: {e}")));
+    println!("  wrote {out}");
+
+    // Gates.
+    if shed != 0 || err5 != 0 {
+        fail(format!(
+            "expected zero shed/error responses under the default budget, got 503={shed} 5xx={err5}"
+        ));
+    }
+    if p99 > p99_budget_ms as f64 {
+        fail(format!(
+            "p99 {p99:.0} ms over the {p99_budget_ms} ms budget"
+        ));
+    }
+    if peak_arena > budget_bytes {
+        fail(format!(
+            "peak arena {peak_arena} bytes exceeded the {budget_bytes}-byte admission budget"
+        ));
+    }
+    println!("serve_load: all gates passed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

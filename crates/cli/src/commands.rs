@@ -95,9 +95,22 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
                 .ok_or_else(|| format!("no checkpoint to resume in {dir}"))?;
             for (path, why) in &found.skipped {
+                // One structured line per fallback, machine-parseable
+                // by log shippers; the matching fleet counter
+                // (spectragan_checkpoint_fallbacks_total) is bumped
+                // inside checkpoint::latest.
+                let event = serde_json::json!({
+                    "event": "checkpoint_fallback",
+                    "path": path.display().to_string(),
+                    "reason": why,
+                    "resumed_from": found.path.display().to_string(),
+                });
                 eprintln!(
-                    "warning: skipped corrupt checkpoint {} ({why})",
-                    path.display()
+                    "{}",
+                    serde_json::to_string(&event).unwrap_or_else(|_| format!(
+                        "warning: skipped corrupt checkpoint {} ({why})",
+                        path.display()
+                    ))
                 );
             }
             Some((run_dir, found))
@@ -287,6 +300,53 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `spectragan serve --models DIR [--addr HOST:PORT] [--workers N]
+/// [--queue-depth N] [--budget-mib N] [--max-hours N]` — long-running
+/// multi-city generation server. Blocks until SIGTERM/SIGINT, then
+/// drains in-flight requests before exiting.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    let models = args.require("models").map_err(|e| e.to_string())?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7077");
+    let mut cfg = spectragan_serve::ServeConfig::new(addr, models);
+    cfg.workers = args
+        .get_parsed("workers", cfg.workers, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.queue_depth = args
+        .get_parsed("queue-depth", cfg.queue_depth, "integer")
+        .map_err(|e| e.to_string())?;
+    let budget_mib: usize = args
+        .get_parsed("budget-mib", 2048usize, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.arena_budget_bytes = budget_mib << 20;
+    let max_hours: usize = args
+        .get_parsed("max-hours", 24 * 366, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.max_t_out = max_hours; // hourly models; sub-hourly caps are stricter
+
+    let workers = cfg.workers;
+    let server = spectragan_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
+    println!(
+        "serving models from {models} on http://{bound} (workers {workers}, budget {budget_mib} MiB)"
+    );
+    println!("endpoints: POST /generate · GET /healthz /metrics /cities");
+
+    // SIGTERM/SIGINT → graceful drain. The handler only sets a flag;
+    // this monitor thread turns it into a shutdown request.
+    spectragan_serve::signal::install_handlers();
+    std::thread::spawn(move || loop {
+        if spectragan_serve::signal::terminated() {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    server.run().map_err(|e| e.to_string())?;
+    println!("drained in-flight requests, shut down cleanly");
+    Ok(())
+}
+
 /// `spectragan evaluate --real FILE --synth FILE [--steps-per-hour N]`
 /// — all five fidelity metrics (plus EMD) between two traffic files.
 pub fn cmd_evaluate(args: &Args) -> Result<(), String> {
@@ -368,6 +428,7 @@ USAGE:
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
   spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
                       [--trace TRACE.json] [--metrics-snapshot FILE.prom]
+  spectragan serve    --models DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] [--budget-mib N] [--max-hours N]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
@@ -387,6 +448,16 @@ Generation streams patch chunks through a bounded in-flight window, so
 peak memory is independent of city size and patch overlap; --gen-batch
 sets the patches per generator chunk (default 16) and the summary line
 reports wall time, Mpx·steps/s and peak buffer MiB.
+
+Serving: `serve` runs a long-lived multi-city generation server over
+HTTP/1.1. The models directory holds one `<city>.sgcm` context per city
+plus shared `model.json` weights (or per-city `<city>.json`). POST
+/generate with {\"city\", \"t_out\", \"seed\", \"gen_batch\", \"format\"}
+streams SGBD band frames over chunked transfer-encoding (format
+\"bands\", the default) or returns one SGTM body byte-identical to the
+offline `generate` output (format \"sgtm\"). Requests beyond the
+--budget-mib admission budget are shed with 503 + Retry-After; /metrics
+exposes Prometheus counters; SIGTERM drains in-flight requests.
 
 Observability: --trace writes a Chrome trace-event JSON (load it in
 Perfetto or chrome://tracing) covering the span tree of the run; and

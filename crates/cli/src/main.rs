@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "train" => commands::cmd_train(&parsed),
         "generate" => commands::cmd_generate(&parsed),
         "evaluate" => commands::cmd_evaluate(&parsed),
+        "serve" => commands::cmd_serve(&parsed),
         "info" => commands::cmd_info(&parsed),
         other => Err(format!(
             "unknown command \'{other}\'\n\n{}",

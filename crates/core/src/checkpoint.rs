@@ -216,7 +216,13 @@ pub fn latest(run_dir: &Path) -> Result<Option<Latest>, CoreError> {
                     skipped,
                 }))
             }
-            Err(e) => skipped.push((path, e.to_string())),
+            Err(e) => {
+                // Fleet-visible signal: every corrupt snapshot we fall
+                // past is counted, whichever caller (CLI resume, serve
+                // registry) hit it.
+                obs::counter("spectragan_checkpoint_fallbacks_total").inc(1);
+                skipped.push((path, e.to_string()));
+            }
         }
     }
     Err(CoreError::Checkpoint(format!(
@@ -447,6 +453,43 @@ mod tests {
         assert_eq!(found.checkpoint.step, 2);
         assert_eq!(found.skipped.len(), 1);
         assert!(found.skipped[0].1.contains("length") || found.skipped[0].1.contains("checksum"));
+    }
+
+    /// A bit-flipped newest snapshot bumps the fleet fallback counter
+    /// and the resumed state is bit-identical to the previous good
+    /// snapshot — corruption costs a warning, never different weights.
+    #[test]
+    fn bit_flip_counts_fallback_and_resumes_bit_identically() {
+        let dir = tmp_dir("bitflip");
+        let good = demo_checkpoint(2);
+        save(&dir, &good).unwrap();
+        save(&dir, &demo_checkpoint(4)).unwrap();
+        let newest = dir.join(checkpoint_file(4));
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+
+        let was_enabled = obs::enabled();
+        obs::set_enabled(true);
+        let before = obs::counter("spectragan_checkpoint_fallbacks_total").get();
+        let found = latest(&dir).unwrap().unwrap();
+        let after = obs::counter("spectragan_checkpoint_fallbacks_total").get();
+        obs::set_enabled(was_enabled);
+
+        assert!(after > before, "fallback must increment the counter");
+        assert_eq!(found.checkpoint.step, 2);
+        assert_eq!(found.skipped.len(), 1);
+        for ((_, name, got), (_, want_name, want)) in
+            found.checkpoint.store.iter().zip(good.store.iter())
+        {
+            assert_eq!(name, want_name);
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "resumed weights must be bit-identical"
+            );
+        }
     }
 
     #[test]

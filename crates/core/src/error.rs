@@ -26,6 +26,12 @@ pub enum CoreError {
         /// Steps the configuration requires.
         need: usize,
     },
+    /// A generation request is malformed: zero-length output, zero
+    /// batch size, or a context map that does not fit the model. These
+    /// are caller errors (a serving front-end maps them to HTTP 4xx),
+    /// never process-killing panics — the request path of a
+    /// long-running server must survive arbitrary input.
+    InvalidRequest(String),
     /// A model file or weights blob is malformed or does not match the
     /// architecture (format tag, parameter count, shapes, JSON syntax).
     Model(String),
@@ -63,6 +69,7 @@ impl fmt::Display for CoreError {
                     "city '{city}' has {have} steps, the configuration needs at least {need}"
                 )
             }
+            CoreError::InvalidRequest(why) => write!(f, "invalid generation request: {why}"),
             CoreError::Model(why) => write!(f, "model error: {why}"),
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             CoreError::Diverged {

@@ -9,6 +9,7 @@
 //! autodiff op (§2.2.2 notes IFFT differentiability as the requirement).
 
 use spectragan_dsp::{mask_quantile, rfft, Complex};
+use spectragan_obs as obs;
 use spectragan_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -108,11 +109,103 @@ pub fn masked_spec_rows(patch: &Tensor, q: f64) -> Tensor {
     out
 }
 
+/// One cached expanded basis plus its LRU bookkeeping.
+struct BasisEntry {
+    basis: Arc<Tensor>,
+    bytes: usize,
+    /// Logical-clock timestamp of the last hit (larger = more recent).
+    last_used: u64,
+}
+
 /// Cache of expanded inverse-rFFT bases keyed by `(t, k)`. Bases are
 /// pure functions of their key, so generation reuses one copy across
-/// every chunk of every city instead of rebuilding per batch.
-type BasisCache = Mutex<HashMap<(usize, usize), Arc<Tensor>>>;
-static EXPANDED_BASES: OnceLock<BasisCache> = OnceLock::new();
+/// every chunk of every city instead of rebuilding per batch. A
+/// long-running server sees an unbounded stream of `(t, k)` keys, so
+/// the cache is byte-bounded with least-recently-used eviction — and
+/// bases are built *outside* the lock so one request's cold build
+/// never stalls every other request's cache hit.
+struct BasisCache {
+    entries: HashMap<(usize, usize), BasisEntry>,
+    clock: u64,
+    bytes: usize,
+    capacity: usize,
+}
+static EXPANDED_BASES: OnceLock<Mutex<BasisCache>> = OnceLock::new();
+
+/// Default byte budget for the expanded-basis cache: generous for
+/// offline runs (one city's worth of keys is a handful of bases) while
+/// keeping a serving process's footprint bounded.
+pub const DEFAULT_BASIS_CACHE_CAPACITY: usize = 64 << 20;
+
+fn basis_cache() -> &'static Mutex<BasisCache> {
+    EXPANDED_BASES.get_or_init(|| {
+        Mutex::new(BasisCache {
+            entries: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            capacity: DEFAULT_BASIS_CACHE_CAPACITY,
+        })
+    })
+}
+
+/// Sets the expanded-basis cache's byte capacity and evicts down to it
+/// immediately, returning the previous capacity. `usize::MAX`
+/// effectively disables eviction.
+pub fn set_basis_cache_capacity(capacity: usize) -> usize {
+    let mut cache = basis_cache().lock().expect("basis cache poisoned");
+    let old = cache.capacity;
+    cache.capacity = capacity;
+    evict_to_capacity(&mut cache, None);
+    obs::gauge("spectragan_basis_cache_bytes").set(cache.bytes as f64);
+    old
+}
+
+/// Bytes currently held by the expanded-basis cache.
+pub fn basis_cache_bytes() -> usize {
+    basis_cache().lock().expect("basis cache poisoned").bytes
+}
+
+/// Evicts least-recently-used entries until the cache fits its
+/// capacity, never evicting `keep` (the entry the caller is about to
+/// hand out — correctness needs it present for `Arc` sharing even if
+/// it alone exceeds the budget).
+fn evict_to_capacity(cache: &mut BasisCache, keep: Option<(usize, usize)>) {
+    while cache.bytes > cache.capacity {
+        let victim = cache
+            .entries
+            .iter()
+            .filter(|(key, _)| Some(**key) != keep)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(key, _)| *key);
+        match victim {
+            Some(key) => {
+                let e = cache.entries.remove(&key).expect("victim present");
+                cache.bytes -= e.bytes;
+                obs::counter("spectragan_basis_cache_evictions_total").inc(1);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Builds the `k`-tiled basis (the expensive part, kept out of the
+/// cache lock).
+fn build_expanded_basis(t: usize, k: usize) -> Arc<Tensor> {
+    let base = irfft_basis(t);
+    if k == 1 {
+        return Arc::new(base);
+    }
+    let two_f = base.shape().dim(0);
+    let mut tiled = Tensor::zeros([two_f, k * t]);
+    for r in 0..two_f {
+        let src = &base.data()[r * t..(r + 1) * t];
+        for rep in 0..k {
+            let d0 = r * k * t + rep * t;
+            tiled.data_mut()[d0..d0 + t].copy_from_slice(src);
+        }
+    }
+    Arc::new(tiled)
+}
 
 /// The inverse-rFFT basis for `k`-expanded spectra of a length-`t`
 /// signal: `B_k ∈ R^{2F×k·t}`, cached per `(t, k)`.
@@ -125,26 +218,51 @@ static EXPANDED_BASES: OnceLock<BasisCache> = OnceLock::new();
 /// the even-`t` Nyquist `t/2` maps to the Nyquist `k·t/2`, interior
 /// bins stay interior — so the expanded basis is [`irfft_basis`]`(t)`
 /// with every row tiled `k` times, no reweighting needed.
+///
+/// A miss builds the basis outside the cache lock, then re-locks and
+/// double-checks: if a concurrent caller inserted the same key first,
+/// its copy wins and every caller shares one `Arc`. The cache is
+/// LRU-bounded by [`set_basis_cache_capacity`].
 pub fn expanded_irfft_basis(t: usize, k: usize) -> Arc<Tensor> {
     assert!(k >= 1, "expansion factor must be at least 1");
-    let cache = EXPANDED_BASES.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut cache = cache.lock().expect("basis cache poisoned");
-    Arc::clone(cache.entry((t, k)).or_insert_with(|| {
-        let base = irfft_basis(t);
-        if k == 1 {
-            return Arc::new(base);
+    let key = (t, k);
+    {
+        let mut cache = basis_cache().lock().expect("basis cache poisoned");
+        cache.clock += 1;
+        let now = cache.clock;
+        if let Some(entry) = cache.entries.get_mut(&key) {
+            entry.last_used = now;
+            obs::counter("spectragan_basis_cache_hits_total").inc(1);
+            return Arc::clone(&entry.basis);
         }
-        let two_f = base.shape().dim(0);
-        let mut tiled = Tensor::zeros([two_f, k * t]);
-        for r in 0..two_f {
-            let src = &base.data()[r * t..(r + 1) * t];
-            for rep in 0..k {
-                let d0 = r * k * t + rep * t;
-                tiled.data_mut()[d0..d0 + t].copy_from_slice(src);
-            }
-        }
-        Arc::new(tiled)
-    }))
+    }
+    // Miss: build without holding the lock, so concurrent hits (and
+    // concurrent builds of *other* keys) proceed unblocked.
+    let built = build_expanded_basis(t, k);
+    let bytes = built.shape().numel() * std::mem::size_of::<f32>();
+    let mut cache = basis_cache().lock().expect("basis cache poisoned");
+    cache.clock += 1;
+    let now = cache.clock;
+    if let Some(entry) = cache.entries.get_mut(&key) {
+        // A concurrent first-touch won the race; share its copy and
+        // drop ours.
+        entry.last_used = now;
+        obs::counter("spectragan_basis_cache_hits_total").inc(1);
+        return Arc::clone(&entry.basis);
+    }
+    obs::counter("spectragan_basis_cache_misses_total").inc(1);
+    cache.entries.insert(
+        key,
+        BasisEntry {
+            basis: Arc::clone(&built),
+            bytes,
+            last_used: now,
+        },
+    );
+    cache.bytes += bytes;
+    evict_to_capacity(&mut cache, Some(key));
+    obs::gauge("spectragan_basis_cache_bytes").set(cache.bytes as f64);
+    built
 }
 
 /// Expands *normalized* spectrum rows `[N, 2F]` of a length-`t` signal
@@ -277,12 +395,85 @@ mod tests {
         }
     }
 
+    /// Cache tests serialize on this lock: they manipulate the global
+    /// capacity and assert on `Arc` identity, which eviction from a
+    /// concurrently running cache test would break.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn cache_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        CACHE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
     #[test]
     fn expanded_basis_is_cached_by_key() {
+        let _g = cache_test_guard();
         let a = expanded_irfft_basis(24, 3);
         let b = expanded_irfft_basis(24, 3);
         assert!(Arc::ptr_eq(&a, &b), "same (t, k) must share one basis");
         assert_eq!(a.shape().dims(), &[2 * 13, 72]);
+    }
+
+    /// Many threads racing the first touch of one fresh key must all
+    /// end up sharing a single cached basis (the double-checked insert:
+    /// losers of the build race adopt the winner's copy).
+    #[test]
+    fn concurrent_first_touch_shares_one_basis() {
+        let _g = cache_test_guard();
+        // A key no other test uses, so this really is a first touch
+        // (or at worst a re-insert after eviction — same code path).
+        let (t, k) = (26usize, 5usize);
+        let n = 8;
+        let barrier = std::sync::Barrier::new(n);
+        let bases: Vec<Arc<Tensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        expanded_irfft_basis(t, k)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for b in &bases[1..] {
+            assert!(
+                Arc::ptr_eq(&bases[0], b),
+                "racing first-touchers must share one Arc"
+            );
+        }
+        assert_eq!(bases[0].shape().dims(), &[2 * (t / 2 + 1), k * t]);
+    }
+
+    /// Under a small byte budget the cache evicts least-recently-used
+    /// keys, keeps recently-touched ones, and its accounting tracks the
+    /// bound.
+    #[test]
+    fn cache_evicts_lru_under_byte_pressure() {
+        let _g = cache_test_guard();
+        let one_basis = |t: usize, k: usize| 2 * (t / 2 + 1) * k * t * std::mem::size_of::<f32>();
+        // Room for roughly two of the three bases below.
+        let cap = one_basis(32, 2) + one_basis(32, 3) + one_basis(32, 4) / 2;
+        let old = set_basis_cache_capacity(cap);
+        let a = expanded_irfft_basis(32, 2);
+        let b = expanded_irfft_basis(32, 3);
+        // Touch `a` so `b` is the LRU entry when `c` overflows the cap.
+        let a2 = expanded_irfft_basis(32, 2);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = expanded_irfft_basis(32, 4);
+        assert!(basis_cache_bytes() <= cap, "cache must respect its cap");
+        let b2 = expanded_irfft_basis(32, 3);
+        assert!(
+            !Arc::ptr_eq(&b, &b2),
+            "LRU entry must have been evicted and rebuilt"
+        );
+        // An entry larger than the whole budget is still served (and
+        // kept while being handed out).
+        set_basis_cache_capacity(one_basis(32, 2) / 2);
+        let big = expanded_irfft_basis(32, 2);
+        assert_eq!(big.shape().dims(), &[2 * 17, 64]);
+        set_basis_cache_capacity(old);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! (Eq. 2); arbitrary duration via k-multiple spectral expansion plus a
 //! longer residual-LSTM rollout.
 
+use crate::error::CoreError;
 use crate::train::SpectraGan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spectragan_geo::{ContextMap, GridSpec, PatchLayout, PatchSpec, TrafficMap};
+use spectragan_geo::{ContextMap, GridSpec, PatchLayout, PatchSpec, TrafficBand, TrafficMap};
 use spectragan_obs as obs;
 use spectragan_tensor::{arena, Tensor};
 use std::time::Instant;
@@ -25,6 +26,44 @@ pub struct GenReport {
     pub wall_s: f64,
     /// Peak arena bytes allocated above the level at run start.
     pub peak_arena_bytes: u64,
+}
+
+/// A context map pre-processed for repeated generation: the
+/// standardization pass (per-channel mean/variance) is done once and
+/// shared across every request that targets the same city, instead of
+/// being recomputed per call. A serving front-end caches one of these
+/// per registered city.
+///
+/// Generation through a `PreparedContext` is bit-identical to passing
+/// the raw [`ContextMap`]: both paths run the exact same
+/// `standardized()` pass, this type just memoizes its result.
+#[derive(Debug, Clone)]
+pub struct PreparedContext {
+    ctx_std: ContextMap,
+}
+
+impl PreparedContext {
+    /// Standardizes `context` once for reuse across requests.
+    pub fn new(context: &ContextMap) -> Self {
+        PreparedContext {
+            ctx_std: context.standardized(),
+        }
+    }
+
+    /// Grid height in pixels.
+    pub fn height(&self) -> usize {
+        self.ctx_std.height()
+    }
+
+    /// Grid width in pixels.
+    pub fn width(&self) -> usize {
+        self.ctx_std.width()
+    }
+
+    /// Number of context attribute channels.
+    pub fn channels(&self) -> usize {
+        self.ctx_std.channels()
+    }
 }
 
 impl SpectraGan {
@@ -89,6 +128,13 @@ impl SpectraGan {
     /// [`SpectraGan::generate_batched`] plus a [`GenReport`] with the
     /// run's wall time and per-run-scoped peak arena bytes. The
     /// traffic output is byte-identical to `generate_batched`'s.
+    ///
+    /// # Panics
+    /// Panics on an invalid request (`t_out == 0`, `gen_batch == 0`,
+    /// or a context that does not fit the model) — this is the
+    /// offline-CLI entry point. Server request paths must use
+    /// [`SpectraGan::try_generate_batched_report`], which returns
+    /// [`CoreError::InvalidRequest`] instead.
     pub fn generate_batched_report(
         &self,
         context: &ContextMap,
@@ -97,8 +143,134 @@ impl SpectraGan {
         shared_noise: bool,
         gen_batch: usize,
     ) -> (TrafficMap, GenReport) {
-        assert!(t_out > 0, "cannot generate an empty series");
-        assert!(gen_batch > 0, "gen_batch must be positive");
+        match self.try_generate_batched_report(context, t_out, seed, shared_noise, gen_batch) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`SpectraGan::generate_batched_report`]:
+    /// malformed requests come back as
+    /// [`CoreError::InvalidRequest`] instead of killing the thread.
+    /// For valid inputs the output is bit-identical to the panicking
+    /// wrappers (they delegate here).
+    pub fn try_generate_batched_report(
+        &self,
+        context: &ContextMap,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+    ) -> Result<(TrafficMap, GenReport), CoreError> {
+        let prepared = PreparedContext::new(context);
+        self.try_generate_prepared_report(&prepared, t_out, seed, shared_noise, gen_batch)
+    }
+
+    /// Like [`SpectraGan::try_generate_batched_report`] but over a
+    /// [`PreparedContext`], so a server can standardize each city's
+    /// context once and share it across requests. Bit-identical to the
+    /// raw-context path.
+    pub fn try_generate_prepared_report(
+        &self,
+        prepared: &PreparedContext,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+    ) -> Result<(TrafficMap, GenReport), CoreError> {
+        let (map, report) =
+            self.generate_inner(prepared, t_out, seed, shared_noise, gen_batch, true, None)?;
+        Ok((map.expect("collect mode returns a map"), report))
+    }
+
+    /// Streaming generation: averaged city rows are handed to `sink`
+    /// as [`TrafficBand`]s the moment no in-flight patch can touch
+    /// them anymore — a serving front-end forwards each band as one
+    /// chunk of a chunked HTTP response while later patches are still
+    /// being generated. Concatenating the bands row-wise reproduces
+    /// [`SpectraGan::generate_batched`]'s map bit-for-bit at any
+    /// thread count.
+    ///
+    /// `sink` returns `false` to stop receiving bands (client gone);
+    /// generation still runs to completion — the ordered fold cannot
+    /// be abandoned mid-flight — but no further bands are built or
+    /// delivered.
+    pub fn try_generate_stream(
+        &self,
+        prepared: &PreparedContext,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+        sink: &mut dyn FnMut(TrafficBand) -> bool,
+    ) -> Result<GenReport, CoreError> {
+        let (_, report) = self.generate_inner(
+            prepared,
+            t_out,
+            seed,
+            shared_noise,
+            gen_batch,
+            false,
+            Some(sink),
+        )?;
+        Ok(report)
+    }
+
+    /// Validates a generation request without running it, so a server
+    /// can reject bad input with a typed 4xx *before* committing to a
+    /// streamed response. Exactly the checks the generation entry
+    /// points perform.
+    pub fn validate_generate(
+        &self,
+        prepared: &PreparedContext,
+        t_out: usize,
+        gen_batch: usize,
+    ) -> Result<(), CoreError> {
+        let cfg = self.config();
+        if t_out == 0 {
+            return Err(CoreError::InvalidRequest(
+                "cannot generate an empty series (t_out = 0)".into(),
+            ));
+        }
+        if gen_batch == 0 {
+            return Err(CoreError::InvalidRequest(
+                "gen_batch must be positive".into(),
+            ));
+        }
+        if prepared.channels() != cfg.context_channels {
+            return Err(CoreError::InvalidRequest(format!(
+                "context has {} channels, the model expects {}",
+                prepared.channels(),
+                cfg.context_channels
+            )));
+        }
+        let side = cfg.patch_traffic;
+        if prepared.height() < side || prepared.width() < side {
+            return Err(CoreError::InvalidRequest(format!(
+                "context grid {}×{} is smaller than one {side}-pixel patch",
+                prepared.height(),
+                prepared.width()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The generation core shared by every public entry point: chunks
+    /// of patches run on the pool, fold into a sew accumulator in
+    /// chunk order, and completed row bands are drained immediately —
+    /// into the output map (`collect`), to the `stream` sink, or both.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_inner(
+        &self,
+        prepared: &PreparedContext,
+        t_out: usize,
+        seed: u64,
+        shared_noise: bool,
+        gen_batch: usize,
+        collect: bool,
+        stream: Option<&mut dyn FnMut(TrafficBand) -> bool>,
+    ) -> Result<(Option<TrafficMap>, GenReport), CoreError> {
+        self.validate_generate(prepared, t_out, gen_batch)?;
         let start = Instant::now();
         let peak_region = arena::PeakRegion::begin();
         let sp_run = obs::span_cat("generate", "generate");
@@ -110,12 +282,12 @@ impl SpectraGan {
         ));
         let (cfg, store, gen) = self.parts();
         let k = t_out.div_ceil(cfg.train_len).max(1);
-        let grid = GridSpec::new(context.height(), context.width());
+        let ctx_std = &prepared.ctx_std;
+        let grid = GridSpec::new(ctx_std.height(), ctx_std.width());
         let layout = PatchLayout::new(
             grid,
             PatchSpec::new(cfg.patch_traffic, cfg.patch_context(), cfg.patch_stride),
         );
-        let ctx_std = context.standardized();
 
         // One noise vector for the whole city, spatially constant.
         let mut rng = StdRng::seed_from_u64(seed);
@@ -132,6 +304,31 @@ impl SpectraGan {
         // consumer folds, small enough to bound patch memory.
         let window = (spectragan_tensor::pool::threads() * 2).max(2);
         let mut acc = layout.sew_accumulator(t_out);
+        let mut out_map = collect.then(|| TrafficMap::zeros(t_out, grid.height, grid.width));
+        let mut stream = stream;
+        let mut stream_live = true;
+        // Drains every band whose rows are final, clamps it to
+        // non-negative traffic, and routes it to the map and/or sink.
+        let drain_bands = |acc: &mut spectragan_geo::SewAccumulator<'_>,
+                           out_map: &mut Option<TrafficMap>,
+                           stream: &mut Option<&mut dyn FnMut(TrafficBand) -> bool>,
+                           stream_live: &mut bool| {
+            while let Some(mut band) = acc.emit_band() {
+                for v in &mut band.data {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                if let Some(map) = out_map.as_mut() {
+                    band.write_into(map);
+                }
+                if *stream_live {
+                    if let Some(sink) = stream.as_mut() {
+                        *stream_live = sink(band);
+                    }
+                }
+            }
+        };
         spectragan_tensor::pool::par_fold_ordered(
             n_chunks,
             window,
@@ -143,7 +340,7 @@ impl SpectraGan {
                 let ctx_parts: Vec<Tensor> = chunk
                     .iter()
                     .map(|&pos| {
-                        let t = layout.extract_context(&ctx_std, pos);
+                        let t = layout.extract_context(ctx_std, pos);
                         let d = t.shape().dims().to_vec();
                         t.reshape([1, d[0], d[1], d[2]])
                     })
@@ -187,20 +384,23 @@ impl SpectraGan {
             },
             |_, patches| {
                 // Fold in chunk order and drop the chunk's tensors
-                // right away (their buffers go back to the arena).
+                // right away (their buffers go back to the arena),
+                // then hand out whatever rows just became final.
                 let _sp = obs::span_cat("sew_fold", "generate");
                 for patch in &patches {
                     acc.push(patch);
                 }
+                drop(patches);
+                drain_bands(&mut acc, &mut out_map, &mut stream, &mut stream_live);
             },
         );
         let sp = obs::span_cat("sew_finish", "generate");
-        let mut map = acc.finish();
-        for v in map.data_mut() {
-            if *v < 0.0 {
-                *v = 0.0;
-            }
-        }
+        drain_bands(&mut acc, &mut out_map, &mut stream, &mut stream_live);
+        assert_eq!(
+            acc.emitted_rows(),
+            grid.height,
+            "streamed bands must cover every row"
+        );
         drop(sp);
         drop(sp_run);
         let peak_arena_bytes = peak_region.end();
@@ -209,7 +409,7 @@ impl SpectraGan {
             wall_s: start.elapsed().as_secs_f64(),
             peak_arena_bytes,
         };
-        (map, report)
+        Ok((out_map, report))
     }
 }
 
@@ -365,6 +565,108 @@ mod tests {
         let synth_mean = synth.mean_map();
         let pcc = spectragan_metrics_free_pearson(&real_mean, &synth_mean);
         assert!(pcc > 0.2, "spatial correlation too weak: {pcc}");
+    }
+
+    /// Every malformed request comes back as a typed
+    /// [`CoreError::InvalidRequest`] from the `try_` entry points —
+    /// the server's request path must never hit a panic.
+    #[test]
+    fn invalid_requests_return_typed_errors() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+        let city = tiny_city(20, 0.36);
+        let bad =
+            |r: Result<(spectragan_geo::TrafficMap, GenReport), CoreError>, needle: &str| match r {
+                Err(CoreError::InvalidRequest(why)) => {
+                    assert!(why.contains(needle), "{why:?} should mention {needle:?}")
+                }
+                other => panic!("expected InvalidRequest, got {other:?}"),
+            };
+        bad(
+            model.try_generate_batched_report(&city.context, 0, 7, true, 8),
+            "t_out",
+        );
+        bad(
+            model.try_generate_batched_report(&city.context, 24, 7, true, 0),
+            "gen_batch",
+        );
+        // Wrong channel count.
+        let skinny = spectragan_geo::ContextMap::zeros(2, 33, 33);
+        bad(
+            model.try_generate_batched_report(&skinny, 24, 7, true, 8),
+            "channels",
+        );
+        // Grid smaller than one traffic patch.
+        let cfg = model.config();
+        let tiny_grid = spectragan_geo::ContextMap::zeros(cfg.context_channels, 1, 1);
+        bad(
+            model.try_generate_batched_report(&tiny_grid, 24, 7, true, 8),
+            "patch",
+        );
+    }
+
+    /// The legacy panicking wrapper still panics on bad input — it
+    /// delegates to the typed path and re-raises.
+    #[test]
+    #[should_panic(expected = "cannot generate an empty series")]
+    fn panicking_wrapper_still_panics_on_empty_series() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 3);
+        let city = tiny_city(21, 0.36);
+        let _ = model.generate(&city.context, 0, 7);
+    }
+
+    /// The prepared-context path and the band-streaming path both
+    /// reproduce the batch API's bytes exactly — the serve front-end
+    /// relies on this for its byte-identity guarantee.
+    #[test]
+    fn prepared_and_streamed_paths_match_batch_bytes() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 8);
+        let city = tiny_city(22, 0.36);
+        let (reference, _) = model.generate_batched_report(&city.context, 30, 13, true, 5);
+
+        let prepared = PreparedContext::new(&city.context);
+        let (via_prepared, _) = model
+            .try_generate_prepared_report(&prepared, 30, 13, true, 5)
+            .unwrap();
+        assert_eq!(via_prepared.data(), reference.data());
+
+        // Reassemble the stream into a map and compare bit-for-bit,
+        // checking the bands tile the grid exactly once, in order.
+        for threads in [1, 4] {
+            spectragan_tensor::pool::set_threads(Some(threads));
+            let mut assembled =
+                spectragan_geo::TrafficMap::zeros(30, city.context.height(), city.context.width());
+            let mut next_row = 0usize;
+            model
+                .try_generate_stream(&prepared, 30, 13, true, 5, &mut |band| {
+                    assert_eq!(band.y0, next_row, "bands must arrive in row order");
+                    assert!(band.rows > 0);
+                    next_row += band.rows;
+                    band.write_into(&mut assembled);
+                    true
+                })
+                .unwrap();
+            assert_eq!(next_row, city.context.height(), "threads={threads}");
+            assert_eq!(assembled.data(), reference.data(), "threads={threads}");
+        }
+        spectragan_tensor::pool::set_threads(None);
+    }
+
+    /// A sink that gives up (client disconnect) stops deliveries but
+    /// the run still completes and reports cleanly.
+    #[test]
+    fn stream_sink_can_stop_early_without_error() {
+        let model = SpectraGan::new(SpectraGanConfig::tiny(), 8);
+        let city = tiny_city(23, 0.36);
+        let prepared = PreparedContext::new(&city.context);
+        let mut delivered = 0usize;
+        let report = model
+            .try_generate_stream(&prepared, 24, 13, true, 5, &mut |_| {
+                delivered += 1;
+                false
+            })
+            .unwrap();
+        assert_eq!(delivered, 1, "sink declined after the first band");
+        assert!(report.wall_s >= 0.0);
     }
 
     /// Local Pearson helper to avoid a dev-dependency cycle with the

@@ -48,5 +48,5 @@ pub mod train;
 pub use checkpoint::{Checkpoint, LogRecord};
 pub use config::{SpectraGanConfig, TrainConfig, Variant};
 pub use error::CoreError;
-pub use generate::GenReport;
+pub use generate::{GenReport, PreparedContext};
 pub use train::{SpectraGan, TrainOptions, TrainStats};

@@ -31,6 +31,7 @@
 //! through it.
 
 use crate::context::ContextMap;
+use crate::patch::TrafficBand;
 use crate::traffic::TrafficMap;
 use spectragan_obs as obs;
 use std::fmt;
@@ -66,6 +67,7 @@ pub const FORMAT_VERSION: u16 = 1;
 
 const TRAFFIC_MAGIC: &[u8; 4] = b"SGTM";
 const CONTEXT_MAGIC: &[u8; 4] = b"SGCM";
+const BAND_MAGIC: &[u8; 4] = b"SGBD";
 
 /// Errors for map (de)serialization.
 #[derive(Debug)]
@@ -352,6 +354,58 @@ fn decode_header(bytes: &mut &[u8], magic: &[u8; 4]) -> Result<(usize, usize, us
     Ok((a, b, c))
 }
 
+/// Encodes one streamed traffic band into a self-describing SGBD
+/// frame: magic, version, then `y0`, `rows`, `t`, `w` as u32s and the
+/// `[t, rows, w]` f32 payload — all little-endian. Bands are the unit
+/// a generation server streams over chunked transfer-encoding; a
+/// client that concatenates decoded bands row-wise reconstructs the
+/// full map exactly (see [`TrafficBand`]).
+pub fn encode_band(band: &TrafficBand) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(22 + 4 * band.data.len());
+    buf.extend_from_slice(BAND_MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for d in [band.y0, band.rows, band.t, band.w] {
+        buf.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in &band.data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes one SGBD frame produced by [`encode_band`].
+pub fn decode_band(bytes: &[u8]) -> Result<TrafficBand, IoError> {
+    const HEADER: usize = 22;
+    if bytes.len() < HEADER || &bytes[..4] != BAND_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let dim = |i: usize| {
+        u32::from_le_bytes([
+            bytes[6 + 4 * i],
+            bytes[7 + 4 * i],
+            bytes[8 + 4 * i],
+            bytes[9 + 4 * i],
+        ]) as usize
+    };
+    let (y0, rows, t, w) = (dim(0), dim(1), dim(2), dim(3));
+    let expected = rows
+        .checked_mul(t)
+        .and_then(|v| v.checked_mul(w))
+        .ok_or(IoError::BadDims)?;
+    let data = decode_payload(&bytes[HEADER..], expected)?;
+    Ok(TrafficBand {
+        y0,
+        rows,
+        t,
+        w,
+        data,
+    })
+}
+
 /// Writes a traffic map to `path` in the SGTM container, atomically
 /// (see [`atomic_write`]).
 pub fn save_traffic(map: &TrafficMap, path: impl AsRef<Path>) -> Result<(), IoError> {
@@ -575,6 +629,28 @@ mod tests {
             decode_checked(b"SGCK", b"SGCK"),
             Err(IoError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn band_frame_roundtrip_and_rejection() {
+        let band = TrafficBand {
+            y0: 3,
+            rows: 2,
+            t: 4,
+            w: 5,
+            data: (0..2 * 4 * 5).map(|i| i as f32 * 0.5 - 3.0).collect(),
+        };
+        let bytes = encode_band(&band);
+        assert_eq!(decode_band(&bytes).unwrap(), band);
+        // Wrong magic / truncation / version are all rejected.
+        assert!(matches!(decode_band(b"nope"), Err(IoError::BadMagic)));
+        assert!(matches!(
+            decode_band(&bytes[..bytes.len() - 2]),
+            Err(IoError::BadLength { .. })
+        ));
+        let mut badver = bytes.clone();
+        badver[4] = 9;
+        assert!(matches!(decode_band(&badver), Err(IoError::BadVersion(9))));
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod traffic;
 
 pub use context::ContextMap;
 pub use grid::GridSpec;
-pub use patch::{PatchLayout, PatchSpec, SewAccumulator};
+pub use patch::{PatchLayout, PatchSpec, SewAccumulator, TrafficBand};
 pub use traffic::TrafficMap;
 
 /// A named city: its measured (or synthesized) traffic plus the public

@@ -203,6 +203,7 @@ impl PatchLayout {
             sum: TrafficMap::zeros(t, h, w),
             count: vec![0u32; h * w],
             next: 0,
+            emitted: 0,
         }
     }
 }
@@ -224,6 +225,49 @@ pub struct SewAccumulator<'a> {
     count: Vec<u32>,
     /// Index of the next expected patch position.
     next: usize,
+    /// First row not yet handed out by [`SewAccumulator::emit_band`].
+    emitted: usize,
+}
+
+/// A horizontal slice of a sewn city map: rows `y0 .. y0 + rows` over
+/// all `t` time steps, already averaged. Bands are what streaming
+/// generation hands to a consumer as soon as every patch touching
+/// those rows has been folded — concatenating a run's bands row-wise
+/// reproduces [`SewAccumulator::finish`]'s map bit-for-bit, because
+/// each element undergoes the same single multiply by the same
+/// `1 / count` no matter when it is emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficBand {
+    /// First city row this band covers.
+    pub y0: usize,
+    /// Number of rows in the band.
+    pub rows: usize,
+    /// Time steps (same for every band of a run).
+    pub t: usize,
+    /// City width in pixels.
+    pub w: usize,
+    /// Averaged traffic in `[t, rows, w]` order.
+    pub data: Vec<f32>,
+}
+
+impl TrafficBand {
+    /// Copies the band into its place in a full `[t, h, w]` map.
+    ///
+    /// # Panics
+    /// Panics if the band does not fit the map's dimensions.
+    pub fn write_into(&self, map: &mut TrafficMap) {
+        assert_eq!(self.t, map.len_t(), "band disagrees with map on T");
+        assert_eq!(self.w, map.width(), "band disagrees with map on width");
+        assert!(self.y0 + self.rows <= map.height(), "band overflows map");
+        let h = map.height();
+        let dst = map.data_mut();
+        for ti in 0..self.t {
+            let s0 = ti * self.rows * self.w;
+            let d0 = (ti * h + self.y0) * self.w;
+            dst[d0..d0 + self.rows * self.w]
+                .copy_from_slice(&self.data[s0..s0 + self.rows * self.w]);
+        }
+    }
 }
 
 impl SewAccumulator<'_> {
@@ -276,13 +320,81 @@ impl SewAccumulator<'_> {
         }
     }
 
+    /// Rows `0 .. completed_rows()` have received every contribution
+    /// they will ever get: positions are row-major, so once the next
+    /// expected patch starts at row `y`, no remaining patch can touch
+    /// any row above `y`.
+    pub fn completed_rows(&self) -> usize {
+        let positions = &self.layout.positions;
+        if self.next >= positions.len() {
+            self.sum.height()
+        } else {
+            positions[self.next].0
+        }
+    }
+
+    /// First row not yet emitted by [`SewAccumulator::emit_band`].
+    pub fn emitted_rows(&self) -> usize {
+        self.emitted
+    }
+
+    /// Finalizes (divides by cover counts) and returns the rows that
+    /// completed since the last call, or `None` when no new rows are
+    /// ready. This is the streaming alternative to
+    /// [`SewAccumulator::finish`]: calling it after every push drains
+    /// the map as bands, and the concatenated bands are bit-identical
+    /// to the map `finish` would have returned — the division is the
+    /// same single `sum * (1/count)` per element either way.
+    ///
+    /// # Panics
+    /// Panics if a completed row contains a pixel no patch covered.
+    pub fn emit_band(&mut self) -> Option<TrafficBand> {
+        let upto = self.completed_rows();
+        if upto <= self.emitted {
+            return None;
+        }
+        let (y0, rows) = (self.emitted, upto - self.emitted);
+        let t = self.sum.len_t();
+        let (h, w) = (self.sum.height(), self.sum.width());
+        // Finalize the cover counts once per band row.
+        let mut inv = vec![0.0f32; rows * w];
+        for (j, slot) in inv.iter_mut().enumerate() {
+            let n = self.count[y0 * w + j];
+            assert!(n > 0, "pixel {} not covered by any patch", y0 * w + j);
+            *slot = 1.0 / n as f32;
+        }
+        let src = self.sum.data();
+        let mut data = vec![0.0f32; t * rows * w];
+        for ti in 0..t {
+            let s0 = (ti * h + y0) * w;
+            let d0 = ti * rows * w;
+            for j in 0..rows * w {
+                data[d0 + j] = src[s0 + j] * inv[j];
+            }
+        }
+        self.emitted = upto;
+        Some(TrafficBand {
+            y0,
+            rows,
+            t,
+            w,
+            data,
+        })
+    }
+
     /// Divides the sums by the per-pixel cover counts and returns the
     /// sewn map.
     ///
     /// # Panics
-    /// Panics if any position's patch was never pushed, or any pixel is
-    /// uncovered.
+    /// Panics if any position's patch was never pushed, any pixel is
+    /// uncovered, or rows were already drained via
+    /// [`SewAccumulator::emit_band`] (the two finalization styles do
+    /// not mix).
     pub fn finish(mut self) -> TrafficMap {
+        assert_eq!(
+            self.emitted, 0,
+            "finish() after emit_band(): drain the remaining bands instead"
+        );
         assert_eq!(
             self.next,
             self.layout.positions.len(),
@@ -412,6 +524,72 @@ mod tests {
             streamed.data(),
             "streaming sew must be bit-identical to batch"
         );
+    }
+
+    #[test]
+    fn band_emission_is_bitwise_equal_to_finish() {
+        let layout = PatchLayout::new(GridSpec::new(9, 10), spec());
+        let patches: Vec<Tensor> = (0..layout.positions().len())
+            .map(|i| {
+                let data: Vec<f32> = (0..3 * 4 * 4)
+                    .map(|j| ((i * 13 + j * 5) % 97) as f32 * 0.219 - 3.0)
+                    .collect();
+                Tensor::from_vec(data, [3, 4, 4])
+            })
+            .collect();
+        let reference = layout.sew(&patches);
+
+        // Drain bands after every push; rebuild the map from them.
+        let mut acc = layout.sew_accumulator(3);
+        let mut rebuilt = TrafficMap::zeros(3, 9, 10);
+        let mut bands = 0usize;
+        let mut rows_seen = 0usize;
+        for p in &patches {
+            acc.push(p);
+            while let Some(band) = acc.emit_band() {
+                assert_eq!(band.y0, rows_seen, "bands must arrive in row order");
+                rows_seen += band.rows;
+                bands += 1;
+                band.write_into(&mut rebuilt);
+            }
+        }
+        assert_eq!(rows_seen, 9, "bands must cover every row");
+        assert!(bands > 1, "a strided layout must emit multiple bands");
+        assert_eq!(acc.emitted_rows(), 9);
+        assert!(acc.emit_band().is_none(), "drained accumulator is empty");
+        assert_eq!(
+            rebuilt.data(),
+            reference.data(),
+            "band emission must be bit-identical to finish()"
+        );
+    }
+
+    #[test]
+    fn bands_only_cover_rows_no_pending_patch_can_touch() {
+        let layout = PatchLayout::new(GridSpec::new(9, 10), spec());
+        let mut acc = layout.sew_accumulator(1);
+        // Nothing pushed: no band can be complete.
+        assert_eq!(acc.completed_rows(), 0);
+        assert!(acc.emit_band().is_none());
+        // Push the first row of patches (positions with y = 0).
+        let first_row = layout.positions().iter().filter(|p| p.0 == 0).count();
+        for _ in 0..first_row {
+            acc.push(&Tensor::full([1, 4, 4], 1.0));
+        }
+        // The next patch row starts at y = 2, so exactly rows 0..2 are
+        // final.
+        let band = acc.emit_band().expect("first band ready");
+        assert_eq!((band.y0, band.rows), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() after emit_band()")]
+    fn finish_rejects_partially_drained_accumulator() {
+        let layout = PatchLayout::new(GridSpec::new(4, 4), PatchSpec::new(4, 4, 4));
+        let mut acc = layout.sew_accumulator(1);
+        acc.push(&Tensor::zeros([1, 4, 4]));
+        let _ = acc.emit_band();
+        let _ = acc.finish();
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Admission control on a global arena-bytes budget.
+//!
+//! Every `/generate` request reserves its estimated peak working set
+//! before any tensor work starts; when the reservation does not fit in
+//! what remains of the budget the server answers `503` with
+//! `Retry-After` instead of letting concurrent generations OOM the
+//! process. Reservations are released by RAII when the request
+//! finishes, succeed or fail.
+//!
+//! The estimate is deliberately on the generous side — admission
+//! control exists to bound the *sum* of concurrent requests, not to
+//! model one request's allocator behavior exactly.
+
+use spectragan_core::config::SpectraGanConfig;
+use spectragan_obs as obs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The shared budget.
+pub struct Admission {
+    budget: usize,
+    reserved: AtomicUsize,
+}
+
+impl Admission {
+    /// A budget of `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        Admission {
+            budget,
+            reserved: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently reserved by admitted requests.
+    pub fn reserved(&self) -> usize {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// Tries to reserve `bytes`; `None` means the caller should shed
+    /// load (503). A single request larger than the whole budget is
+    /// admitted when nothing else is running — rejecting it forever
+    /// would turn a big-city request into a permanent failure.
+    pub fn try_admit(&self, bytes: usize) -> Option<Permit<'_>> {
+        let mut current = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let fits = current.saturating_add(bytes) <= self.budget || current == 0;
+            if !fits {
+                obs::counter("spectragan_serve_admission_rejects_total").inc(1);
+                return None;
+            }
+            match self.reserved.compare_exchange_weak(
+                current,
+                current + bytes,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    obs::gauge("spectragan_serve_admitted_bytes").set((current + bytes) as f64);
+                    return Some(Permit {
+                        admission: self,
+                        bytes,
+                    });
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// An admitted reservation; dropping it returns the bytes.
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    bytes: usize,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let before = self
+            .admission
+            .reserved
+            .fetch_sub(self.bytes, Ordering::AcqRel);
+        obs::gauge("spectragan_serve_admitted_bytes").set(before.saturating_sub(self.bytes) as f64);
+    }
+}
+
+/// Estimated peak arena bytes of one generation request: the output
+/// map (collected or reassembled client-side, but the band path also
+/// buffers up to one window of patch chunks), plus the in-flight
+/// window of generator chunks — each chunk holds `gen_batch` patches
+/// of `px` pixels over `k·train_len` steps, in a handful of
+/// intermediate tensors (context batch, spectrum rows, expanded
+/// series, patch output), covered by the `×4` factor.
+pub fn estimate_request_bytes(
+    cfg: &SpectraGanConfig,
+    height: usize,
+    width: usize,
+    t_out: usize,
+    gen_batch: usize,
+) -> usize {
+    let f32s = std::mem::size_of::<f32>();
+    let map = t_out * height * width * f32s;
+    let k = t_out.div_ceil(cfg.train_len).max(1);
+    let px = cfg.pixels_per_patch();
+    let window = (spectragan_tensor::pool::threads() * 2).max(2);
+    let chunk = gen_batch * px * k * cfg.train_len * f32s;
+    map + window * chunk * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_within_budget_and_releases_on_drop() {
+        let adm = Admission::new(1000);
+        let a = adm.try_admit(600).expect("fits");
+        assert_eq!(adm.reserved(), 600);
+        assert!(adm.try_admit(600).is_none(), "would exceed the budget");
+        drop(a);
+        assert_eq!(adm.reserved(), 0);
+        let b = adm.try_admit(600).expect("fits again after release");
+        drop(b);
+    }
+
+    #[test]
+    fn oversized_request_is_admitted_only_when_idle() {
+        let adm = Admission::new(100);
+        let big = adm.try_admit(500).expect("idle server takes the big one");
+        assert!(adm.try_admit(1).is_none(), "budget exhausted");
+        drop(big);
+        assert!(adm.try_admit(50).is_some());
+    }
+
+    #[test]
+    fn estimate_grows_with_request_size() {
+        let cfg = SpectraGanConfig::tiny();
+        let small = estimate_request_bytes(&cfg, 30, 30, 24, 4);
+        let long = estimate_request_bytes(&cfg, 30, 30, 240, 4);
+        let wide = estimate_request_bytes(&cfg, 90, 90, 24, 4);
+        assert!(long > small && wide > small);
+        assert!(small > 0);
+    }
+}

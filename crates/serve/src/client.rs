@@ -1,0 +1,162 @@
+//! A minimal blocking HTTP/1.1 client for the server's own tests, the
+//! load-test harness and smoke scripts — enough to POST a generation
+//! request, decode a chunked band stream, and reassemble the map.
+
+use crate::http::HttpError;
+use spectragan_geo::io::decode_band;
+use spectragan_geo::{TrafficBand, TrafficMap};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A fully-read response. For chunked bodies, `chunks` preserves the
+/// chunk boundaries (the server frames one band per chunk) and `body`
+/// is their concatenation.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// The whole body.
+    pub body: Vec<u8>,
+    /// Individual transfer chunks (empty for `Content-Length` bodies).
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl HttpResponse {
+    /// First value of a header, by lower-cased name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the whole response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<HttpResponse, HttpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<HttpResponse, HttpError> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("no header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 response head".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let rest = &raw[header_end + 4..];
+    let (body, chunks) = if chunked {
+        let chunks = decode_chunked(rest)?;
+        (chunks.concat(), chunks)
+    } else {
+        (rest.to_vec(), Vec::new())
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+        chunks,
+    })
+}
+
+/// Decodes a chunked transfer-encoding body into its chunks.
+fn decode_chunked(mut rest: &[u8]) -> Result<Vec<Vec<u8>>, HttpError> {
+    let mut chunks = Vec::new();
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| HttpError::Malformed("chunk size line never ends".into()))?;
+        let size_str = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 chunk size".into()))?;
+        let size = usize::from_str_radix(size_str.trim(), 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_str:?}")))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(chunks);
+        }
+        if rest.len() < size + 2 {
+            return Err(HttpError::Malformed("truncated chunk".into()));
+        }
+        chunks.push(rest[..size].to_vec());
+        rest = &rest[size + 2..];
+    }
+}
+
+/// Decodes every SGBD chunk of a streamed `/generate` response and
+/// reassembles the full map, checking the bands arrive in row order
+/// and tile the grid exactly.
+pub fn assemble_bands(response: &HttpResponse) -> Result<TrafficMap, HttpError> {
+    let bands: Vec<TrafficBand> = response
+        .chunks
+        .iter()
+        .map(|c| decode_band(c).map_err(|e| HttpError::Malformed(format!("bad band: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let first = bands
+        .first()
+        .ok_or_else(|| HttpError::Malformed("no bands in response".into()))?;
+    let t = first.t;
+    let w = first.w;
+    let h: usize = bands.iter().map(|b| b.rows).sum();
+    let mut map = TrafficMap::zeros(t, h, w);
+    let mut next_row = 0;
+    for band in &bands {
+        if band.y0 != next_row || band.t != t || band.w != w {
+            return Err(HttpError::Malformed(format!(
+                "band at y0={} does not continue row {next_row}",
+                band.y0
+            )));
+        }
+        band.write_into(&mut map);
+        next_row += band.rows;
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_decoding_preserves_boundaries() {
+        let raw = b"3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n";
+        let chunks = decode_chunked(raw).unwrap();
+        assert_eq!(chunks, vec![b"abc".to_vec(), b"de".to_vec()]);
+        assert!(decode_chunked(b"zz\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nab").is_err());
+    }
+}

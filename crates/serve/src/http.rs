@@ -1,0 +1,281 @@
+//! Minimal HTTP/1.1 on std TCP — just the slice of the protocol the
+//! generation server needs. The build environment has no registry
+//! access, so rather than a web framework this is a few hundred lines
+//! of request parsing with hard limits, plain responses, and a chunked
+//! transfer-encoding writer for streamed bodies.
+//!
+//! Scope decisions, all deliberate:
+//!
+//! * one request per connection (`Connection: close`) — generation
+//!   responses are large and long-lived, keep-alive buys nothing;
+//! * request bodies must carry `Content-Length` (no chunked uploads);
+//! * header block capped at 16 KiB, body at the caller's limit —
+//!   a malformed or hostile peer costs bounded memory, never OOM.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path (query string split off), lower-cased
+/// headers and the body.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method, e.g. `GET`.
+    pub method: String,
+    /// Path component, without the query string.
+    pub path: String,
+    /// `(lower-cased name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-cased name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; every variant maps to a 4xx.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error or premature close.
+    Io(io::Error),
+    /// Request line / header syntax error.
+    Malformed(String),
+    /// Headers exceed [`MAX_HEADER_BYTES`] or the body exceeds the
+    /// caller's limit.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge(why) => write!(f, "request too large: {why}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream, enforcing the header
+/// cap and `max_body` on the `Content-Length` body.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Read until the blank line, byte-wise over a small buffer; header
+    // blocks are tiny and this keeps any body bytes we over-read in
+    // hand.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge("header block over 16 KiB".into()));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked request bodies are not supported".into(),
+        ));
+    }
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "more body bytes than content-length".into(),
+        ));
+    }
+    let start = body.len();
+    body.resize(content_length, 0);
+    stream.read_exact(&mut body[start..])?;
+    req.body = body;
+    Ok(req)
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete (non-streamed) response with `Content-Length`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Streams a chunked transfer-encoding body: the caller writes the
+/// status/headers via [`ChunkedWriter::start`], then one chunk per
+/// call, then [`ChunkedWriter::finish`] for the terminating chunk.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head with `Transfer-Encoding: chunked` and
+    /// returns the writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<Self> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (empty slices are skipped — a zero-length
+    /// chunk would terminate the body).
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        Ok(())
+    }
+
+    /// Writes the terminating zero chunk and flushes.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_request_with_body_and_headers() {
+        let raw = b"POST /generate?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = roundtrip(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/generate");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_syntax() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 10), Err(HttpError::TooLarge(_))));
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 10), Err(HttpError::Malformed(_))));
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 10), Err(HttpError::Malformed(_))));
+    }
+}

@@ -1,0 +1,41 @@
+//! SIGTERM/SIGINT → graceful-drain flag.
+//!
+//! The workspace vendors no `libc` crate, so the handler is installed
+//! through the C `signal` symbol directly. The handler itself does the
+//! only async-signal-safe thing possible: set an atomic flag, which
+//! the CLI's monitor thread polls and translates into
+//! [`ServerHandle::shutdown`](crate::ServerHandle::shutdown).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM and SIGINT handlers. Idempotent.
+pub fn install_handlers() {
+    unsafe {
+        signal(SIGTERM, on_terminate as *const () as usize);
+        signal(SIGINT, on_terminate as *const () as usize);
+    }
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_handlers`].
+pub fn terminated() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}
+
+/// Test/CLI hook: raise the flag without an actual signal.
+pub fn request_termination() {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
