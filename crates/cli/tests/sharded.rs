@@ -1,0 +1,93 @@
+//! End-to-end sharded training through the CLI: `train --shards N`
+//! must write a model file byte-identical to `--shards 1`, survive a
+//! worker SIGKILL mid-run, honor the `SPECTRAGAN_SHARDS` environment
+//! fallback, and record the topology in `train_log.jsonl`.
+//!
+//! This lives in its own integration-test binary (= its own process)
+//! because the sharded path forks, and forking is only safe when no
+//! unrelated test threads are running.
+
+#![cfg(unix)]
+
+use spectragan_cli::args::Args;
+use spectragan_cli::commands::{cmd_dataset, cmd_train};
+use spectragan_core::checkpoint;
+use std::path::PathBuf;
+
+fn run(cmd: fn(&Args) -> Result<(), String>, argv: &str) -> Result<(), String> {
+    let args = Args::parse(argv.split_whitespace().map(String::from)).expect("parse");
+    cmd(&args)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("spectragan_cli_sharded");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn sharded_training_is_byte_identical_and_records_topology() {
+    let data = tmp("data");
+    let single = tmp("single.json");
+    let sharded = tmp("sharded.json");
+    let run_single = tmp("run_single");
+    let run_sharded = tmp("run_sharded");
+    let _ = std::fs::remove_dir_all(&run_single);
+    let _ = std::fs::remove_dir_all(&run_sharded);
+
+    run(
+        cmd_dataset,
+        &format!(
+            "dataset --out {} --country 2 --weeks 1 --scale 0.3",
+            data.display()
+        ),
+    )
+    .unwrap();
+
+    // Sharded run picked up from the environment (no --shards flag),
+    // with a worker SIGKILLed mid-run to exercise respawn end to end.
+    std::env::set_var("SPECTRAGAN_SHARDS", "2");
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 4 --run-dir {} --checkpoint-every 0 \
+             --kill-worker-at-step 2 --quiet",
+            data.display(),
+            sharded.display(),
+            run_sharded.display()
+        ),
+    )
+    .unwrap();
+
+    // Single-process reference; the explicit flag overrides the env.
+    run(
+        cmd_train,
+        &format!(
+            "train --data {} --out {} --steps 4 --run-dir {} --checkpoint-every 0 \
+             --shards 1 --quiet",
+            data.display(),
+            single.display(),
+            run_single.display()
+        ),
+    )
+    .unwrap();
+    std::env::remove_var("SPECTRAGAN_SHARDS");
+
+    let a = std::fs::read(&single).unwrap();
+    let b = std::fs::read(&sharded).unwrap();
+    assert_eq!(
+        a, b,
+        "sharded model file differs from the single-process run"
+    );
+
+    // The log records the topology each step ran under.
+    let log = checkpoint::read_log(&run_sharded).unwrap();
+    assert!(!log.is_empty());
+    assert!(log.iter().all(|r| r.shards == 2 && r.grad_accum == 1));
+    let log = checkpoint::read_log(&run_single).unwrap();
+    assert!(log.iter().all(|r| r.shards == 1));
+
+    // And the checkpoints carry it too.
+    let found = checkpoint::latest(&run_sharded).unwrap().unwrap();
+    assert_eq!(found.checkpoint.shards, 2);
+}

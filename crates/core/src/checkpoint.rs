@@ -29,7 +29,7 @@
 use crate::config::{SpectraGanConfig, TrainConfig};
 use crate::error::CoreError;
 use crate::train::TrainStats;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use spectragan_geo::io::{atomic_write, decode_checked, encode_checked};
 use spectragan_nn::{AdamState, ParamStore};
 use spectragan_obs as obs;
@@ -73,7 +73,7 @@ pub const TRAIN_LOG: &str = "train_log.jsonl";
 pub const RETAIN: usize = 2;
 
 /// The full serialized training state at a step boundary.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, Serialize)]
 pub struct Checkpoint {
     /// Format tag ([`CHECKPOINT_FORMAT`]).
     pub format: String,
@@ -91,6 +91,45 @@ pub struct Checkpoint {
     pub opt_d: AdamState,
     /// Loss traces up to `step`.
     pub stats: TrainStats,
+    /// Shard topology of the run that wrote this snapshot. Recorded
+    /// for observability only: sharding never changes the math, so a
+    /// resume may use any shard count.
+    pub shards: usize,
+    /// Gradient-accumulation micro-rounds per step. Unlike `shards`
+    /// this is part of the step arithmetic — the training loop rejects
+    /// resuming under a different value.
+    pub grad_accum: usize,
+}
+
+// Manual Deserialize: `shards` and `grad_accum` arrived with sharded
+// training and default to 1 so every earlier snapshot still loads
+// (those runs *were* single-shard, single-minibatch — exactly what the
+// default says). The vendored serde derive has no per-field defaults.
+impl serde::Deserialize for Checkpoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let req = |key: &str| -> Result<&serde::Value, serde::DeError> {
+            v.get(key)
+                .ok_or_else(|| serde::DeError::expected("a checkpoint object", v))
+        };
+        let count = |key: &str| -> Result<usize, serde::DeError> {
+            match v.get(key) {
+                Some(n) => usize::from_value(n),
+                None => Ok(1),
+            }
+        };
+        Ok(Checkpoint {
+            format: String::from_value(req("format")?)?,
+            step: usize::from_value(req("step")?)?,
+            config: SpectraGanConfig::from_value(req("config")?)?,
+            train: TrainConfig::from_value(req("train")?)?,
+            store: ParamStore::from_value(req("store")?)?,
+            opt_g: AdamState::from_value(req("opt_g")?)?,
+            opt_d: AdamState::from_value(req("opt_d")?)?,
+            stats: TrainStats::from_value(req("stats")?)?,
+            shards: count("shards")?,
+            grad_accum: count("grad_accum")?,
+        })
+    }
 }
 
 impl Checkpoint {
@@ -287,6 +326,12 @@ pub struct LogRecord {
     /// logs written before backends existed read back as `"scalar"`,
     /// which is what they ran.
     pub backend: String,
+    /// Shard count the step ran under; pre-sharding logs read back
+    /// as 1.
+    pub shards: usize,
+    /// Gradient-accumulation micro-rounds; pre-sharding logs read back
+    /// as 1.
+    pub grad_accum: usize,
     /// Divergence-guard annotation (`None` for a healthy step).
     pub event: Option<String>,
     /// Per-op instrumentation for this step (only with `--op-stats`;
@@ -324,6 +369,14 @@ impl serde::Deserialize for LogRecord {
             backend: match v.get("backend") {
                 Some(serde::Value::Str(s)) => s.clone(),
                 _ => "scalar".to_string(),
+            },
+            shards: match v.get("shards") {
+                Some(n) => usize::from_value(n)?,
+                None => 1,
+            },
+            grad_accum: match v.get("grad_accum") {
+                Some(n) => usize::from_value(n)?,
+                None => 1,
             },
             event: match v.get("event") {
                 Some(serde::Value::Str(s)) => Some(s.clone()),
@@ -398,6 +451,7 @@ pub fn truncate_log(run_dir: &Path, keep_below: usize) -> Result<(), CoreError> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Deserialize;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir()
@@ -419,6 +473,8 @@ mod tests {
             opt_g: AdamState::default(),
             opt_d: AdamState::default(),
             stats: TrainStats::default(),
+            shards: 1,
+            grad_accum: 1,
         }
     }
 
@@ -549,6 +605,8 @@ mod tests {
                     grad_norm_g: 3.0,
                     wall_ms: 1.5,
                     backend: "scalar".to_string(),
+                    shards: 1,
+                    grad_accum: 1,
                     event: if step == 2 {
                         Some("divergence: d_loss = NaN".into())
                     } else {
@@ -591,5 +649,48 @@ mod tests {
         let log = read_log(&dir).unwrap();
         assert_eq!(log.len(), 2);
         assert!(log.iter().all(|r| r.step < 2));
+    }
+
+    /// Log lines written before the sharding release carry no
+    /// `shards`/`grad_accum` keys; they must still deserialize, with
+    /// both defaulting to 1.
+    #[test]
+    fn pre_sharding_log_lines_still_deserialize() {
+        let old_line = r#"{"step":7,"d_loss":0.5,"g_adv":1.25,"l1":0.1,"grad_norm_d":2.0,
+            "grad_norm_g":3.0,"wall_ms":1.5,"backend":"simd","event":null,
+            "op_stats":null,"spans":null}"#;
+        let r: LogRecord = serde_json::from_str(old_line).unwrap();
+        assert_eq!(r.step, 7);
+        assert_eq!(r.backend, "simd");
+        assert_eq!((r.shards, r.grad_accum), (1, 1));
+        // And a round-trip through the current writer preserves the
+        // explicit values.
+        let mut new = r.clone();
+        new.shards = 4;
+        new.grad_accum = 2;
+        let back: LogRecord = serde_json::from_str(&serde_json::to_string(&new).unwrap()).unwrap();
+        assert_eq!((back.shards, back.grad_accum), (4, 2));
+    }
+
+    /// Checkpoints from pre-sharding runs (no `shards`/`grad_accum` in
+    /// the JSON) load with both fields defaulting to 1.
+    #[test]
+    fn pre_sharding_checkpoints_still_load() {
+        let ck = demo_checkpoint(2);
+        let mut v = serde_json::to_value(&ck);
+        if let serde::Value::Obj(entries) = &mut v {
+            entries.retain(|(k, _)| k != "shards" && k != "grad_accum");
+        } else {
+            panic!("checkpoint must serialize as an object");
+        }
+        let old = Checkpoint::from_value(&v).unwrap();
+        assert_eq!((old.shards, old.grad_accum), (1, 1));
+        assert_eq!(old.step, 2);
+        // Explicit values survive a round-trip.
+        let mut sharded = demo_checkpoint(4);
+        sharded.shards = 4;
+        sharded.grad_accum = 3;
+        let rt = Checkpoint::from_value(&serde_json::to_value(&sharded)).unwrap();
+        assert_eq!((rt.shards, rt.grad_accum), (4, 3));
     }
 }

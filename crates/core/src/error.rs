@@ -50,6 +50,11 @@ pub enum CoreError {
         /// Human-readable description of the last failure.
         reason: String,
     },
+    /// Sharded training failed: a worker process could not be forked
+    /// or respawned, the gradient wire protocol was violated, or a
+    /// shard's replicated compute diverged bitwise from the
+    /// coordinator's.
+    Shard(String),
     /// Filesystem error, with the path for context.
     Io {
         /// The path being read or written.
@@ -83,6 +88,7 @@ impl fmt::Display for CoreError {
                      diverged too"
                 )
             }
+            CoreError::Shard(why) => write!(f, "sharded training error: {why}"),
             CoreError::Io { path, source } => {
                 write!(f, "{}: {source}", path.display())
             }
@@ -129,6 +135,12 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("step 17") && msg.contains("NaN"), "{msg}");
+        let e = CoreError::Shard("shard 2: worker closed its report pipe".into());
+        let msg = e.to_string();
+        assert!(
+            msg.contains("sharded training") && msg.contains("shard 2"),
+            "{msg}"
+        );
         let e = CoreError::io(
             "/tmp/x",
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),

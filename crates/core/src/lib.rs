@@ -43,10 +43,12 @@ pub mod error;
 pub mod fourier;
 pub mod generate;
 pub mod model;
+pub mod shard;
 pub mod train;
 
 pub use checkpoint::{Checkpoint, LogRecord};
 pub use config::{SpectraGanConfig, TrainConfig, Variant};
 pub use error::CoreError;
 pub use generate::{GenReport, PreparedContext};
+pub use shard::{GradReducer, LocalReducer, Phase, StepGrads};
 pub use train::{SpectraGan, TrainOptions, TrainStats};

@@ -1,0 +1,1104 @@
+//! The gradient-reduction seam of sharded deterministic training.
+//!
+//! [`SpectraGan::train_with`](crate::SpectraGan::train_with) no longer
+//! runs one monolithic step. Each step attempt is three explicit
+//! phases, driven through the [`GradReducer`] trait:
+//!
+//! 1. **Compute** — forward/backward (with gradient-accumulation
+//!    micro-rounds) producing a [`StepGrads`]: losses, norms and the
+//!    per-parameter gradient list in ascending parameter-index order.
+//! 2. **Reduce** — the reducer folds every shard's contribution into
+//!    one agreed [`StepGrads`], in fixed shard order.
+//! 3. **Apply** — the optimizer consumes the reduced list (see
+//!    `Adam::apply_updates`), bit-identically to the historical fused
+//!    step.
+//!
+//! Two reducers implement the seam:
+//!
+//! * [`LocalReducer`] — one shard, in process. Byte-for-byte today's
+//!   behavior; the golden fixtures pin it.
+//! * [`MultiprocessReducer`] — `fork(2)`ed worker processes connected
+//!   by pipes speaking length-prefixed CRC-framed gradient messages
+//!   (the `SGGF` flavour of the `SGCK` checked container, see
+//!   [`spectragan_geo::io::write_checked_frame`]).
+//!
+//! # Why replicated compute + ownership assembly
+//!
+//! The obvious data-parallel split — shard the minibatch, fold partial
+//! gradient sums — **cannot** meet this repo's bit-equality contract:
+//! the scalar kernels accumulate gradients in one flat running sum per
+//! weight element across the whole batch, so `sum(chunk A) + sum(chunk
+//! B)` reassociates floating-point additions and differs from the
+//! sequential sum in the last bits. (The same argument is why
+//! `--grad-accum K` is *not* bit-equal to a `K×` larger batch; see
+//! DESIGN.md.) What CAN be exact is what `par_fold_ordered` already
+//! proves for threads: identical work, deterministically scheduled,
+//! reduced in a fixed order that never reassociates a float.
+//!
+//! So the multiprocess reducer lifts exactly that contract to
+//! processes. Every shard computes the **full** step — bit-identical
+//! everywhere because compute is a pure function of `(weights, seed,
+//! step, lane)` — and each shard *owns* a contiguous range of
+//! parameter indices ([`owned_range`]). Reduction assembles the step's
+//! gradient from the owners' wire bytes in fixed shard order: pure
+//! selection, zero float reassociation, hence bit-equal to
+//! single-process training at any shard count, by construction. The
+//! coordinator additionally verifies that every owned slice and every
+//! reported loss matches its own replica bitwise — a live cross-shard
+//! determinism check on every single step. The seam (compute →
+//! ordered reduce → apply) is precisely what a future
+//! tolerance-contracted minibatch split would plug into.
+//!
+//! # Worker lifecycle and crash recovery
+//!
+//! Workers are forked lazily on the first compute call — *after* the
+//! coordinator's own local compute, so every lazily-initialized global
+//! (kernel backend, pool metrics, obs registries) is warm before the
+//! fork and the child never re-runs process setup. A child inherits
+//! the full training state (samples, weights, optimizer moments) and
+//! enters [`worker_loop`], replicating every compute and apply the
+//! coordinator orders; determinism keeps its replica in lockstep
+//! without any weight traffic.
+//!
+//! If a worker dies (EOF/EPIPE on its pipes — e.g. SIGKILL), the
+//! coordinator reaps it, bumps `spectragan_shard_respawns_total`, and
+//! forks a replacement from its own in-memory state, which is exactly
+//! the pre-apply state every surviving shard holds; the replacement
+//! recomputes the current `(step, lane)` and the run continues
+//! byte-identically. If the *coordinator* dies, workers see EOF on
+//! their command pipes and exit — resume then goes through the
+//! ordinary checkpoint path, which restores any shard topology
+//! bit-identically because shards never change the math.
+
+use crate::error::CoreError;
+use spectragan_geo::io::{read_checked_frame, write_checked_frame, IoError, GRAD_FRAME_MAGIC};
+use spectragan_nn::Tensor;
+use spectragan_obs as obs;
+use std::ops::Range;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How many worker respawns one training run tolerates before giving
+/// up with a typed error — repeated deaths mean something is killing
+/// workers faster than recovery helps.
+const RESPAWN_BUDGET: u32 = 8;
+
+fn respawns_counter() -> &'static obs::Counter {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("spectragan_shard_respawns_total"))
+}
+
+fn skew_histogram() -> &'static obs::Histogram {
+    static H: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("spectragan_shard_skew_ns"))
+}
+
+/// Per-shard span names (spans need `'static` names; shards beyond the
+/// table share the last slot).
+const SHARD_SPAN_NAMES: [&str; 8] = [
+    "shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7+",
+];
+
+fn shard_span_name(shard: u32) -> &'static str {
+    SHARD_SPAN_NAMES[(shard as usize).min(SHARD_SPAN_NAMES.len() - 1)]
+}
+
+/// One step attempt's gradients and health numbers — the value that
+/// crosses the compute → reduce → apply seam.
+///
+/// Update lists hold `(parameter index, gradient)` in **ascending
+/// parameter-index order** (the order `Binding::bound` yields), which
+/// fixes the float-summation order of the gradient norms and of the
+/// optimizer's global-norm clip — the whole step is reproducible from
+/// this value alone.
+#[derive(Debug, Clone)]
+pub struct StepGrads {
+    /// Discriminator loss.
+    pub d_loss: f32,
+    /// Generator adversarial loss.
+    pub g_adv: f32,
+    /// Explicit L1 loss (0 for variants without one).
+    pub l1: f32,
+    /// Global L2 norm of the discriminator update (pre-clip).
+    pub grad_norm_d: f32,
+    /// Global L2 norm of the generator update (pre-clip).
+    pub grad_norm_g: f32,
+    /// Discriminator parameter gradients, ascending parameter index.
+    pub d_updates: Vec<(u32, Tensor)>,
+    /// Generator parameter gradients, ascending parameter index.
+    pub g_updates: Vec<(u32, Tensor)>,
+}
+
+/// What a reducer asks the training loop to do on the local replica.
+pub enum Phase<'a> {
+    /// Run forward/backward (all gradient-accumulation micro-rounds)
+    /// for this step attempt and return its [`StepGrads`].
+    Compute {
+        /// 0-based training step.
+        step: u64,
+        /// Divergence-guard retry lane.
+        lane: u32,
+    },
+    /// Feed the reduced gradients through the optimizers.
+    Apply {
+        /// The agreed step gradients.
+        grads: &'a StepGrads,
+    },
+}
+
+/// The training loop's callback into the model: `Compute` returns
+/// `Some(grads)`, `Apply` returns `None`.
+pub type Driver<'d> = &'d mut dyn FnMut(Phase<'_>) -> Option<StepGrads>;
+
+/// The reduction seam: how one step attempt's gradients are computed
+/// across shards and agreed on before the optimizer runs.
+pub trait GradReducer {
+    /// Number of shards participating (1 = single process).
+    fn shards(&self) -> usize;
+
+    /// Phase 1+2: run the compute phase on every shard and reduce the
+    /// results in fixed shard order into one agreed [`StepGrads`].
+    fn compute(&mut self, step: u64, lane: u32, driver: Driver<'_>)
+        -> Result<StepGrads, CoreError>;
+
+    /// Phase 3: apply the reduced gradients on every shard.
+    fn apply(
+        &mut self,
+        step: u64,
+        lane: u32,
+        grads: &StepGrads,
+        driver: Driver<'_>,
+    ) -> Result<(), CoreError>;
+}
+
+/// Single-shard reducer: phases run in process, back to back —
+/// byte-for-byte the pre-seam training loop (pinned by the golden
+/// fixtures).
+pub struct LocalReducer;
+
+impl GradReducer for LocalReducer {
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn compute(
+        &mut self,
+        step: u64,
+        lane: u32,
+        driver: Driver<'_>,
+    ) -> Result<StepGrads, CoreError> {
+        Ok(driver(Phase::Compute { step, lane }).expect("compute phase returns gradients"))
+    }
+
+    fn apply(
+        &mut self,
+        _step: u64,
+        _lane: u32,
+        grads: &StepGrads,
+        driver: Driver<'_>,
+    ) -> Result<(), CoreError> {
+        driver(Phase::Apply { grads });
+        Ok(())
+    }
+}
+
+/// The contiguous parameter-index range shard `shard` of `shards` owns
+/// on the wire, out of `params` total parameters. Ranges partition
+/// `0..params` exactly: every index has one owner, shard order is
+/// index order.
+pub fn owned_range(shard: usize, shards: usize, params: usize) -> Range<usize> {
+    assert!(shard < shards, "shard {shard} out of {shards}");
+    (shard * params / shards)..((shard + 1) * params / shards)
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+//
+// Every message is one checked frame (`SGGF` magic, version, length,
+// CRC-32 — see geo::io) whose payload starts with a tag byte. All
+// integers and floats are little-endian.
+
+const CMD_COMPUTE: u8 = 1;
+const CMD_APPLY: u8 = 2;
+const CMD_SHUTDOWN: u8 = 3;
+const REPLY_REPORT: u8 = 1;
+const REPLY_ACK: u8 = 2;
+
+/// Coordinator → worker orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Compute gradients for `(step, lane)` and send a report.
+    Compute { step: u64, lane: u32 },
+    /// Apply the locally cached gradients of `(step, lane)`, then ack.
+    Apply { step: u64, lane: u32 },
+    /// Exit cleanly.
+    Shutdown,
+}
+
+fn encode_command(cmd: Command) -> Vec<u8> {
+    let mut b = Vec::with_capacity(13);
+    let (tag, step, lane) = match cmd {
+        Command::Compute { step, lane } => (CMD_COMPUTE, step, lane),
+        Command::Apply { step, lane } => (CMD_APPLY, step, lane),
+        Command::Shutdown => (CMD_SHUTDOWN, 0, 0),
+    };
+    b.push(tag);
+    b.extend_from_slice(&step.to_le_bytes());
+    b.extend_from_slice(&lane.to_le_bytes());
+    b
+}
+
+fn decode_command(payload: &[u8]) -> Result<Command, CoreError> {
+    if payload.len() != 13 {
+        return Err(CoreError::Shard(format!(
+            "command frame has {} bytes, expected 13",
+            payload.len()
+        )));
+    }
+    let step = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    let lane = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes"));
+    match payload[0] {
+        CMD_COMPUTE => Ok(Command::Compute { step, lane }),
+        CMD_APPLY => Ok(Command::Apply { step, lane }),
+        CMD_SHUTDOWN => Ok(Command::Shutdown),
+        tag => Err(CoreError::Shard(format!("unknown command tag {tag}"))),
+    }
+}
+
+/// A worker's decoded compute report: scalars plus the gradient bytes
+/// of its owned parameter range.
+#[derive(Debug, Clone, PartialEq)]
+struct Report {
+    shard: u32,
+    step: u64,
+    lane: u32,
+    /// `[d_loss, g_adv, l1, grad_norm_d, grad_norm_g]`.
+    scalars: [f32; 5],
+    /// Owned discriminator entries: `(param index, gradient values)`.
+    d_owned: Vec<(u32, Vec<f32>)>,
+    /// Owned generator entries.
+    g_owned: Vec<(u32, Vec<f32>)>,
+}
+
+fn encode_section(b: &mut Vec<u8>, updates: &[(u32, Tensor)], owned: &Range<usize>) {
+    let picked: Vec<&(u32, Tensor)> = updates
+        .iter()
+        .filter(|(p, _)| owned.contains(&(*p as usize)))
+        .collect();
+    b.extend_from_slice(&(picked.len() as u32).to_le_bytes());
+    for (p, t) in picked {
+        b.extend_from_slice(&p.to_le_bytes());
+        b.extend_from_slice(&(t.numel() as u64).to_le_bytes());
+        for &v in t.data() {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn encode_report(
+    shard: u32,
+    step: u64,
+    lane: u32,
+    grads: &StepGrads,
+    owned: &Range<usize>,
+) -> Vec<u8> {
+    let mut b = vec![REPLY_REPORT];
+    b.extend_from_slice(&step.to_le_bytes());
+    b.extend_from_slice(&lane.to_le_bytes());
+    b.extend_from_slice(&shard.to_le_bytes());
+    for v in [
+        grads.d_loss,
+        grads.g_adv,
+        grads.l1,
+        grads.grad_norm_d,
+        grads.grad_norm_g,
+    ] {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    encode_section(&mut b, &grads.d_updates, owned);
+    encode_section(&mut b, &grads.g_updates, owned);
+    b
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CoreError::Shard(format!(
+                "report frame truncated at byte {} (need {n} more of {})",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, CoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+}
+
+fn decode_section(c: &mut Cursor<'_>) -> Result<Vec<(u32, Vec<f32>)>, CoreError> {
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let param = c.u32()?;
+        let numel = c.u64()? as usize;
+        let raw = c.take(numel * 4)?;
+        let values = raw
+            .chunks_exact(4)
+            .map(|ch| f32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]))
+            .collect();
+        out.push((param, values));
+    }
+    Ok(out)
+}
+
+fn decode_report(payload: &[u8]) -> Result<Report, CoreError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let tag = c.take(1)?[0];
+    if tag != REPLY_REPORT {
+        return Err(CoreError::Shard(format!(
+            "expected a report frame, got reply tag {tag}"
+        )));
+    }
+    let step = c.u64()?;
+    let lane = c.u32()?;
+    let shard = c.u32()?;
+    let mut scalars = [0.0f32; 5];
+    for s in &mut scalars {
+        *s = c.f32()?;
+    }
+    let d_owned = decode_section(&mut c)?;
+    let g_owned = decode_section(&mut c)?;
+    if c.pos != payload.len() {
+        return Err(CoreError::Shard(format!(
+            "report frame has {} trailing bytes",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(Report {
+        shard,
+        step,
+        lane,
+        scalars,
+        d_owned,
+        g_owned,
+    })
+}
+
+fn encode_ack(shard: u32, step: u64, lane: u32) -> Vec<u8> {
+    let mut b = vec![REPLY_ACK];
+    b.extend_from_slice(&step.to_le_bytes());
+    b.extend_from_slice(&lane.to_le_bytes());
+    b.extend_from_slice(&shard.to_le_bytes());
+    b
+}
+
+fn decode_ack(payload: &[u8]) -> Result<(u32, u64, u32), CoreError> {
+    if payload.len() != 17 || payload[0] != REPLY_ACK {
+        return Err(CoreError::Shard(format!(
+            "malformed ack frame ({} bytes, tag {})",
+            payload.len(),
+            payload.first().copied().unwrap_or(0)
+        )));
+    }
+    let step = u64::from_le_bytes(payload[1..9].try_into().expect("8"));
+    let lane = u32::from_le_bytes(payload[9..13].try_into().expect("4"));
+    let shard = u32::from_le_bytes(payload[13..17].try_into().expect("4"));
+    Ok((shard, step, lane))
+}
+
+/// Bitwise agreement check + splice: verifies the worker's report
+/// matches the coordinator's replica on scalars and on every owned
+/// gradient, then installs the wire bytes into `local` (pure
+/// selection — the verified bytes are what downstream phases consume).
+fn verify_and_splice(
+    local: &mut StepGrads,
+    report: &Report,
+    owned: &Range<usize>,
+) -> Result<(), CoreError> {
+    let shard = report.shard;
+    let local_scalars = [
+        local.d_loss,
+        local.g_adv,
+        local.l1,
+        local.grad_norm_d,
+        local.grad_norm_g,
+    ];
+    for (i, (mine, theirs)) in local_scalars.iter().zip(&report.scalars).enumerate() {
+        if mine.to_bits() != theirs.to_bits() {
+            return Err(CoreError::Shard(format!(
+                "shard {shard} disagrees on scalar {i}: coordinator {mine} vs worker {theirs} \
+                 (replicated compute must be bit-identical)"
+            )));
+        }
+    }
+    for (updates, received, what) in [
+        (&mut local.d_updates, &report.d_owned, "discriminator"),
+        (&mut local.g_updates, &report.g_owned, "generator"),
+    ] {
+        let mut mine = updates
+            .iter_mut()
+            .filter(|(p, _)| owned.contains(&(*p as usize)));
+        let mut n = 0usize;
+        for (param, values) in received {
+            let Some((mp, mt)) = mine.next() else {
+                return Err(CoreError::Shard(format!(
+                    "shard {shard} sent more {what} entries than it owns"
+                )));
+            };
+            if *mp != *param || mt.numel() != values.len() {
+                return Err(CoreError::Shard(format!(
+                    "shard {shard} {what} entry mismatch: param {param} ({} values) vs local \
+                     param {mp} ({} values)",
+                    values.len(),
+                    mt.numel()
+                )));
+            }
+            for (j, (a, b)) in mt.data().iter().zip(values.iter()).enumerate() {
+                if a.to_bits() != b.to_bits() {
+                    return Err(CoreError::Shard(format!(
+                        "shard {shard} disagrees on {what} param {param}[{j}]: coordinator {a} \
+                         vs worker {b} (replicated compute must be bit-identical)"
+                    )));
+                }
+            }
+            mt.data_mut().copy_from_slice(values);
+            n += 1;
+        }
+        let missing = mine.count();
+        if missing > 0 {
+            return Err(CoreError::Shard(format!(
+                "shard {shard} sent {n} {what} entries but owns {} more",
+                missing
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Multiprocess reducer (unix only: fork + pipes)
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+pub use multiprocess::MultiprocessReducer;
+
+#[cfg(unix)]
+mod multiprocess {
+    use super::*;
+    use std::io;
+
+    const SIGKILL: i32 = 9;
+
+    extern "C" {
+        fn fork() -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+        fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// An owned pipe end. `Read`/`Write` go through the raw syscalls so
+    /// the checked-frame helpers of `geo::io` work unchanged over
+    /// pipes; `Drop` closes.
+    struct Fd(i32);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    impl io::Read for Fd {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = unsafe { read(self.0, buf.as_mut_ptr(), buf.len()) };
+            if n < 0 {
+                // EINTR surfaces as Interrupted; read_exact retries it.
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        }
+    }
+
+    impl io::Write for Fd {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = unsafe { write(self.0, buf.as_ptr(), buf.len()) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Creates one pipe, returning `(read end, write end)`.
+    fn make_pipe() -> Result<(Fd, Fd), CoreError> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(CoreError::Shard(format!(
+                "pipe(2) failed: {}",
+                io::Error::last_os_error()
+            )));
+        }
+        Ok((Fd(fds[0]), Fd(fds[1])))
+    }
+
+    /// Coordinator-side handle of one live worker process.
+    struct Worker {
+        shard: u32,
+        pid: i32,
+        /// Command pipe, coordinator writes.
+        cmd_w: Fd,
+        /// Report pipe, coordinator reads.
+        rep_r: Fd,
+        /// Whether the last send to this worker failed (the worker is
+        /// presumed dead and will be respawned at the next read).
+        send_failed: bool,
+    }
+
+    impl Worker {
+        fn send(&mut self, cmd: Command) {
+            if write_checked_frame(&mut self.cmd_w, GRAD_FRAME_MAGIC, &encode_command(cmd)).is_err()
+            {
+                // EPIPE: the worker died. Recovery happens when the
+                // reply is read (a respawn re-issues the command).
+                self.send_failed = true;
+            }
+        }
+
+        fn recv(&mut self) -> Result<Vec<u8>, CoreError> {
+            if self.send_failed {
+                return Err(CoreError::Shard(format!(
+                    "shard {}: command pipe broken",
+                    self.shard
+                )));
+            }
+            read_checked_frame(&mut self.rep_r, GRAD_FRAME_MAGIC).map_err(|e| match e {
+                IoError::Fs(e) if e.kind() == io::ErrorKind::UnexpectedEof => CoreError::Shard(
+                    format!("shard {}: worker closed its report pipe", self.shard),
+                ),
+                other => CoreError::Shard(format!("shard {}: {other}", self.shard)),
+            })
+        }
+    }
+
+    /// The fork/pipe reducer. See the module docs for the protocol and
+    /// recovery semantics.
+    pub struct MultiprocessReducer {
+        shards: usize,
+        /// Total parameter count (fixes the ownership partition).
+        params: usize,
+        workers: Vec<Worker>,
+        spawned: bool,
+        respawns_left: u32,
+        /// Crash injection: SIGKILL the first worker right after this
+        /// step's compute commands go out (once).
+        kill_at_step: Option<u64>,
+        kill_done: bool,
+    }
+
+    impl MultiprocessReducer {
+        /// A reducer for `shards` total shards (the coordinator plus
+        /// `shards - 1` forked workers) over `params` parameters.
+        pub fn new(
+            shards: usize,
+            params: usize,
+            kill_at_step: Option<u64>,
+        ) -> Result<Self, CoreError> {
+            if shards == 0 {
+                return Err(CoreError::Shard("shard count must be at least 1".into()));
+            }
+            if params > u32::MAX as usize {
+                return Err(CoreError::Shard(format!(
+                    "{params} parameters exceed the u32 wire index space"
+                )));
+            }
+            // Touch the metric statics now, on the coordinator, so the
+            // children inherit them fully initialized.
+            respawns_counter();
+            skew_histogram();
+            Ok(MultiprocessReducer {
+                shards,
+                params,
+                workers: Vec::new(),
+                spawned: false,
+                respawns_left: RESPAWN_BUDGET,
+                kill_at_step,
+                kill_done: false,
+            })
+        }
+
+        /// Total worker respawns performed so far.
+        pub fn respawns(&self) -> u32 {
+            RESPAWN_BUDGET - self.respawns_left
+        }
+
+        /// Forks the worker for `shard`. In the parent, returns its
+        /// handle. In the child, enters [`worker_loop`] and **never
+        /// returns** — the child replicates training commands until
+        /// shutdown or coordinator death, then `_exit`s without
+        /// running any coordinator code (or any destructors).
+        fn spawn_worker(&self, shard: u32, driver: Driver<'_>) -> Result<Worker, CoreError> {
+            let (cmd_r, cmd_w) = make_pipe()?;
+            let (rep_r, rep_w) = make_pipe()?;
+            let pid = unsafe { fork() };
+            if pid < 0 {
+                return Err(CoreError::Shard(format!(
+                    "fork(2) failed: {}",
+                    io::Error::last_os_error()
+                )));
+            }
+            if pid == 0 {
+                // Child. Close the parent-side ends of our own pipes
+                // and every fd belonging to other live workers — a
+                // stray inherited write end would mask that worker's
+                // death from the coordinator's EOF detection.
+                drop(cmd_w);
+                drop(rep_r);
+                for w in &self.workers {
+                    unsafe {
+                        close(w.cmd_w.0);
+                        close(w.rep_r.0);
+                    }
+                }
+                let owned = owned_range(shard as usize, self.shards, self.params);
+                // A panic in the replicated compute must not unwind
+                // into the coordinator's call frames inside a child
+                // process; die with a distinct status instead.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_loop(shard, cmd_r, rep_w, owned, driver)
+                }));
+                unsafe { _exit(3) }
+            }
+            Ok(Worker {
+                shard,
+                pid,
+                cmd_w,
+                rep_r,
+                send_failed: false,
+            })
+        }
+
+        /// Reaps `worker`'s process and forks a replacement from the
+        /// coordinator's current (pre-apply) state, within budget.
+        fn respawn(&mut self, idx: usize, driver: Driver<'_>) -> Result<(), CoreError> {
+            let dead = &self.workers[idx];
+            let shard = dead.shard;
+            // Make sure it is actually gone before reaping, then reap
+            // so no zombie accumulates.
+            unsafe {
+                kill(dead.pid, SIGKILL);
+                waitpid(dead.pid, std::ptr::null_mut(), 0);
+            }
+            if self.respawns_left == 0 {
+                return Err(CoreError::Shard(format!(
+                    "shard {shard}: worker died and the respawn budget ({RESPAWN_BUDGET}) is \
+                     exhausted"
+                )));
+            }
+            self.respawns_left -= 1;
+            respawns_counter().inc(1);
+            // Drop the dead handle first so the replacement does not
+            // inherit its half-closed pipes.
+            self.workers[idx] = Worker {
+                shard,
+                pid: -1,
+                cmd_w: Fd(-1),
+                rep_r: Fd(-1),
+                send_failed: true,
+            };
+            let fresh = self.spawn_worker(shard, driver)?;
+            self.workers[idx] = fresh;
+            Ok(())
+        }
+
+        /// Reads shard `idx`'s compute report for `(step, lane)`,
+        /// verifying it against (and splicing it into) `local`.
+        /// Respawns the worker and re-issues the compute command on
+        /// any pipe failure.
+        fn collect_report(
+            &mut self,
+            idx: usize,
+            step: u64,
+            lane: u32,
+            local: &mut StepGrads,
+            driver: Driver<'_>,
+        ) -> Result<(), CoreError> {
+            loop {
+                let shard = self.workers[idx].shard;
+                let sp = obs::span_cat(shard_span_name(shard), "shard");
+                let outcome = self.workers[idx].recv().and_then(|payload| {
+                    let report = decode_report(&payload)?;
+                    if report.step != step || report.lane != lane || report.shard != shard {
+                        return Err(CoreError::Shard(format!(
+                            "shard {shard} answered for step {}/lane {}/shard {}, expected \
+                             {step}/{lane}/{shard}",
+                            report.step, report.lane, report.shard
+                        )));
+                    }
+                    let owned = owned_range(shard as usize, self.shards, self.params);
+                    verify_and_splice(local, &report, &owned)
+                });
+                drop(sp);
+                match outcome {
+                    Ok(()) => return Ok(()),
+                    Err(CoreError::Shard(why)) if why.contains("pipe") || why.contains("frame") => {
+                        // Transport-level death: respawn and retry the
+                        // same (step, lane) on the fresh replica.
+                        self.respawn(idx, driver)?;
+                        self.workers[idx].send(Command::Compute { step, lane });
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+    }
+
+    impl GradReducer for MultiprocessReducer {
+        fn shards(&self) -> usize {
+            self.shards
+        }
+
+        fn compute(
+            &mut self,
+            step: u64,
+            lane: u32,
+            driver: Driver<'_>,
+        ) -> Result<StepGrads, CoreError> {
+            // Coordinator-local compute first: it warms every lazily
+            // initialized global before any fork, and its result is
+            // the reference the workers are verified against.
+            let mut local =
+                driver(Phase::Compute { step, lane }).expect("compute phase returns gradients");
+            if !self.spawned {
+                for shard in 1..self.shards as u32 {
+                    let w = self.spawn_worker(shard, driver)?;
+                    self.workers.push(w);
+                }
+                self.spawned = true;
+            }
+            for w in &mut self.workers {
+                w.send(Command::Compute { step, lane });
+            }
+            if self.kill_at_step == Some(step) && !self.kill_done {
+                if let Some(w) = self.workers.first() {
+                    // Crash injection: SIGKILL mid-step, after the
+                    // compute command went out.
+                    unsafe {
+                        kill(w.pid, SIGKILL);
+                    }
+                }
+                self.kill_done = true;
+            }
+            let t0 = Instant::now();
+            let mut first_arrival: Option<std::time::Duration> = None;
+            let mut last_arrival = std::time::Duration::ZERO;
+            for idx in 0..self.workers.len() {
+                self.collect_report(idx, step, lane, &mut local, driver)?;
+                let at = t0.elapsed();
+                first_arrival.get_or_insert(at);
+                last_arrival = at;
+            }
+            if obs::enabled() {
+                if let Some(first) = first_arrival {
+                    skew_histogram().record((last_arrival - first).as_nanos() as u64);
+                }
+            }
+            Ok(local)
+        }
+
+        fn apply(
+            &mut self,
+            step: u64,
+            lane: u32,
+            grads: &StepGrads,
+            driver: Driver<'_>,
+        ) -> Result<(), CoreError> {
+            for w in &mut self.workers {
+                w.send(Command::Apply { step, lane });
+            }
+            for idx in 0..self.workers.len() {
+                loop {
+                    let shard = self.workers[idx].shard;
+                    let acked = self.workers[idx].recv().and_then(|payload| {
+                        let (s, got_step, got_lane) = decode_ack(&payload)?;
+                        if s != shard || got_step != step || got_lane != lane {
+                            return Err(CoreError::Shard(format!(
+                                "shard {shard} acked step {got_step}/lane {got_lane}/shard {s}, \
+                                 expected {step}/{lane}/{shard}"
+                            )));
+                        }
+                        Ok(())
+                    });
+                    match acked {
+                        Ok(()) => break,
+                        Err(CoreError::Shard(why))
+                            if why.contains("pipe") || why.contains("frame") =>
+                        {
+                            // The worker died between compute and
+                            // apply. The coordinator has not applied
+                            // yet, so a replacement forked from its
+                            // state recomputes this (step, lane)
+                            // bit-identically, verifies against the
+                            // agreed grads, and then applies.
+                            self.respawn(idx, driver)?;
+                            self.workers[idx].send(Command::Compute { step, lane });
+                            let mut check = grads.clone();
+                            self.collect_report(idx, step, lane, &mut check, driver)?;
+                            self.workers[idx].send(Command::Apply { step, lane });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
+            // Local apply last, so any respawn above still forks the
+            // pre-apply state every shard agrees on.
+            driver(Phase::Apply { grads });
+            Ok(())
+        }
+    }
+
+    impl Drop for MultiprocessReducer {
+        fn drop(&mut self) {
+            for w in &mut self.workers {
+                if w.pid <= 0 {
+                    continue;
+                }
+                w.send(Command::Shutdown);
+            }
+            for w in &self.workers {
+                if w.pid <= 0 {
+                    continue;
+                }
+                // Workers exit on Shutdown — or on command-pipe EOF
+                // once the handles drop — so this reap terminates.
+                unsafe {
+                    waitpid(w.pid, std::ptr::null_mut(), 0);
+                }
+            }
+        }
+    }
+
+    /// The worker side of the protocol: replicate every ordered phase
+    /// on this process's inherited training state. Never returns; any
+    /// transport error (coordinator death included) is a clean
+    /// `_exit`.
+    fn worker_loop(
+        shard: u32,
+        mut cmd_r: Fd,
+        mut rep_w: Fd,
+        owned: Range<usize>,
+        driver: Driver<'_>,
+    ) -> ! {
+        let mut cached: Option<(u64, u32, StepGrads)> = None;
+        loop {
+            let Ok(payload) = read_checked_frame(&mut cmd_r, GRAD_FRAME_MAGIC) else {
+                // Coordinator gone (EOF) or stream corrupt: exit.
+                unsafe { _exit(0) }
+            };
+            let Ok(cmd) = decode_command(&payload) else {
+                unsafe { _exit(2) }
+            };
+            match cmd {
+                Command::Compute { step, lane } => {
+                    let grads = driver(Phase::Compute { step, lane })
+                        .expect("compute phase returns gradients");
+                    let frame = encode_report(shard, step, lane, &grads, &owned);
+                    if write_checked_frame(&mut rep_w, GRAD_FRAME_MAGIC, &frame).is_err() {
+                        unsafe { _exit(0) }
+                    }
+                    cached = Some((step, lane, grads));
+                }
+                Command::Apply { step, lane } => {
+                    let Some((s, l, grads)) = &cached else {
+                        unsafe { _exit(2) }
+                    };
+                    if *s != step || *l != lane {
+                        unsafe { _exit(2) }
+                    }
+                    driver(Phase::Apply { grads });
+                    if write_checked_frame(
+                        &mut rep_w,
+                        GRAD_FRAME_MAGIC,
+                        &encode_ack(shard, step, lane),
+                    )
+                    .is_err()
+                    {
+                        unsafe { _exit(0) }
+                    }
+                }
+                Command::Shutdown => unsafe { _exit(0) },
+            }
+            // Nobody exports a worker's spans; drop them so an
+            // obs-enabled run doesn't grow child memory without bound.
+            drop(obs::drain_events());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), [vals.len()])
+    }
+
+    fn demo_grads() -> StepGrads {
+        StepGrads {
+            d_loss: 1.25,
+            g_adv: -0.5,
+            l1: 0.125,
+            grad_norm_d: 2.0,
+            grad_norm_g: 3.0,
+            d_updates: vec![(4, tensor(&[0.5, -1.5])), (5, tensor(&[2.0]))],
+            g_updates: vec![(0, tensor(&[-0.25])), (2, tensor(&[1.0, 2.0, 3.0]))],
+        }
+    }
+
+    #[test]
+    fn owned_ranges_partition_the_index_space() {
+        for params in [0usize, 1, 5, 7, 64] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let mut covered = Vec::new();
+                let mut prev_end = 0;
+                for s in 0..shards {
+                    let r = owned_range(s, shards, params);
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    prev_end = r.end;
+                    covered.extend(r);
+                }
+                assert_eq!(
+                    covered,
+                    (0..params).collect::<Vec<_>>(),
+                    "params={params} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn command_codec_roundtrips() {
+        for cmd in [
+            Command::Compute { step: 7, lane: 2 },
+            Command::Apply {
+                step: u64::MAX,
+                lane: 0,
+            },
+            Command::Shutdown,
+        ] {
+            assert_eq!(decode_command(&encode_command(cmd)).unwrap(), cmd);
+        }
+        assert!(decode_command(&[9, 0, 0]).is_err());
+        assert!(decode_command(&[77; 13]).is_err());
+    }
+
+    #[test]
+    fn report_codec_roundtrips_owned_slice() {
+        let grads = demo_grads();
+        // Shard owning params 2..5 sends d param 4 and g param 2 only.
+        let payload = encode_report(1, 42, 3, &grads, &(2..5));
+        let report = decode_report(&payload).unwrap();
+        assert_eq!((report.shard, report.step, report.lane), (1, 42, 3));
+        assert_eq!(report.scalars, [1.25, -0.5, 0.125, 2.0, 3.0]);
+        assert_eq!(report.d_owned, vec![(4, vec![0.5, -1.5])]);
+        assert_eq!(report.g_owned, vec![(2, vec![1.0, 2.0, 3.0])]);
+        // Full ownership carries everything.
+        let full = decode_report(&encode_report(0, 1, 0, &grads, &(0..6))).unwrap();
+        assert_eq!(full.d_owned.len(), 2);
+        assert_eq!(full.g_owned.len(), 2);
+        // Truncation is a typed error, not a panic.
+        assert!(decode_report(&payload[..payload.len() - 3]).is_err());
+        assert!(decode_report(&[REPLY_ACK]).is_err());
+    }
+
+    #[test]
+    fn ack_codec_roundtrips() {
+        let (shard, step, lane) = decode_ack(&encode_ack(3, 99, 1)).unwrap();
+        assert_eq!((shard, step, lane), (3, 99, 1));
+        assert!(decode_ack(&[REPLY_REPORT; 17]).is_err());
+        assert!(decode_ack(&[REPLY_ACK; 5]).is_err());
+    }
+
+    #[test]
+    fn verify_and_splice_accepts_agreement_and_rejects_divergence() {
+        let grads = demo_grads();
+        let owned = 2..5;
+        let report = decode_report(&encode_report(1, 0, 0, &grads, &owned)).unwrap();
+        let mut local = demo_grads();
+        verify_and_splice(&mut local, &report, &owned).unwrap();
+        assert_eq!(local.d_updates[0].1.data(), &[0.5, -1.5]);
+
+        // One flipped gradient bit is caught.
+        let mut bad = report.clone();
+        bad.d_owned[0].1[1] = -1.5000001;
+        let mut local = demo_grads();
+        let err = verify_and_splice(&mut local, &bad, &owned).unwrap_err();
+        assert!(err.to_string().contains("disagrees"), "{err}");
+
+        // A diverging loss is caught.
+        let mut bad = report.clone();
+        bad.scalars[0] = f32::NAN;
+        let mut local = demo_grads();
+        assert!(verify_and_splice(&mut local, &bad, &owned).is_err());
+
+        // Missing owned entries are caught.
+        let mut bad = report;
+        bad.d_owned.clear();
+        let mut local = demo_grads();
+        let err = verify_and_splice(&mut local, &bad, &owned).unwrap_err();
+        assert!(err.to_string().contains("owns"), "{err}");
+    }
+
+    #[test]
+    fn local_reducer_drives_both_phases() {
+        let mut seen = Vec::new();
+        let mut driver = |phase: Phase<'_>| -> Option<StepGrads> {
+            match phase {
+                Phase::Compute { step, lane } => {
+                    seen.push(format!("compute {step}/{lane}"));
+                    Some(demo_grads())
+                }
+                Phase::Apply { grads } => {
+                    seen.push(format!("apply {}", grads.d_loss));
+                    None
+                }
+            }
+        };
+        let mut r = LocalReducer;
+        assert_eq!(r.shards(), 1);
+        let grads = r.compute(5, 1, &mut driver).unwrap();
+        r.apply(5, 1, &grads, &mut driver).unwrap();
+        assert_eq!(seen, vec!["compute 5/1", "apply 1.25"]);
+    }
+}

@@ -37,11 +37,12 @@ use crate::config::{SpectraGanConfig, TrainConfig, Variant};
 use crate::error::CoreError;
 use crate::fourier::{masked_spec_rows, patch_to_rows};
 use crate::model::{Discriminators, Generator};
+use crate::shard::{GradReducer, LocalReducer, Phase, StepGrads};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spectragan_geo::io::atomic_write;
 use spectragan_geo::{City, PatchLayout, PatchSpec};
-use spectragan_nn::{Adam, Binding, ParamStore, Tape, Tensor};
+use spectragan_nn::{collect_updates, Adam, Binding, ParamId, ParamStore, Tape, Tensor};
 use spectragan_obs as obs;
 use spectragan_tensor::stats;
 use std::path::Path;
@@ -119,6 +120,25 @@ pub struct TrainOptions<'a> {
     /// Write a Prometheus-style text snapshot of all metrics here when
     /// the run finishes. Implies `obs`.
     pub metrics_snapshot: Option<&'a Path>,
+    /// Number of training shards. 1 (the default) runs everything in
+    /// process; N > 1 forks N − 1 worker processes that replicate the
+    /// computation, each owning a slice of the reduced gradient — see
+    /// [`crate::shard`]. Any shard count produces **bit-identical**
+    /// weights.
+    pub shards: usize,
+    /// Gradient-accumulation micro-rounds per step: gradients of
+    /// `grad_accum` independent minibatches (RNG lanes derived from the
+    /// step) are averaged before one optimizer update. 1 (the default)
+    /// is the historical single-minibatch step, bit-for-bit.
+    pub grad_accum: usize,
+    /// Crash injection for worker-robustness tests: SIGKILL one worker
+    /// process right after this step's compute phase starts. Requires
+    /// `shards > 1` (or [`TrainOptions::force_multiprocess`]).
+    pub kill_worker_at_step: Option<usize>,
+    /// Test hook: route reduction through the multiprocess reducer even
+    /// at `shards == 1`, so equivalence tests cover the process seam at
+    /// every shard count.
+    pub force_multiprocess: bool,
 }
 
 impl Default for TrainOptions<'_> {
@@ -134,6 +154,10 @@ impl Default for TrainOptions<'_> {
             obs: false,
             trace: None,
             metrics_snapshot: None,
+            shards: 1,
+            grad_accum: 1,
+            kill_worker_at_step: None,
+            force_multiprocess: false,
         }
     }
 }
@@ -171,15 +195,13 @@ fn step_seed(seed: u64, step: u64, lane: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Global L2 norm of the gradients of `bound` parameters (pre-clip).
-fn grad_norm(
-    bound: &[(spectragan_nn::ParamId, spectragan_tensor::Var)],
-    grads: &spectragan_tensor::Gradients,
-) -> f32 {
-    bound
+/// Global L2 norm of a collected update list (pre-clip). Updates are in
+/// ascending parameter-index order, so the summation order — and hence
+/// the exact float result — matches the historical in-tape norm.
+fn norm_of(updates: &[(u32, Tensor)]) -> f32 {
+    updates
         .iter()
-        .filter_map(|(_, var)| grads.get(var))
-        .flat_map(|g| g.data().iter())
+        .flat_map(|(_, g)| g.data().iter())
         .map(|&v| v * v)
         .sum::<f32>()
         .sqrt()
@@ -382,6 +404,7 @@ impl SpectraGan {
 
     /// Builds the serializable snapshot of the training state after
     /// `step` completed steps.
+    #[allow(clippy::too_many_arguments)]
     fn snapshot(
         &self,
         step: usize,
@@ -389,6 +412,7 @@ impl SpectraGan {
         opt_g: &Adam,
         opt_d: &Adam,
         stats: &TrainStats,
+        opts: &TrainOptions<'_>,
     ) -> Checkpoint {
         Checkpoint {
             format: checkpoint::CHECKPOINT_FORMAT.to_string(),
@@ -399,6 +423,8 @@ impl SpectraGan {
             opt_g: opt_g.export_state(),
             opt_d: opt_d.export_state(),
             stats: stats.clone(),
+            shards: opts.shards,
+            grad_accum: opts.grad_accum,
         }
     }
 
@@ -410,6 +436,14 @@ impl SpectraGan {
         tc: &TrainConfig,
         opts: &TrainOptions<'_>,
     ) -> Result<TrainStats, CoreError> {
+        if opts.shards == 0 {
+            return Err(CoreError::Shard("shard count must be at least 1".into()));
+        }
+        if opts.grad_accum == 0 {
+            return Err(CoreError::Shard(
+                "gradient accumulation must run at least 1 micro-round".into(),
+            ));
+        }
         let samples = self.prepare(cities)?;
         let mut opt_g = Adam::gan(tc.lr).with_clip_norm(5.0);
         let mut opt_d = Adam::gan(tc.lr).with_clip_norm(5.0);
@@ -417,6 +451,15 @@ impl SpectraGan {
         let mut start_step = 0usize;
         if let Some(ck) = opts.resume_from {
             ck.validate_against(&self.cfg, tc)?;
+            // Shard topology may change across a resume — sharding
+            // never changes the math — but the accumulation factor is
+            // part of the step's arithmetic and must match.
+            if ck.grad_accum != opts.grad_accum {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint was trained with grad_accum {}, this run asks for {}",
+                    ck.grad_accum, opts.grad_accum
+                )));
+            }
             self.load_store(&ck.store)?;
             opt_g.import_state(&ck.opt_g);
             opt_d.import_state(&ck.opt_d);
@@ -443,23 +486,76 @@ impl SpectraGan {
         // node arena's capacity and returns every activation buffer to
         // the pool, so steady-state steps are allocation-free.
         let tape = Tape::new();
+        // The reduction seam (compute → ordered reduce → apply). Worker
+        // processes are forked lazily inside the first compute call, so
+        // they inherit a fully warmed coordinator: samples prepared,
+        // kernel backend and pool initialized, one local compute done.
+        #[cfg(unix)]
+        let mut reducer: Box<dyn GradReducer> = if opts.shards > 1 || opts.force_multiprocess {
+            Box::new(crate::shard::MultiprocessReducer::new(
+                opts.shards,
+                self.store.len(),
+                opts.kill_worker_at_step.map(|s| s as u64),
+            )?)
+        } else {
+            Box::new(LocalReducer)
+        };
+        #[cfg(not(unix))]
+        let mut reducer: Box<dyn GradReducer> = {
+            if opts.shards > 1 || opts.force_multiprocess {
+                return Err(CoreError::Shard(
+                    "multiprocess sharding needs a unix host (fork + pipes)".into(),
+                ));
+            }
+            Box::new(LocalReducer)
+        };
 
         for step in start_step..tc.steps {
             let step_start = Instant::now();
             let mut applied: Option<LogRecord> = None;
             let mut last_reason = String::new();
             for lane in 0..=opts.guard_max_retries {
-                let outcome = self.train_step(
-                    &tape,
-                    &samples,
-                    tc,
-                    step,
-                    lane,
-                    &mut opt_g,
-                    &mut opt_d,
-                    cfg,
+                let sp_step = obs::span_cat("train_step", "train");
+                let mut driver = |phase: Phase<'_>| -> Option<StepGrads> {
+                    match phase {
+                        Phase::Compute { step, lane } => Some(self.compute_grads(
+                            &tape,
+                            &samples,
+                            tc,
+                            step,
+                            lane,
+                            opts.grad_accum,
+                            cfg,
+                        )),
+                        Phase::Apply { grads } => {
+                            self.apply_grads(grads, &mut opt_g, &mut opt_d);
+                            None
+                        }
+                    }
+                };
+                let grads = reducer.compute(step as u64, lane, &mut driver)?;
+                let reason = health_reason(
+                    grads.d_loss,
+                    grads.g_adv,
+                    grads.l1,
+                    grads.grad_norm_d,
+                    grads.grad_norm_g,
                     opts.guard_grad_norm,
                 );
+                if reason.is_none() {
+                    // The update is healthy on every (bit-identical)
+                    // shard: apply it everywhere.
+                    reducer.apply(step as u64, lane, &grads, &mut driver)?;
+                }
+                drop(sp_step);
+                let outcome = StepOutcome {
+                    d_loss: grads.d_loss,
+                    g_adv: grads.g_adv,
+                    l1: grads.l1,
+                    grad_norm_d: grads.grad_norm_d,
+                    grad_norm_g: grads.grad_norm_g,
+                    reason,
+                };
                 let wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
                 let op_stats = opts.op_stats.then(stats::take_table);
                 let spans = obs_on.then(|| {
@@ -485,13 +581,14 @@ impl SpectraGan {
                                     Some(reason.clone()),
                                     op_stats,
                                     spans,
+                                    opts,
                                 ),
                             )?;
                         }
                         last_reason = reason.clone();
                     }
                     None => {
-                        applied = Some(outcome.record(step, wall_ms, None, op_stats, spans));
+                        applied = Some(outcome.record(step, wall_ms, None, op_stats, spans, opts));
                         break;
                     }
                 }
@@ -516,7 +613,10 @@ impl SpectraGan {
                 let due = opts.checkpoint_every > 0 && completed % opts.checkpoint_every == 0;
                 if due || completed == tc.steps {
                     let sp = obs::span_cat("checkpoint", "train");
-                    checkpoint::save(dir, &self.snapshot(completed, tc, &opt_g, &opt_d, &stats))?;
+                    checkpoint::save(
+                        dir,
+                        &self.snapshot(completed, tc, &opt_g, &opt_d, &stats, opts),
+                    )?;
                     drop(sp);
                 }
             }
@@ -553,27 +653,97 @@ impl SpectraGan {
         Ok(stats)
     }
 
-    /// Runs one training step attempt on RNG lane `lane` — forward,
-    /// losses, gradients — and applies the optimizer updates only when
-    /// healthy. Returns the step's losses and gradient norms for the
-    /// guard and the log.
+    /// Phase 1 (compute): runs all `grad_accum` forward/backward
+    /// micro-rounds of one step attempt and folds them into one
+    /// [`StepGrads`] — averaged losses, averaged gradients in ascending
+    /// parameter-index order, and the post-fold gradient norms.
+    ///
+    /// Micro-round `r` draws its minibatch from RNG lane
+    /// `lane + (r << 32)`: round 0 is bit-for-bit the historical
+    /// single-minibatch step, and the guard's retry lanes (low 32 bits)
+    /// can never collide with accumulation rounds.
     #[allow(clippy::too_many_arguments)]
-    fn train_step(
-        &mut self,
+    fn compute_grads(
+        &self,
         tape: &Rc<Tape>,
         samples: &[Sample],
         tc: &TrainConfig,
-        step: usize,
+        step: u64,
         lane: u32,
-        opt_g: &mut Adam,
-        opt_d: &mut Adam,
+        grad_accum: usize,
         cfg: SpectraGanConfig,
-        guard_grad_norm: f32,
-    ) -> StepOutcome {
-        // Drop the previous attempt's graph; buffers go back to the
-        // pool and the node arena keeps its capacity.
+    ) -> StepGrads {
+        let mut acc: Option<StepGrads> = None;
+        for round in 0..grad_accum {
+            let round_lane = lane as u64 + ((round as u64) << 32);
+            let fresh = self.forward_backward(tape, samples, tc, step, round_lane, cfg);
+            match &mut acc {
+                // Round 0's tensors are kept untouched: with
+                // `grad_accum == 1` no accumulation arithmetic runs at
+                // all (even `+ 0.0` could flip a -0.0 bit).
+                None => acc = Some(fresh),
+                Some(a) => {
+                    a.d_loss += fresh.d_loss;
+                    a.g_adv += fresh.g_adv;
+                    a.l1 += fresh.l1;
+                    for ((_, at), (_, ft)) in a.d_updates.iter_mut().zip(&fresh.d_updates) {
+                        at.axpy(1.0, ft);
+                    }
+                    for ((_, at), (_, ft)) in a.g_updates.iter_mut().zip(&fresh.g_updates) {
+                        at.axpy(1.0, ft);
+                    }
+                }
+            }
+        }
+        let mut acc = acc.expect("grad_accum >= 1");
+        if grad_accum > 1 {
+            let s = 1.0 / grad_accum as f32;
+            acc.d_loss *= s;
+            acc.g_adv *= s;
+            acc.l1 *= s;
+            for (_, t) in acc.d_updates.iter_mut().chain(acc.g_updates.iter_mut()) {
+                *t = t.scale(s);
+            }
+        }
+        // The norms are a property of the folded update the optimizer
+        // will see, so they are computed after accumulation.
+        acc.grad_norm_d = norm_of(&acc.d_updates);
+        acc.grad_norm_g = norm_of(&acc.g_updates);
+        acc
+    }
+
+    /// Phase 3 (apply): feeds the reduced gradients through both
+    /// optimizers, discriminator first — the historical update order.
+    fn apply_grads(&mut self, grads: &StepGrads, opt_g: &mut Adam, opt_d: &mut Adam) {
+        let sp = obs::span_cat("optimizer", "train");
+        let ids: Vec<ParamId> = self.store.iter().map(|(id, _, _)| id).collect();
+        let to_param_updates = |list: &[(u32, Tensor)]| -> Vec<(ParamId, Tensor)> {
+            list.iter()
+                .map(|(p, t)| (ids[*p as usize], t.clone()))
+                .collect()
+        };
+        opt_d.apply_updates(&mut self.store, to_param_updates(&grads.d_updates));
+        opt_g.apply_updates(&mut self.store, to_param_updates(&grads.g_updates));
+        drop(sp);
+    }
+
+    /// One forward/backward micro-round: minibatch assembly, losses and
+    /// gradients. Touches no optimizer state — that is the apply
+    /// phase's job, after reduction.
+    fn forward_backward(
+        &self,
+        tape: &Rc<Tape>,
+        samples: &[Sample],
+        tc: &TrainConfig,
+        step: u64,
+        round_lane: u64,
+        cfg: SpectraGanConfig,
+    ) -> StepGrads {
+        // Drop the previous round's graph; buffers go back to the
+        // pool and the node arena keeps its capacity. (The collected
+        // gradient tensors returned below are deep copies and survive
+        // this reset on the next round.)
         tape.reset_keep_capacity();
-        let sp_step = obs::span_cat("train_step", "train");
         // Instantaneous marker span naming the kernel backend this step
         // runs under, so exported traces are attributable to scalar vs.
         // simd. Dropped immediately: it must not become the parent of
@@ -582,7 +752,7 @@ impl SpectraGan {
             spectragan_tensor::backend::kind().name(),
             "backend",
         ));
-        let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step as u64, lane as u64));
+        let mut rng = StdRng::seed_from_u64(step_seed(tc.seed, step, round_lane));
         // ---- Minibatch assembly -----------------------------------
         let sp = obs::span_cat("minibatch", "train");
         let batch: Vec<&Sample> = (0..tc.batch_patches)
@@ -711,7 +881,7 @@ impl SpectraGan {
         let l1v = l1.as_ref().map(|l| l.value().item()).unwrap_or(0.0);
         drop(sp);
 
-        // ---- Guard + updates ----------------------------------------
+        // ---- Gradients ----------------------------------------------
         let sp = obs::span_cat("backward", "train");
         let grads_d = tape.backward(&d_loss);
         let grads_g = tape.backward(&g_loss);
@@ -720,23 +890,20 @@ impl SpectraGan {
         let boundary = self.gen_param_end;
         let (g_bound, d_bound): (Vec<_>, Vec<_>) =
             bound.into_iter().partition(|(id, _)| id.index() < boundary);
-        let gnd = grad_norm(&d_bound, &grads_d);
-        let gng = grad_norm(&g_bound, &grads_g);
-        let reason = health_reason(dv, gv, l1v, gnd, gng, guard_grad_norm);
-        if reason.is_none() {
-            let sp = obs::span_cat("optimizer", "train");
-            opt_d.step(&mut self.store, &d_bound, &grads_d);
-            opt_g.step(&mut self.store, &g_bound, &grads_g);
-            drop(sp);
-        }
-        drop(sp_step);
-        StepOutcome {
+        let wire = |list: Vec<(ParamId, Tensor)>| -> Vec<(u32, Tensor)> {
+            list.into_iter()
+                .map(|(id, t)| (id.index() as u32, t))
+                .collect()
+        };
+        StepGrads {
             d_loss: dv,
             g_adv: gv,
             l1: l1v,
-            grad_norm_d: gnd,
-            grad_norm_g: gng,
-            reason,
+            // Filled in by `compute_grads` after accumulation folds.
+            grad_norm_d: 0.0,
+            grad_norm_g: 0.0,
+            d_updates: wire(collect_updates(&d_bound, &grads_d)),
+            g_updates: wire(collect_updates(&g_bound, &grads_g)),
         }
     }
 }
@@ -760,6 +927,7 @@ impl StepOutcome {
         event: Option<String>,
         op_stats: Option<Vec<spectragan_tensor::OpStatEntry>>,
         spans: Option<Vec<obs::SpanStat>>,
+        opts: &TrainOptions<'_>,
     ) -> LogRecord {
         LogRecord {
             step,
@@ -770,6 +938,8 @@ impl StepOutcome {
             grad_norm_g: self.grad_norm_g,
             wall_ms,
             backend: spectragan_tensor::backend::kind().name().to_string(),
+            shards: opts.shards,
+            grad_accum: opts.grad_accum,
             event,
             op_stats,
             spans,

@@ -1,0 +1,278 @@
+//! The sharded-training equivalence contract, end to end:
+//!
+//! * `--shards N` (forked worker processes, gradient frames over
+//!   pipes) produces **bit-identical** final weights to `--shards 1`
+//!   (all in process) — at any shard count, any thread count, under
+//!   either kernel backend, and even against the pre-refactor golden
+//!   fixture.
+//! * Gradient accumulation folds deterministically: `K` micro-rounds
+//!   give the same bits at any shard/thread count, and `K = 1` is the
+//!   historical step exactly.
+//! * A worker SIGKILLed mid-step is respawned from the coordinator's
+//!   pre-apply state and the run still converges to the same bits,
+//!   while `spectragan_shard_respawns_total` records the death.
+//!
+//! Forking in a test binary is only safe when nothing else runs
+//! threads that might hold global locks at fork time, so every test
+//! here holds `LOCK` (other integration-test binaries are separate
+//! processes and cannot interfere).
+
+#![cfg(unix)]
+
+use spectragan_core::{
+    checkpoint, SpectraGan, SpectraGanConfig, TrainConfig, TrainOptions, TrainStats,
+};
+use spectragan_geo::City;
+use spectragan_obs as obs;
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+use spectragan_tensor::{pool, set_backend, BackendKind};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const STEPS: usize = 5;
+
+fn tiny_city(seed: u64) -> City {
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.36,
+    };
+    generate_city(
+        &CityConfig {
+            name: format!("G{seed}"),
+            height: 17,
+            width: 17,
+            seed,
+        },
+        &ds,
+    )
+}
+
+fn tc() -> TrainConfig {
+    TrainConfig {
+        steps: STEPS,
+        batch_patches: 2,
+        lr: 3e-3,
+        seed: 17,
+    }
+}
+
+fn weight_bits(model: &SpectraGan) -> Vec<u32> {
+    model
+        .store()
+        .iter()
+        .flat_map(|(_, _, t)| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// Trains the tiny model at `threads` pool threads with the given
+/// option tweaks and returns `(weight bits, loss traces)`.
+fn run(threads: usize, tweak: impl FnOnce(&mut TrainOptions)) -> (Vec<u32>, TrainStats) {
+    pool::set_threads(Some(threads));
+    let cities = [tiny_city(3), tiny_city(8)];
+    let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let mut opts = TrainOptions::default();
+    tweak(&mut opts);
+    let stats = model.train_with(&cities, &tc(), &opts).expect("training");
+    pool::set_threads(None);
+    (weight_bits(&model), stats)
+}
+
+fn assert_same_bits(a: &[u32], b: &[u32], what: &str) {
+    assert_eq!(a.len(), b.len(), "weight count differs: {what}");
+    let diverged: Vec<usize> = (0..a.len()).filter(|&i| a[i] != b[i]).collect();
+    assert!(
+        diverged.is_empty(),
+        "{} of {} weights diverge ({what}); first at index {}: {:08x} vs {:08x}",
+        diverged.len(),
+        a.len(),
+        diverged[0],
+        a[diverged[0]],
+        b[diverged[0]],
+    );
+}
+
+/// The tentpole property: the multiprocess reducer is bit-equal to the
+/// in-process path at shards ∈ {1, 2, 4} × threads ∈ {1, 4}. Shards=1
+/// goes through the full fork/pipe/frame machinery via the
+/// `force_multiprocess` hook, so the seam itself — not just the N>1
+/// topology — is covered.
+#[test]
+fn multiprocess_matches_local_bitwise_at_every_shard_and_thread_count() {
+    let _g = LOCK.lock().unwrap();
+    for threads in [1usize, 4] {
+        let (local, local_stats) = run(threads, |_| {});
+        for shards in [1usize, 2, 4] {
+            let (sharded, sharded_stats) = run(threads, |o| {
+                o.shards = shards;
+                o.force_multiprocess = true;
+            });
+            assert_same_bits(
+                &local,
+                &sharded,
+                &format!("shards={shards} threads={threads}"),
+            );
+            assert_eq!(
+                local_stats.d_loss, sharded_stats.d_loss,
+                "loss traces must match bitwise (shards={shards} threads={threads})"
+            );
+        }
+    }
+}
+
+/// Sharded training under the SIMD backend is bit-equal to that
+/// backend's own single-process run (the two backends legitimately
+/// differ from each other; the shard seam must not add any difference).
+#[test]
+fn multiprocess_matches_local_under_simd_backend() {
+    let _g = LOCK.lock().unwrap();
+    set_backend(Some(BackendKind::Simd));
+    let (local, _) = run(1, |_| {});
+    let (sharded, _) = run(1, |o| o.shards = 2);
+    set_backend(None);
+    assert_same_bits(&local, &sharded, "simd shards=2");
+}
+
+/// A sharded scalar run reproduces the **pre-refactor** golden fixture:
+/// lifting reduction out of process changed no arithmetic at all.
+#[test]
+fn sharded_run_matches_pre_refactor_golden_fixture() {
+    let _g = LOCK.lock().unwrap();
+    set_backend(Some(BackendKind::Scalar));
+    let (sharded, _) = run(1, |o| o.shards = 2);
+    set_backend(None);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_pr3_t1.bits");
+    let fixture: Vec<u32> = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()))
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| u32::from_str_radix(l.trim(), 16).expect("bad fixture line"))
+        .collect();
+    assert_same_bits(&fixture, &sharded, "golden fixture vs shards=2");
+}
+
+/// Gradient accumulation: deterministic, shard- and thread-invariant,
+/// and a real change to the arithmetic (K=2 is not K=1).
+#[test]
+fn grad_accum_is_deterministic_and_shard_invariant() {
+    let _g = LOCK.lock().unwrap();
+    let (k2_t1, _) = run(1, |o| o.grad_accum = 2);
+    let (k2_t4, _) = run(4, |o| o.grad_accum = 2);
+    assert_same_bits(&k2_t1, &k2_t4, "grad_accum=2 threads 1 vs 4");
+    let (k2_sharded, _) = run(1, |o| {
+        o.grad_accum = 2;
+        o.shards = 2;
+    });
+    assert_same_bits(&k2_t1, &k2_sharded, "grad_accum=2 local vs shards=2");
+    let (k1, _) = run(1, |_| {});
+    assert_ne!(
+        k2_t1, k1,
+        "grad_accum=2 must actually change the update (different minibatch average)"
+    );
+}
+
+/// Resume across shard counts: a checkpoint written by a sharded run
+/// continues bit-identically in a single-process run (and vice versa),
+/// because sharding never changes the math.
+#[test]
+fn resume_across_shard_counts_is_bit_identical() {
+    let _g = LOCK.lock().unwrap();
+    let dir = std::env::temp_dir()
+        .join("spectragan_shard_resume")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    let (uninterrupted, _) = run(1, |_| {});
+
+    // Phase 1: train the first 3 steps sharded, checkpointing.
+    pool::set_threads(Some(1));
+    let cities = [tiny_city(3), tiny_city(8)];
+    let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let mut tc3 = tc();
+    tc3.steps = 3;
+    let opts = TrainOptions {
+        run_dir: Some(&dir),
+        checkpoint_every: 3,
+        shards: 2,
+        ..TrainOptions::default()
+    };
+    model.train_with(&cities, &tc3, &opts).expect("phase 1");
+    let found = checkpoint::latest(&dir).expect("latest").expect("some");
+    assert_eq!(found.checkpoint.step, 3);
+    assert_eq!(found.checkpoint.shards, 2, "topology recorded");
+
+    // Phase 2: resume single-process to the full step count.
+    let mut resumed = SpectraGan::from_checkpoint(&found.checkpoint).expect("rebuild");
+    let opts = TrainOptions {
+        resume_from: Some(&found.checkpoint),
+        ..TrainOptions::default()
+    };
+    resumed.train_with(&cities, &tc(), &opts).expect("phase 2");
+    pool::set_threads(None);
+    assert_same_bits(
+        &uninterrupted,
+        &weight_bits(&resumed),
+        "sharded-then-resumed vs uninterrupted",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming under a different accumulation factor is refused — K is
+/// part of the step arithmetic, unlike the shard count.
+#[test]
+fn resume_with_different_grad_accum_is_refused() {
+    let _g = LOCK.lock().unwrap();
+    let dir = std::env::temp_dir()
+        .join("spectragan_shard_accum_refuse")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    pool::set_threads(Some(1));
+    let cities = [tiny_city(3)];
+    let mut model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let mut tc2 = tc();
+    tc2.steps = 2;
+    let opts = TrainOptions {
+        run_dir: Some(&dir),
+        grad_accum: 2,
+        ..TrainOptions::default()
+    };
+    model.train_with(&cities, &tc2, &opts).expect("train");
+    let found = checkpoint::latest(&dir).expect("latest").expect("some");
+    assert_eq!(found.checkpoint.grad_accum, 2);
+    let mut resumed = SpectraGan::from_checkpoint(&found.checkpoint).expect("rebuild");
+    let opts = TrainOptions {
+        resume_from: Some(&found.checkpoint),
+        grad_accum: 1,
+        ..TrainOptions::default()
+    };
+    let err = resumed
+        .train_with(&cities, &tc(), &opts)
+        .expect_err("must refuse");
+    assert!(err.to_string().contains("grad_accum"), "{err}");
+    pool::set_threads(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Worker-death robustness (the crash-recovery contract): SIGKILL a
+/// shard worker mid-step; the coordinator respawns it from its
+/// pre-apply state, the step retries cleanly, the final weights are
+/// byte-equal to an undisturbed run, and the respawn is visible in
+/// `spectragan_shard_respawns_total`.
+#[test]
+fn killed_worker_respawns_to_identical_weights() {
+    let _g = LOCK.lock().unwrap();
+    let (local, _) = run(1, |_| {});
+    let before = obs::counter("spectragan_shard_respawns_total").get();
+    let (survived, _) = run(1, |o| {
+        o.shards = 2;
+        o.kill_worker_at_step = Some(2);
+        o.obs = true; // metrics record only while the obs layer is on
+    });
+    let after = obs::counter("spectragan_shard_respawns_total").get();
+    assert_same_bits(&local, &survived, "after mid-step worker SIGKILL");
+    assert!(
+        after > before,
+        "respawn counter must increment ({before} -> {after})"
+    );
+}

@@ -36,7 +36,7 @@ use crate::traffic::TrafficMap;
 use spectragan_obs as obs;
 use std::fmt;
 use std::fs;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -68,6 +68,12 @@ pub const FORMAT_VERSION: u16 = 1;
 const TRAFFIC_MAGIC: &[u8; 4] = b"SGTM";
 const CONTEXT_MAGIC: &[u8; 4] = b"SGCM";
 const BAND_MAGIC: &[u8; 4] = b"SGBD";
+
+/// Magic of the sharded-training gradient frames exchanged between the
+/// train coordinator and its worker processes (see `spectragan-core`'s
+/// `shard` module). The frame body is caller-defined; the container
+/// framing (version + length + CRC) is [`encode_checked`]'s.
+pub const GRAD_FRAME_MAGIC: &[u8; 4] = b"SGGF";
 
 /// Errors for map (de)serialization.
 #[derive(Debug)]
@@ -252,6 +258,51 @@ pub fn decode_checked<'a>(magic: &[u8; 4], bytes: &'a [u8]) -> Result<&'a [u8], 
         });
     }
     let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(IoError::BadChecksum {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload)
+}
+
+/// Writes `payload` to `w` as one checked frame ([`encode_checked`])
+/// and flushes. The length-prefixed header makes the frame
+/// self-delimiting on a byte stream — the transport the sharded
+/// trainer's coordinator↔worker pipes use.
+pub fn write_checked_frame(
+    w: &mut impl Write,
+    magic: &[u8; 4],
+    payload: &[u8],
+) -> Result<(), IoError> {
+    w.write_all(&encode_checked(magic, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one checked frame from `r` and returns its validated payload.
+///
+/// Reads exactly one header and then exactly the promised payload, so
+/// back-to-back frames on the same stream never bleed into each other.
+/// Magic, version and CRC failures are the same [`IoError`]s
+/// [`decode_checked`] reports; a stream that ends mid-frame surfaces
+/// as [`IoError::Fs`] (`UnexpectedEof`).
+pub fn read_checked_frame(r: &mut impl Read, magic: &[u8; 4]) -> Result<Vec<u8>, IoError> {
+    let mut header = [0u8; CHECKED_HEADER];
+    r.read_exact(&mut header)?;
+    if &header[..4] != magic {
+        return Err(IoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != FORMAT_VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let len = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes")) as usize;
+    let expected_crc = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let actual_crc = crc32(&payload);
     if actual_crc != expected_crc {
         return Err(IoError::BadChecksum {
             expected: expected_crc,
@@ -628,6 +679,61 @@ mod tests {
         assert!(matches!(
             decode_checked(b"SGCK", b"SGCK"),
             Err(IoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn checked_frames_are_self_delimiting_on_a_stream() {
+        let mut stream = Vec::new();
+        write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, b"first frame").unwrap();
+        write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, b"").unwrap();
+        write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, &[0xAB; 1000]).unwrap();
+        let mut r = stream.as_slice();
+        assert_eq!(
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(),
+            b"first frame"
+        );
+        assert_eq!(read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(), b"");
+        assert_eq!(
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(),
+            vec![0xAB; 1000]
+        );
+        // The stream is fully consumed; a further read is a clean EOF.
+        assert!(matches!(
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC),
+            Err(IoError::Fs(ref e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn checked_frame_stream_rejects_corruption() {
+        let mut stream = Vec::new();
+        write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, b"payload bytes").unwrap();
+        // Wrong magic.
+        assert!(matches!(
+            read_checked_frame(&mut stream.as_slice(), b"XXXX"),
+            Err(IoError::BadMagic)
+        ));
+        // A flipped payload bit fails the CRC.
+        let mut flipped = stream.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            read_checked_frame(&mut flipped.as_slice(), GRAD_FRAME_MAGIC),
+            Err(IoError::BadChecksum { .. })
+        ));
+        // Truncation mid-payload is an EOF, never valid data.
+        let cut = &stream[..stream.len() - 2];
+        assert!(matches!(
+            read_checked_frame(&mut &cut[..], GRAD_FRAME_MAGIC),
+            Err(IoError::Fs(_))
+        ));
+        // A bad version is reported as such.
+        let mut badver = stream.clone();
+        badver[4] = 7;
+        assert!(matches!(
+            read_checked_frame(&mut badver.as_slice(), GRAD_FRAME_MAGIC),
+            Err(IoError::BadVersion(7))
         ));
     }
 

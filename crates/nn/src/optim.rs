@@ -148,13 +148,18 @@ impl Adam {
         bound: &[(ParamId, spectragan_tensor::Var)],
         grads: &Gradients,
     ) {
-        let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
-        for (id, var) in bound {
-            let (id, var) = (*id, var);
-            if let Some(g) = grads.get(var) {
-                updates.push((id, g.clone()));
-            }
-        }
+        self.apply_updates(store, collect_updates(bound, grads));
+    }
+
+    /// The apply phase of [`Adam::step`], decoupled from the tape:
+    /// takes already-collected `(param, gradient)` updates — in bound
+    /// (ascending-index) order, as [`collect_updates`] produces them —
+    /// clips, and applies the Adam rule. `step` is exactly
+    /// `apply_updates(store, collect_updates(bound, grads))`, so a
+    /// caller that reduces gradients elsewhere (the sharded trainer's
+    /// reduce phase) and feeds the identical update list through here
+    /// updates the store bit-identically to the fused path.
+    pub fn apply_updates(&mut self, store: &mut ParamStore, mut updates: Vec<(ParamId, Tensor)>) {
         apply_clip(&mut updates, self.clip_norm);
         for (id, g) in updates {
             let (m, v, t) = self.state.entry(id).or_insert_with(|| {
@@ -214,18 +219,35 @@ impl Sgd {
         bound: &[(ParamId, spectragan_tensor::Var)],
         grads: &Gradients,
     ) {
-        let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
-        for (id, var) in bound {
-            let (id, var) = (*id, var);
-            if let Some(g) = grads.get(var) {
-                updates.push((id, g.clone()));
-            }
-        }
+        self.apply_updates(store, collect_updates(bound, grads));
+    }
+
+    /// The apply phase of [`Sgd::step`]; same contract as
+    /// [`Adam::apply_updates`].
+    pub fn apply_updates(&mut self, store: &mut ParamStore, mut updates: Vec<(ParamId, Tensor)>) {
         apply_clip(&mut updates, self.clip_norm);
         for (id, g) in updates {
             store.get_mut(id).axpy(-self.lr, &g);
         }
     }
+}
+
+/// Collects the compute phase's output in the form the apply phase
+/// consumes: one `(param, gradient)` pair per bound parameter that has
+/// a gradient, in bound order — ascending [`ParamId::index`], which is
+/// what makes the clip's float-sum order (and therefore the whole
+/// update) reproducible from the list alone.
+pub fn collect_updates(
+    bound: &[(ParamId, spectragan_tensor::Var)],
+    grads: &Gradients,
+) -> Vec<(ParamId, Tensor)> {
+    let mut updates: Vec<(ParamId, Tensor)> = Vec::new();
+    for (id, var) in bound {
+        if let Some(g) = grads.get(var) {
+            updates.push((*id, g.clone()));
+        }
+    }
+    updates
 }
 
 /// Scales all gradients so their joint L2 norm does not exceed
@@ -385,6 +407,34 @@ mod tests {
         let indices: Vec<_> = snap.entries.iter().map(|e| e.index).collect();
         assert_eq!(indices, vec![0, 1, 2, 3]);
         assert!(snap.entries.iter().all(|e| e.t == 1));
+    }
+
+    /// `step` and `collect_updates` → `apply_updates` are the same
+    /// computation, bit-for-bit — the contract the sharded trainer's
+    /// split compute/apply phases rely on.
+    #[test]
+    fn split_collect_apply_matches_fused_step() {
+        let run = |split: bool| -> Vec<u32> {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Tensor::from_vec(vec![0.5, -1.5, 2.5], [3]));
+            let mut opt = Adam::gan(5e-2).with_clip_norm(0.75);
+            for _ in 0..6 {
+                let tape = Tape::new();
+                let bind = Binding::new(&tape, &store);
+                let wv = bind.var(w);
+                let loss = wv.add_scalar(-3.0).mul(&wv.add_scalar(-3.0)).sum();
+                let grads = tape.backward(&loss);
+                let bound = bind.bound();
+                if split {
+                    let updates = collect_updates(&bound, &grads);
+                    opt.apply_updates(&mut store, updates);
+                } else {
+                    opt.step(&mut store, &bound, &grads);
+                }
+            }
+            store.get(w).data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -42,7 +42,6 @@ pub mod simd;
 use crate::ops::FusedAct;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which kernel implementation the dispatch layer routes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,40 +160,46 @@ pub trait Backend: Sync {
     }
 }
 
-/// Programmatic override; 0 means "not set".
-static BACKEND_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// The `SPECTRAGAN_BACKEND` knob, sharing the override/env/default
+/// resolution contract of [`crate::envctl`]. [`BackendKind`] maps to
+/// the knob's non-zero `usize` codes via [`BackendKind::code`].
+static BACKEND: crate::envctl::EnvCtl = crate::envctl::EnvCtl::new("SPECTRAGAN_BACKEND");
+
+impl BackendKind {
+    /// The non-zero [`crate::envctl`] code for this backend.
+    fn code(self) -> usize {
+        match self {
+            BackendKind::Scalar => 1,
+            BackendKind::Simd => 2,
+        }
+    }
+
+    /// Inverse of [`BackendKind::code`].
+    fn from_code(code: usize) -> BackendKind {
+        match code {
+            1 => BackendKind::Scalar,
+            2 => BackendKind::Simd,
+            _ => unreachable!("envctl only stores codes minted by BackendKind::code"),
+        }
+    }
+}
 
 /// Overrides the backend for subsequent kernel calls. `Some(kind)`
 /// forces that backend; `None` restores the environment/default
 /// resolution. Mirrors [`crate::pool::set_threads`].
 pub fn set_backend(kind: Option<BackendKind>) {
-    let v = match kind {
-        Some(BackendKind::Scalar) => 1,
-        Some(BackendKind::Simd) => 2,
-        None => 0,
-    };
-    BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+    BACKEND.set(kind.map(BackendKind::code));
 }
 
-/// The backend kernel calls will use right now.
-///
-/// The environment/default resolution is cached on first use — this
-/// runs on every dispatched kernel call, and `std::env::var` takes the
-/// process environment lock and allocates. Runtime changes go through
-/// [`set_backend`].
+/// The backend kernel calls will use right now: the [`set_backend`]
+/// override, else `SPECTRAGAN_BACKEND`, else [`BackendKind::Scalar`].
+/// The environment/default resolution is cached on first use (see
+/// [`crate::envctl`]) — this runs on every dispatched kernel call.
 pub fn kind() -> BackendKind {
-    match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
-        1 => return BackendKind::Scalar,
-        2 => return BackendKind::Simd,
-        _ => {}
-    }
-    static DEFAULT: std::sync::OnceLock<BackendKind> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var("SPECTRAGAN_BACKEND")
-            .ok()
-            .and_then(|v| BackendKind::parse(&v))
-            .unwrap_or(BackendKind::Scalar)
-    })
+    BackendKind::from_code(BACKEND.get(
+        |s| BackendKind::parse(s).map(BackendKind::code),
+        || BackendKind::Scalar.code(),
+    ))
 }
 
 /// The active backend as a trait object (statics, so dispatch is one

@@ -46,6 +46,7 @@
 
 pub mod arena;
 pub mod backend;
+pub mod envctl;
 pub mod ops;
 pub mod pool;
 pub mod shape;

@@ -55,8 +55,9 @@ fn metrics() -> &'static PoolMetrics {
     })
 }
 
-/// Programmatic override; 0 means "not set".
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// The `SPECTRAGAN_THREADS` knob, sharing the override/env/default
+/// resolution contract of [`crate::envctl`].
+static THREADS: crate::envctl::EnvCtl = crate::envctl::EnvCtl::new("SPECTRAGAN_THREADS");
 
 /// Overrides the worker count for subsequent parallel calls.
 /// `Some(n)` forces `n` workers (`n >= 1`); `None` restores the
@@ -65,36 +66,18 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Results never depend on this setting — it exists so tests and
 /// benchmarks can sweep thread counts within one process.
 pub fn set_threads(n: Option<usize>) {
-    let v = match n {
-        Some(n) => {
-            assert!(n >= 1, "thread count must be at least 1");
-            n
-        }
-        None => 0,
-    };
-    THREAD_OVERRIDE.store(v, Ordering::Relaxed);
+    if let Some(n) = n {
+        assert!(n >= 1, "thread count must be at least 1");
+    }
+    THREADS.set(n);
 }
 
-/// The worker count parallel routines will use right now.
-///
-/// The environment/default resolution is cached on first use:
-/// `std::env::var` takes the process environment lock and allocates,
-/// which is far too expensive for a query made by every parallel
-/// kernel call. Runtime changes go through [`set_threads`].
+/// The worker count parallel routines will use right now: the
+/// [`set_threads`] override, else `SPECTRAGAN_THREADS`, else
+/// [`std::thread::available_parallelism`]. The environment/default
+/// resolution is cached on first use (see [`crate::envctl`]).
 pub fn threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if forced != 0 {
-        return forced;
-    }
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("SPECTRAGAN_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
+    THREADS.get(crate::envctl::parse_count, || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
