@@ -1,9 +1,10 @@
 //! Perf smoke gate for CI: times the hot nn kernels, a short training
 //! run, a full-city generation sweep under **each kernel backend**
 //! (scalar reference, simd), a shard-count sweep over the multiprocess
-//! gradient reducer, and the observability layer's disabled-mode
-//! overhead, prints fixed-width tables and writes the numbers to
-//! `BENCH_pr8.json` so regressions show up in the job summary rather
+//! gradient reducer, the observability layer's disabled-mode overhead,
+//! and the weight-storage sweep (JSON vs f32/f16 `SGWT` containers),
+//! prints fixed-width tables and writes the numbers to
+//! `BENCH_pr9.json` so regressions show up in the job summary rather
 //! than only in local Criterion runs.
 //!
 //! ```text
@@ -68,6 +69,11 @@ const MAX_SEAM_OVERHEAD_PCT: f64 = 3.0;
 
 /// The microbench the hard speedup gate keys on.
 const CONV_GATE_BENCH: &str = "conv2d_bias_fwd_bwd_27ch_16px";
+
+/// Hard floor on the resident-weight reduction of serving out of an
+/// f16 `SGWT` container vs. the JSON model file — the point of the
+/// half-precision path.
+const MIN_F16_RESIDENT_REDUCTION: f64 = 2.0;
 
 #[derive(Serialize)]
 struct MicroRow {
@@ -147,12 +153,38 @@ struct ShardGate {
     seam_overhead_pct: f64,
 }
 
+/// One model-storage format's load latency and residency profile.
+#[derive(Serialize)]
+struct WeightsRow {
+    format: String,
+    file_bytes: u64,
+    /// Open + validate + build the model (best of 3). For SGWT this
+    /// includes every section checksum; layer payloads still load
+    /// lazily.
+    load_ms: f64,
+    /// Weight bytes resident immediately after load (before any
+    /// generation touches a layer).
+    resident_after_load: usize,
+    /// Weight bytes resident after generating a city — the steady
+    /// serving footprint.
+    resident_after_generate: usize,
+    mapped: bool,
+}
+
+#[derive(Serialize)]
+struct WeightsGate {
+    rows: Vec<WeightsRow>,
+    /// JSON resident footprint over the f16 container's, post-generate.
+    f16_resident_reduction: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     backends: Vec<BackendSweep>,
     speedups: Vec<SpeedupRow>,
     shard: ShardGate,
     obs: ObsGate,
+    weights: WeightsGate,
 }
 
 /// Times `f` over `iters` iterations after `warmup` unrecorded ones.
@@ -552,6 +584,101 @@ fn gen_gate() -> Vec<GenRow> {
     rows
 }
 
+/// Weight-storage sweep: load latency and resident weight bytes for
+/// the JSON model file vs. f32 and f16 `SGWT` containers, measured
+/// around a real generation so lazy sections get their first touch.
+///
+/// The hard gate: the f16 container's post-generation resident weight
+/// footprint must be at most 1/[`MIN_F16_RESIDENT_REDUCTION`] of the
+/// JSON path's — halving serving memory is the contract that pays for
+/// the half-precision machinery.
+fn weights_gate() -> WeightsGate {
+    use spectragan_core::weights::{self, Precision, WeightStore};
+
+    let dir = std::env::temp_dir().join(format!("sg_perf_weights_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create weights gate dir");
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let json_path = dir.join("model.json");
+    std::fs::write(&json_path, model.to_model_json()).expect("write model.json");
+    let f32_path = dir.join("model_f32.sgwt");
+    weights::save_weights(&model, &f32_path, Precision::F32).expect("write f32 sgwt");
+    let f16_path = dir.join("model_f16.sgwt");
+    weights::save_weights(&model, &f16_path, Precision::F16).expect("write f16 sgwt");
+
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 1.0,
+    };
+    let city = generate_city(
+        &CityConfig {
+            name: "WG".into(),
+            height: 33,
+            width: 33,
+            seed: 11,
+        },
+        &ds,
+    );
+
+    let mut rows = Vec::new();
+    let mut measure =
+        |format: &str, path: &std::path::Path, load: &dyn Fn() -> (SpectraGan, bool)| {
+            let mut best = f64::INFINITY;
+            let mut loaded = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let out = load();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+                loaded = Some(out);
+            }
+            let (m, mapped) = loaded.expect("at least one load");
+            let resident_after_load = m.store().resident_weight_bytes();
+            black_box(m.generate_batched_report(&city.context, 24, 5, true, 16));
+            rows.push(WeightsRow {
+                format: format.to_string(),
+                file_bytes: std::fs::metadata(path).expect("stat model file").len(),
+                load_ms: best,
+                resident_after_load,
+                resident_after_generate: m.store().resident_weight_bytes(),
+                mapped,
+            });
+        };
+    measure("json", &json_path, &|| {
+        let json = std::fs::read_to_string(&json_path).expect("read model.json");
+        (
+            SpectraGan::from_model_json(&json).expect("parse model.json"),
+            false,
+        )
+    });
+    for (format, path, _precision) in [
+        ("sgwt-f32", &f32_path, Precision::F32),
+        ("sgwt-f16", &f16_path, Precision::F16),
+    ] {
+        measure(format, path, &|| {
+            let store = WeightStore::open(path).expect("open sgwt");
+            store.validate_all().expect("validate sgwt");
+            let mapped = store.is_mapped();
+            (store.load_model().expect("load sgwt model"), mapped)
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json_resident = rows[0].resident_after_generate as f64;
+    let f16_resident = rows[2].resident_after_generate as f64;
+    let f16_resident_reduction = json_resident / f16_resident;
+    assert!(
+        f16_resident_reduction >= MIN_F16_RESIDENT_REDUCTION,
+        "f16 container keeps {f16_resident:.0} weight bytes resident vs {json_resident:.0} \
+         for JSON — only {f16_resident_reduction:.2}x under the \
+         {MIN_F16_RESIDENT_REDUCTION}x floor"
+    );
+
+    WeightsGate {
+        rows,
+        f16_resident_reduction,
+    }
+}
+
 /// Runs the full measurement sweep under one pinned backend.
 fn backend_sweep(kind: BackendKind) -> BackendSweep {
     set_backend(Some(kind));
@@ -663,6 +790,7 @@ fn main() {
     set_backend(Some(BackendKind::Scalar));
     let shard = shard_gate(scalar.train.ms_per_step);
     let obs = obs_gate(scalar.train.ms_per_step);
+    let weights = weights_gate();
     set_backend(None);
 
     print_sweep(&scalar);
@@ -733,13 +861,37 @@ fn main() {
         format!("{:.4}", obs.projected_overhead_pct)
     );
 
+    println!();
+    println!("perf gate — weight storage (load + generate, tiny model)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>14} {:>7}",
+        "format", "file B", "load ms", "resident@load", "resident@gen", "mapped"
+    );
+    for r in &weights.rows {
+        println!(
+            "{:<10} {:>10} {:>10.2} {:>14} {:>14} {:>7}",
+            r.format,
+            r.file_bytes,
+            r.load_ms,
+            r.resident_after_load,
+            r.resident_after_generate,
+            r.mapped
+        );
+    }
+    println!(
+        "{:<28} {:>12}",
+        "f16 resident reduction",
+        format!("{:.2}x", weights.f16_resident_reduction)
+    );
+
     let report = Report {
         backends: vec![scalar, simd],
         speedups,
         shard,
         obs,
+        weights,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write("BENCH_pr8.json", json).expect("write BENCH_pr8.json");
-    eprintln!("wrote BENCH_pr8.json");
+    std::fs::write("BENCH_pr9.json", json).expect("write BENCH_pr9.json");
+    eprintln!("wrote BENCH_pr9.json");
 }

@@ -4,7 +4,7 @@
 use crate::args::Args;
 use crate::dataset_dir::{read_dataset, write_dataset};
 use spectragan_core::{
-    checkpoint, SpectraGan, SpectraGanConfig, TrainConfig, TrainOptions, Variant,
+    checkpoint, weights, SpectraGan, SpectraGanConfig, TrainConfig, TrainOptions, Variant,
 };
 use spectragan_geo::io::{atomic_write, load_context, load_traffic, save_traffic, traffic_to_csv};
 use spectragan_metrics::{ac_l1, fvd, m_emd, m_tv, ssim_mean_maps, tstr_r2};
@@ -268,9 +268,20 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--weights-precision` into an optional override.
+fn weights_precision_arg(args: &Args) -> Result<Option<weights::Precision>, String> {
+    args.get("weights-precision")
+        .map(|s| weights::Precision::parse(s).map_err(|e| e.to_string()))
+        .transpose()
+}
+
 /// `spectragan generate --model MODEL --context FILE.sgcm --hours N
-/// --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]` — generate
-/// traffic for a region, reporting throughput and peak buffer memory.
+/// --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
+/// [--weights-precision f32|f16]` — generate traffic for a region,
+/// reporting throughput and peak buffer memory. MODEL may be a JSON
+/// model file or an `SGWT` weight container (detected by magic);
+/// `--weights-precision f16` narrows the weights in memory, halving
+/// their resident bytes for the run.
 pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let ctx_path = args.require("context").map_err(|e| e.to_string())?;
@@ -288,8 +299,14 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
         return Err("--gen-batch must be at least 1".into());
     }
 
-    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
-    let model = SpectraGan::from_model_json(&json).map_err(|e| e.to_string())?;
+    let mut model =
+        weights::load_model_auto(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    if weights_precision_arg(args)? == Some(weights::Precision::F16)
+        && !model.store().has_half_storage()
+    {
+        weights::narrow_to_f16(&mut model);
+    }
+    let model = model;
     let context = load_context(ctx_path).map_err(|e| format!("{ctx_path}: {e}"))?;
     let steps_per_hour = {
         // Model train_len is a week; derive granularity from it.
@@ -358,6 +375,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         .get_parsed("max-hours", 24 * 366, "integer")
         .map_err(|e| e.to_string())?;
     cfg.max_t_out = max_hours; // hourly models; sub-hourly caps are stricter
+    cfg.weights_precision = weights_precision_arg(args)?;
 
     let workers = cfg.workers;
     let server = spectragan_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
@@ -380,6 +398,34 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     });
     server.run().map_err(|e| e.to_string())?;
     println!("drained in-flight requests, shut down cleanly");
+    Ok(())
+}
+
+/// `spectragan export-weights --model MODEL --out FILE.sgwt
+/// [--precision f32|f16]` — convert a model (JSON or SGWT) into an
+/// `SGWT` weight container: checksummed, 64-byte-aligned raw tensor
+/// sections that `generate` and `serve` open zero-copy via mmap.
+/// `--precision f16` stores half-precision sections, halving both the
+/// file and the resident serving footprint.
+pub fn cmd_export_weights(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let precision = args
+        .get("precision")
+        .map(weights::Precision::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?
+        .unwrap_or(weights::Precision::F32);
+    let model = weights::load_model_auto(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    weights::save_weights(&model, out, precision).map_err(|e| e.to_string())?;
+    let store = weights::WeightStore::open(out).map_err(|e| e.to_string())?;
+    println!(
+        "exported {} layers ({} weights, {} section bytes, {}) → {out}",
+        store.len(),
+        model.store().num_weights(),
+        store.section_bytes(),
+        precision.name()
+    );
     Ok(())
 }
 
@@ -436,6 +482,26 @@ pub fn cmd_info(args: &Args) -> Result<(), String> {
             m.height(),
             m.width()
         );
+    } else if path.ends_with(".sgwt") {
+        let store = weights::WeightStore::open(path).map_err(|e| format!("{path}: {e}"))?;
+        store.validate_all().map_err(|e| format!("{path}: {e}"))?;
+        let cfg = store.config();
+        println!(
+            "SGWT weight container: variant {:?}, {} precision",
+            cfg.variant,
+            store.precision().name()
+        );
+        println!(
+            "  T = {}, {} layers, {} section bytes{}",
+            cfg.train_len,
+            store.len(),
+            store.section_bytes(),
+            if store.is_mapped() {
+                ", memory-mapped"
+            } else {
+                ""
+            }
+        );
     } else {
         let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let model = SpectraGan::from_model_json(&json).map_err(|e| e.to_string())?;
@@ -462,9 +528,11 @@ USAGE:
                       [--run-dir DIR] [--checkpoint-every N] [--guard-grad-norm F] [--guard-max-retries N] [--op-stats]
                       [--shards N] [--grad-accum K] [--trace TRACE.json] [--metrics-snapshot FILE.prom]
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
-  spectragan generate --model MODEL.json --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
-                      [--trace TRACE.json] [--metrics-snapshot FILE.prom]
+  spectragan generate --model MODEL --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
+                      [--weights-precision f32|f16] [--trace TRACE.json] [--metrics-snapshot FILE.prom]
+  spectragan export-weights --model MODEL --out FILE.sgwt [--precision f32|f16]
   spectragan serve    --models DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] [--budget-mib N] [--max-hours N]
+                      [--weights-precision f32|f16]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
@@ -493,9 +561,19 @@ peak memory is independent of city size and patch overlap; --gen-batch
 sets the patches per generator chunk (default 16) and the summary line
 reports wall time, Mpx·steps/s and peak buffer MiB.
 
+Weight containers: `export-weights` converts a model into an SGWT
+container — checksummed, 64-byte-aligned raw tensor sections behind a
+CRC-verified directory. `generate` and `serve` detect SGWT files by
+magic, open them zero-copy via mmap (layers are read on first touch)
+and fall back to buffered reads where mmap is unavailable. f16
+containers (and --weights-precision f16) halve resident weight bytes;
+f32 containers generate bit-identically to the JSON model file.
+
 Serving: `serve` runs a long-lived multi-city generation server over
 HTTP/1.1. The models directory holds one `<city>.sgcm` context per city
-plus shared `model.json` weights (or per-city `<city>.json`). POST
+plus shared `model.sgwt` / `model.json` weights (or per-city
+`<city>.sgwt` / `<city>.json`; SGWT wins at each tier). GET /cities
+reports each city's load state and resident weight bytes. POST
 /generate with {\"city\", \"t_out\", \"seed\", \"gen_batch\", \"format\"}
 streams SGBD band frames over chunked transfer-encoding (format
 \"bands\", the default) or returns one SGTM body byte-identical to the

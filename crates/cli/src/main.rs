@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "dataset" => commands::cmd_dataset(&parsed),
         "train" => commands::cmd_train(&parsed),
         "generate" => commands::cmd_generate(&parsed),
+        "export-weights" => commands::cmd_export_weights(&parsed),
         "evaluate" => commands::cmd_evaluate(&parsed),
         "serve" => commands::cmd_serve(&parsed),
         "info" => commands::cmd_info(&parsed),

@@ -2,7 +2,9 @@
 //! info, entirely through the command functions.
 
 use spectragan_cli::args::Args;
-use spectragan_cli::commands::{cmd_dataset, cmd_evaluate, cmd_generate, cmd_info, cmd_train};
+use spectragan_cli::commands::{
+    cmd_dataset, cmd_evaluate, cmd_export_weights, cmd_generate, cmd_info, cmd_train,
+};
 use std::path::PathBuf;
 
 fn run(cmd: fn(&Args) -> Result<(), String>, argv: &str) -> Result<(), String> {
@@ -90,6 +92,64 @@ fn full_workflow_runs() {
     ] {
         run(cmd_info, &format!("info --file {}", f.display())).unwrap();
     }
+
+    // Export to an SGWT container and generate from it: the traffic
+    // bytes must match the JSON-model generation exactly.
+    let sgwt = tmp("model.sgwt");
+    let synth2 = tmp("synth_sgwt.sgtm");
+    run(
+        cmd_export_weights,
+        &format!(
+            "export-weights --model {} --out {}",
+            model.display(),
+            sgwt.display()
+        ),
+    )
+    .unwrap();
+    run(cmd_info, &format!("info --file {}", sgwt.display())).unwrap();
+    run(
+        cmd_generate,
+        &format!(
+            "generate --model {} --context {} --hours 24 --out {} --seed 3",
+            sgwt.display(),
+            data.join("city_1.sgcm").display(),
+            synth2.display()
+        ),
+    )
+    .unwrap();
+    assert_eq!(
+        std::fs::read(&synth).unwrap(),
+        std::fs::read(&synth2).unwrap(),
+        "SGWT generation bytes differ from JSON-model generation"
+    );
+
+    // f16 export + half-precision generation still runs end to end.
+    let sgwt16 = tmp("model_f16.sgwt");
+    let synth16 = tmp("synth_f16.sgtm");
+    run(
+        cmd_export_weights,
+        &format!(
+            "export-weights --model {} --out {} --precision f16",
+            model.display(),
+            sgwt16.display()
+        ),
+    )
+    .unwrap();
+    assert!(
+        std::fs::metadata(&sgwt16).unwrap().len() < std::fs::metadata(&sgwt).unwrap().len(),
+        "f16 container must be smaller than f32"
+    );
+    run(
+        cmd_generate,
+        &format!(
+            "generate --model {} --context {} --hours 24 --out {} --seed 3",
+            sgwt16.display(),
+            data.join("city_1.sgcm").display(),
+            synth16.display()
+        ),
+    )
+    .unwrap();
+    assert!(synth16.exists());
 }
 
 #[test]
@@ -296,7 +356,7 @@ fn bad_inputs_give_clean_errors() {
         "generate --model /nonexistent --context /n --hours 1 --out /tmp/x",
     )
     .unwrap_err();
-    assert!(err.contains("read"), "{err}");
+    assert!(err.contains("/nonexistent"), "{err}");
     let err = run(cmd_dataset, "dataset --out /tmp/sg_bad --granularity 45").unwrap_err();
     assert!(err.contains("granularity"), "{err}");
     let err = run(cmd_dataset, "dataset --out /tmp/sg_bad --country 9").unwrap_err();

@@ -30,7 +30,7 @@ use crate::config::{SpectraGanConfig, TrainConfig};
 use crate::error::CoreError;
 use crate::train::TrainStats;
 use serde::Serialize;
-use spectragan_geo::io::{atomic_write, decode_checked, encode_checked};
+use spectragan_geo::io::{atomic_write, encode_checked, read_checked_frame};
 use spectragan_nn::{AdamState, ParamStore};
 use spectragan_obs as obs;
 use spectragan_obs::SpanStat;
@@ -202,12 +202,28 @@ pub fn save(run_dir: &Path, ckpt: &Checkpoint) -> Result<PathBuf, CoreError> {
     Ok(path)
 }
 
+/// Allocation cap for one checkpoint payload. The length header of a
+/// checked frame is read before its CRC can be validated, so a corrupt
+/// or forged checkpoint claiming 2^60 bytes must fail typed instead of
+/// driving an unbounded allocation. 4 GiB is far above any real
+/// checkpoint (weights + both optimizers' moments as JSON).
+pub const CHECKPOINT_MAX_BYTES: usize = 4 << 30;
+
 /// Loads and validates one checkpoint file.
 pub fn load(path: &Path) -> Result<Checkpoint, CoreError> {
-    let bytes = fs::read(path).map_err(|e| CoreError::io(path, e))?;
-    let payload = decode_checked(CHECKPOINT_MAGIC, &bytes)
+    let mut f = fs::File::open(path).map_err(|e| CoreError::io(path, e))?;
+    let payload = read_checked_frame(&mut f, CHECKPOINT_MAGIC, CHECKPOINT_MAX_BYTES)
         .map_err(|e| CoreError::Checkpoint(format!("{}: {e}", path.display())))?;
-    let json = std::str::from_utf8(payload).map_err(|e| {
+    // Trailing bytes after the frame mean the file is not a checkpoint
+    // we wrote (atomic_write lands exactly one frame per file).
+    let mut probe = [0u8; 1];
+    if matches!(std::io::Read::read(&mut f, &mut probe), Ok(n) if n > 0) {
+        return Err(CoreError::Checkpoint(format!(
+            "{}: trailing bytes after checkpoint frame",
+            path.display()
+        )));
+    }
+    let json = std::str::from_utf8(&payload).map_err(|e| {
         CoreError::Checkpoint(format!("{}: non-UTF-8 payload: {e}", path.display()))
     })?;
     let ckpt: Checkpoint = serde_json::from_str(json)

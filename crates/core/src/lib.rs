@@ -45,6 +45,7 @@ pub mod generate;
 pub mod model;
 pub mod shard;
 pub mod train;
+pub mod weights;
 
 pub use checkpoint::{Checkpoint, LogRecord};
 pub use config::{SpectraGanConfig, TrainConfig, Variant};
@@ -52,3 +53,4 @@ pub use error::CoreError;
 pub use generate::{GenReport, PreparedContext};
 pub use shard::{GradReducer, LocalReducer, Phase, StepGrads};
 pub use train::{SpectraGan, TrainOptions, TrainStats};
+pub use weights::{Precision, WeightStore};

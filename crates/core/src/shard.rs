@@ -225,6 +225,17 @@ const CMD_SHUTDOWN: u8 = 3;
 const REPLY_REPORT: u8 = 1;
 const REPLY_ACK: u8 = 2;
 
+/// Allocation cap for command frames read off the pipe. Commands are a
+/// fixed 13 bytes; anything claiming more is a corrupt or forged
+/// header, not a bigger command.
+const CMD_FRAME_MAX: usize = 64;
+
+/// Allocation cap for report/ack frames. A report carries at most one
+/// gradient per owned parameter, so it is bounded by the model size;
+/// 1 GiB is far above any real model here while still making a forged
+/// 2^60-byte length header a typed error instead of an OOM.
+const REPORT_FRAME_MAX: usize = 1 << 30;
+
 /// Coordinator → worker orders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Command {
@@ -603,11 +614,13 @@ mod multiprocess {
                     self.shard
                 )));
             }
-            read_checked_frame(&mut self.rep_r, GRAD_FRAME_MAGIC).map_err(|e| match e {
-                IoError::Fs(e) if e.kind() == io::ErrorKind::UnexpectedEof => CoreError::Shard(
-                    format!("shard {}: worker closed its report pipe", self.shard),
-                ),
-                other => CoreError::Shard(format!("shard {}: {other}", self.shard)),
+            read_checked_frame(&mut self.rep_r, GRAD_FRAME_MAGIC, REPORT_FRAME_MAX).map_err(|e| {
+                match e {
+                    IoError::Fs(e) if e.kind() == io::ErrorKind::UnexpectedEof => CoreError::Shard(
+                        format!("shard {}: worker closed its report pipe", self.shard),
+                    ),
+                    other => CoreError::Shard(format!("shard {}: {other}", self.shard)),
+                }
             })
         }
     }
@@ -922,7 +935,8 @@ mod multiprocess {
     ) -> ! {
         let mut cached: Option<(u64, u32, StepGrads)> = None;
         loop {
-            let Ok(payload) = read_checked_frame(&mut cmd_r, GRAD_FRAME_MAGIC) else {
+            let Ok(payload) = read_checked_frame(&mut cmd_r, GRAD_FRAME_MAGIC, CMD_FRAME_MAX)
+            else {
                 // Coordinator gone (EOF) or stream corrupt: exit.
                 unsafe { _exit(0) }
             };

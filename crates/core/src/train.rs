@@ -250,6 +250,12 @@ impl SpectraGan {
         (&self.cfg, &self.store, &self.gen)
     }
 
+    /// Mutable store access for the weight-container loader, which
+    /// swaps dense parameters for mapped or half-precision storage.
+    pub(crate) fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
     /// Serializes all weights to JSON.
     pub fn weights_json(&self) -> String {
         self.store.to_json()

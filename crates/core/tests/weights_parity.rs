@@ -1,0 +1,106 @@
+//! End-to-end parity gates for the `SGWT` weight container.
+//!
+//! Two contracts, both load-bearing for serving:
+//!
+//! * **f32 containers are invisible.** Generation from a model loaded
+//!   out of an f32 `SGWT` container is bit-identical to generation
+//!   from the same model loaded out of the JSON model file — the
+//!   container is a storage change, never a numerics change.
+//! * **f16 containers are spectrally faithful.** Half-precision
+//!   weights may perturb individual values, but the *distributional*
+//!   quality the paper measures (marginal EMD/TV, autocorrelation)
+//!   must stay within a small ε of the f32 output on the same
+//!   context and seed.
+
+use spectragan_core::weights::{self, Precision, WeightStore};
+use spectragan_core::{SpectraGan, SpectraGanConfig};
+use spectragan_synthdata::{generate_city, CityConfig, DatasetConfig};
+
+fn tiny_city(seed: u64) -> spectragan_geo::City {
+    let ds = DatasetConfig {
+        weeks: 1,
+        steps_per_hour: 1,
+        size_scale: 0.36,
+    };
+    generate_city(
+        &CityConfig {
+            name: format!("W{seed}"),
+            height: 33,
+            width: 33,
+            seed,
+        },
+        &ds,
+    )
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("spectragan-weights-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn sgwt_f32_generation_is_bit_identical_to_json_path() {
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 11);
+    let city = tiny_city(5);
+
+    let json_path = tmp("parity.json");
+    std::fs::write(&json_path, model.to_model_json()).unwrap();
+    let sgwt_path = tmp("parity.sgwt");
+    weights::save_weights(&model, &sgwt_path, Precision::F32).unwrap();
+
+    let from_json = weights::load_model_auto(&json_path).unwrap();
+    let from_sgwt = weights::load_model_auto(&sgwt_path).unwrap();
+
+    let a = from_json.generate(&city.context, 24, 7);
+    let b = from_sgwt.generate(&city.context, 24, 7);
+    assert_eq!(a.len_t(), b.len_t());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "f32 container changed generation");
+    }
+
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&sgwt_path).ok();
+}
+
+#[test]
+fn sgwt_f16_generation_stays_within_spectral_epsilon() {
+    let model = SpectraGan::new(SpectraGanConfig::tiny(), 11);
+    let city = tiny_city(5);
+    let reference = model.generate(&city.context, 48, 7);
+
+    let path = tmp("epsilon.sgwt");
+    weights::save_weights(&model, &path, Precision::F16).unwrap();
+    let store = WeightStore::open(&path).unwrap();
+    store.validate_all().unwrap();
+    assert_eq!(store.precision(), Precision::F16);
+    let half = store.load_model().unwrap();
+    assert!(half.store().has_half_storage());
+    let narrowed = half.generate(&city.context, 48, 7);
+
+    // Distributional ε gate: the spectral/marginal metrics the paper
+    // evaluates with must barely move under weight narrowing.
+    let emd = spectragan_metrics::m_emd(&reference, &narrowed);
+    let tv = spectragan_metrics::m_tv(&reference, &narrowed);
+    let ac = spectragan_metrics::ac_l1(&reference, &narrowed, 12);
+    assert!(emd < 5e-2, "m_EMD {emd} above the f16 parity gate");
+    assert!(tv < 1e-1, "m_TV {tv} above the f16 parity gate");
+    assert!(ac < 5e-2, "AC-L1 {ac} above the f16 parity gate");
+
+    // And pointwise the traffic should track closely in aggregate.
+    let mean_ref: f64 =
+        reference.data().iter().map(|&v| v as f64).sum::<f64>() / reference.data().len() as f64;
+    let mean_err: f64 = reference
+        .data()
+        .iter()
+        .zip(narrowed.data())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum::<f64>()
+        / reference.data().len() as f64;
+    assert!(
+        mean_err <= 1e-2 * mean_ref.max(1e-6),
+        "mean abs error {mean_err} vs mean traffic {mean_ref}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -92,6 +92,11 @@ pub enum IoError {
     BadCsv(String),
     /// Payload checksum mismatch (torn write or bit corruption).
     BadChecksum { expected: u32, actual: u32 },
+    /// A frame's length header exceeds the caller's cap. Length
+    /// headers are read *before* the CRC can be validated, so they are
+    /// untrusted input: without a cap a forged or corrupt header could
+    /// drive an arbitrarily large allocation.
+    FrameTooLarge { len: u64, max: usize },
 }
 
 impl fmt::Display for IoError {
@@ -113,6 +118,13 @@ impl fmt::Display for IoError {
                     f,
                     "checksum mismatch: header says {expected:#010x}, payload hashes to \
                      {actual:#010x} (torn write or corruption)"
+                )
+            }
+            IoError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame length header claims {len} bytes, above the {max}-byte cap \
+                     (forged or corrupt frame)"
                 )
             }
         }
@@ -288,7 +300,20 @@ pub fn write_checked_frame(
 /// Magic, version and CRC failures are the same [`IoError`]s
 /// [`decode_checked`] reports; a stream that ends mid-frame surfaces
 /// as [`IoError::Fs`] (`UnexpectedEof`).
-pub fn read_checked_frame(r: &mut impl Read, magic: &[u8; 4]) -> Result<Vec<u8>, IoError> {
+///
+/// The length header is parsed *before* the CRC can possibly be
+/// checked (the CRC covers the payload the header delimits), so it is
+/// untrusted input. `max_len` caps it: a frame claiming more payload
+/// bytes than `max_len` is rejected as [`IoError::FrameTooLarge`]
+/// without any allocation, so a forged 2^60-byte header can never OOM
+/// the reader. Callers pick a cap from what the protocol can
+/// legitimately carry (a command frame is tens of bytes; a gradient
+/// frame is bounded by the model size).
+pub fn read_checked_frame(
+    r: &mut impl Read,
+    magic: &[u8; 4],
+    max_len: usize,
+) -> Result<Vec<u8>, IoError> {
     let mut header = [0u8; CHECKED_HEADER];
     r.read_exact(&mut header)?;
     if &header[..4] != magic {
@@ -298,10 +323,25 @@ pub fn read_checked_frame(r: &mut impl Read, magic: &[u8; 4]) -> Result<Vec<u8>,
     if version != FORMAT_VERSION {
         return Err(IoError::BadVersion(version));
     }
-    let len = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes")) as usize;
+    let len64 = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    if len64 > max_len as u64 {
+        return Err(IoError::FrameTooLarge {
+            len: len64,
+            max: max_len,
+        });
+    }
+    let len = len64 as usize;
     let expected_crc = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::with_capacity(len);
+    r.take(len as u64).read_to_end(&mut payload)?;
+    if payload.len() < len {
+        // A short read is a torn write, not a filesystem fault: report
+        // it as the length mismatch it is.
+        return Err(IoError::BadLength {
+            expected: len,
+            actual: payload.len(),
+        });
+    }
     let actual_crc = crc32(&payload);
     if actual_crc != expected_crc {
         return Err(IoError::BadChecksum {
@@ -321,18 +361,77 @@ pub fn encode_traffic(map: &TrafficMap) -> Vec<u8> {
     )
 }
 
+/// Converts a dimension to its u32 wire form, panicking with a typed
+/// message if it does not fit. The container headers store dimensions
+/// as u32; a silent `as u32` truncation here would write a header that
+/// decodes to the *wrong* (smaller) map without any error.
+fn dim_u32(d: usize) -> u32 {
+    u32::try_from(d).unwrap_or_else(|_| {
+        panic!(
+            "dimension {d} exceeds the u32 container limit ({}); \
+             the map cannot be encoded without truncation",
+            u32::MAX
+        )
+    })
+}
+
+/// Appends `data`'s little-endian byte image to `buf`.
+///
+/// On little-endian targets this is a single bulk copy of the slice's
+/// raw bytes — bit-identical to the portable per-element loop (which
+/// remains the big-endian fallback), since an f32's memory image *is*
+/// its `to_le_bytes` there.
+pub fn extend_f32_le(buf: &mut Vec<u8>, data: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: any initialized &[f32] is readable as bytes; size is
+        // exactly 4 bytes per element and u8 has no alignment needs.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), 4 * data.len()) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a little-endian f32 payload (`bytes.len()` must be a
+/// multiple of 4). Bulk counterpart of [`extend_f32_le`]: one copy on
+/// little-endian targets, per-element `from_le_bytes` elsewhere.
+pub fn f32s_from_le(bytes: &[u8]) -> Vec<f32> {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    #[cfg(target_endian = "little")]
+    {
+        let mut out = vec![0f32; bytes.len() / 4];
+        // Safety: the destination owns exactly `bytes.len()` bytes of
+        // f32 storage, every bit pattern of which is a valid f32.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+        out
+    }
+    #[cfg(not(target_endian = "little"))]
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
 /// Shared encoder: magic, version, three u32 dims, f32 payload — all
-/// little-endian.
+/// little-endian. Panics if a dimension exceeds u32 (see [`dim_u32`]).
 fn encode_map(magic: &[u8; 4], dims: [usize; 3], data: &[f32]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(18 + 4 * data.len());
     buf.extend_from_slice(magic);
     buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     for d in dims {
-        buf.extend_from_slice(&(d as u32).to_le_bytes());
+        buf.extend_from_slice(&dim_u32(d).to_le_bytes());
     }
-    for &v in data {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
+    extend_f32_le(&mut buf, data);
     buf
 }
 
@@ -344,10 +443,7 @@ fn decode_payload(bytes: &[u8], expected: usize) -> Result<Vec<f32>, IoError> {
             actual: bytes.len(),
         });
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    Ok(f32s_from_le(bytes))
 }
 
 /// Decodes a traffic map from the SGTM container.
@@ -416,11 +512,9 @@ pub fn encode_band(band: &TrafficBand) -> Vec<u8> {
     buf.extend_from_slice(BAND_MAGIC);
     buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     for d in [band.y0, band.rows, band.t, band.w] {
-        buf.extend_from_slice(&(d as u32).to_le_bytes());
+        buf.extend_from_slice(&dim_u32(d).to_le_bytes());
     }
-    for &v in &band.data {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
+    extend_f32_le(&mut buf, &band.data);
     buf
 }
 
@@ -690,17 +784,20 @@ mod tests {
         write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, &[0xAB; 1000]).unwrap();
         let mut r = stream.as_slice();
         assert_eq!(
-            read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(),
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC, 1 << 20).unwrap(),
             b"first frame"
         );
-        assert_eq!(read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(), b"");
         assert_eq!(
-            read_checked_frame(&mut r, GRAD_FRAME_MAGIC).unwrap(),
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC, 1 << 20).unwrap(),
+            b""
+        );
+        assert_eq!(
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC, 1 << 20).unwrap(),
             vec![0xAB; 1000]
         );
         // The stream is fully consumed; a further read is a clean EOF.
         assert!(matches!(
-            read_checked_frame(&mut r, GRAD_FRAME_MAGIC),
+            read_checked_frame(&mut r, GRAD_FRAME_MAGIC, 1 << 20),
             Err(IoError::Fs(ref e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
         ));
     }
@@ -711,7 +808,7 @@ mod tests {
         write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, b"payload bytes").unwrap();
         // Wrong magic.
         assert!(matches!(
-            read_checked_frame(&mut stream.as_slice(), b"XXXX"),
+            read_checked_frame(&mut stream.as_slice(), b"XXXX", 1 << 20),
             Err(IoError::BadMagic)
         ));
         // A flipped payload bit fails the CRC.
@@ -719,20 +816,20 @@ mod tests {
         let last = flipped.len() - 1;
         flipped[last] ^= 0x01;
         assert!(matches!(
-            read_checked_frame(&mut flipped.as_slice(), GRAD_FRAME_MAGIC),
+            read_checked_frame(&mut flipped.as_slice(), GRAD_FRAME_MAGIC, 1 << 20),
             Err(IoError::BadChecksum { .. })
         ));
-        // Truncation mid-payload is an EOF, never valid data.
+        // Truncation mid-payload is a length mismatch, never valid data.
         let cut = &stream[..stream.len() - 2];
         assert!(matches!(
-            read_checked_frame(&mut &cut[..], GRAD_FRAME_MAGIC),
-            Err(IoError::Fs(_))
+            read_checked_frame(&mut &cut[..], GRAD_FRAME_MAGIC, 1 << 20),
+            Err(IoError::BadLength { .. })
         ));
         // A bad version is reported as such.
         let mut badver = stream.clone();
         badver[4] = 7;
         assert!(matches!(
-            read_checked_frame(&mut badver.as_slice(), GRAD_FRAME_MAGIC),
+            read_checked_frame(&mut badver.as_slice(), GRAD_FRAME_MAGIC, 1 << 20),
             Err(IoError::BadVersion(7))
         ));
     }
@@ -765,6 +862,117 @@ mod tests {
         let csv = traffic_to_csv(&map);
         let back = traffic_from_csv(&csv).unwrap();
         assert_eq!(back, map);
+    }
+
+    #[test]
+    fn forged_giant_length_header_is_rejected_without_allocation() {
+        // A frame whose header claims 2^60 payload bytes. Reading it
+        // must fail typed at the cap check — before the payload buffer
+        // is allocated — or a corrupt checkpoint / torn pipe frame
+        // could OOM the process.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(GRAD_FRAME_MAGIC);
+        forged.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        forged.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        forged.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_checked_frame(&mut forged.as_slice(), GRAD_FRAME_MAGIC, 1 << 20),
+            Err(IoError::FrameTooLarge {
+                len,
+                max: 1_048_576,
+            }) if len == 1 << 60
+        ));
+    }
+
+    #[test]
+    fn frame_cap_is_inclusive() {
+        // A frame exactly at the cap passes; one byte over fails.
+        let payload = vec![0x5Au8; 64];
+        let mut stream = Vec::new();
+        write_checked_frame(&mut stream, GRAD_FRAME_MAGIC, &payload).unwrap();
+        assert_eq!(
+            read_checked_frame(&mut stream.as_slice(), GRAD_FRAME_MAGIC, 64).unwrap(),
+            payload
+        );
+        assert!(matches!(
+            read_checked_frame(&mut stream.as_slice(), GRAD_FRAME_MAGIC, 63),
+            Err(IoError::FrameTooLarge { len: 64, max: 63 })
+        ));
+    }
+
+    #[test]
+    fn dims_at_the_u32_boundary_roundtrip() {
+        // u32::MAX is the largest encodable dimension. A zero dim keeps
+        // the payload empty so the boundary is cheap to exercise.
+        let dims = [u32::MAX as usize, 0, 1];
+        let bytes = encode_map(TRAFFIC_MAGIC, dims, &[]);
+        let mut rest = bytes.as_slice();
+        let (t, h, w) = decode_header(&mut rest, TRAFFIC_MAGIC).unwrap();
+        assert_eq!((t, h, w), (u32::MAX as usize, 0, 1));
+        assert!(rest.is_empty());
+        // Through the public band path too.
+        let band = TrafficBand {
+            y0: u32::MAX as usize,
+            rows: 0,
+            t: 3,
+            w: 2,
+            data: Vec::new(),
+        };
+        let back = decode_band(&encode_band(&band)).unwrap();
+        assert_eq!(back, band);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "exceeds the u32 container limit")]
+    fn dims_over_u32_panic_with_typed_message() {
+        encode_map(TRAFFIC_MAGIC, [u32::MAX as usize + 1, 0, 1], &[]);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "exceeds the u32 container limit")]
+    fn band_dims_over_u32_panic_with_typed_message() {
+        encode_band(&TrafficBand {
+            y0: u32::MAX as usize + 1,
+            rows: 0,
+            t: 1,
+            w: 1,
+            data: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn bulk_f32_paths_are_bit_identical_to_scalar() {
+        // Values chosen to have asymmetric byte patterns (NaN payloads,
+        // subnormals, -0.0) so any endianness or offset slip shows up.
+        let vals = [
+            0.0f32,
+            -0.0,
+            1.5,
+            -2.625e-39,
+            f32::NAN,
+            f32::INFINITY,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0xDEAD_BEEF),
+            f32::from_bits(0x0000_0001),
+        ];
+        let mut bulk = Vec::new();
+        extend_f32_le(&mut bulk, &vals);
+        let mut scalar = Vec::new();
+        for &v in &vals {
+            scalar.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, scalar);
+        let decoded = f32s_from_le(&bulk);
+        let reference: Vec<f32> = bulk
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        assert_eq!(
+            decoded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

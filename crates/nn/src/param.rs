@@ -6,11 +6,31 @@
 //! keep, and [`Binding`] lazily creates one leaf [`Var`] per parameter
 //! on the current tape so a forward pass can use them and the optimizer
 //! can look their gradients up afterwards.
+//!
+//! # Reduced-precision storage
+//!
+//! A parameter is normally a resident f32 [`Tensor`] ([`Slot::Dense`]).
+//! For serving, a store may instead hold **f16 storage bytes**
+//! ([`Slot::Half`]) backed by an [`F16Slice`] — typically a section of
+//! a memory-mapped weight container owned by `spectragan-core`. The
+//! split keeps the precision contract structural:
+//!
+//! * [`ParamStore::get`]/[`ParamStore::get_mut`] — the training and
+//!   optimizer path — return `&Tensor` and **panic** on an f16 slot:
+//!   training stays f32 by construction, not by convention.
+//! * [`ParamStore::weight`] — the inference path — returns a
+//!   [`WeightRef`] that borrows a dense tensor directly and widens an
+//!   f16 slot transiently (exact per-element widening, see
+//!   `spectragan_tensor::f16`). Nothing f32 stays resident between
+//!   calls, which is where the ~2× serving-memory reduction comes
+//!   from.
 
-use serde::{Deserialize, Serialize};
-use spectragan_tensor::{Tape, Tensor, Var};
+use serde::{DeError, Deserialize, Serialize, Value};
+use spectragan_tensor::{backend, Shape, Tape, Tensor, Var};
 use std::cell::RefCell;
+use std::ops::Deref;
 use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 /// Stable handle to a parameter in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -26,11 +46,136 @@ impl ParamId {
     }
 }
 
+/// Storage-only f16 bytes for one parameter: little-endian pairs, two
+/// bytes per element, in the tensor's row-major element order.
+///
+/// Implementations live where the bytes live — `spectragan-core`'s
+/// weight store hands out views into a memory-mapped (or buffered)
+/// container file. The trait keeps `nn` independent of how the bytes
+/// are held while letting the store widen them on demand.
+pub trait F16Slice: Send + Sync {
+    /// The raw little-endian f16 bytes (`2 × numel` of them).
+    fn bytes(&self) -> &[u8];
+
+    /// Byte count without touching the bytes. Mapped sources override
+    /// this so a size check does not fault in (and checksum) the
+    /// section; the default just measures [`F16Slice::bytes`].
+    fn byte_len(&self) -> usize {
+        self.bytes().len()
+    }
+}
+
+impl F16Slice for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+
+    fn byte_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Deferred f32 storage for one parameter: the value stays wherever
+/// the source keeps it (a mapped weight-container section) until the
+/// parameter is first touched, at which point [`LazySource::load`]
+/// materializes it exactly once per store.
+///
+/// `load` panics on a corrupt source (checksum mismatch) — callers who
+/// need a typed error validate the container before first touch.
+pub trait LazySource: Send + Sync {
+    /// Materializes the tensor. Must return the registered shape.
+    fn load(&self) -> Tensor;
+}
+
+/// One parameter's storage.
+enum Slot {
+    /// Resident f32 tensor — the training representation.
+    Dense(Tensor),
+    /// Deferred f32: materialized on first touch, resident afterwards.
+    Lazy {
+        shape: Shape,
+        source: Arc<dyn LazySource>,
+        cache: OnceLock<Tensor>,
+    },
+    /// f16 storage bytes plus the shape they decode to; widened
+    /// transiently by [`ParamStore::weight`].
+    Half {
+        shape: Shape,
+        bytes: Arc<dyn F16Slice>,
+    },
+}
+
+impl Clone for Slot {
+    fn clone(&self) -> Self {
+        match self {
+            Slot::Dense(t) => Slot::Dense(t.clone()),
+            // The clone shares the source but re-materializes
+            // independently (OnceLock is not Clone); an already-cached
+            // value is carried over to keep clones cheap to touch.
+            Slot::Lazy {
+                shape,
+                source,
+                cache,
+            } => {
+                let fresh = OnceLock::new();
+                if let Some(t) = cache.get() {
+                    let _ = fresh.set(t.clone());
+                }
+                Slot::Lazy {
+                    shape: shape.clone(),
+                    source: Arc::clone(source),
+                    cache: fresh,
+                }
+            }
+            Slot::Half { shape, bytes } => Slot::Half {
+                shape: shape.clone(),
+                bytes: Arc::clone(bytes),
+            },
+        }
+    }
+}
+
+impl Slot {
+    fn numel(&self) -> usize {
+        self.shape().numel()
+    }
+
+    fn shape(&self) -> &Shape {
+        match self {
+            Slot::Dense(t) => t.shape(),
+            Slot::Lazy { shape, .. } => shape,
+            Slot::Half { shape, .. } => shape,
+        }
+    }
+}
+
+/// A read view of one parameter: either a borrow of the resident f32
+/// tensor or a transiently widened copy of f16 storage. Derefs to
+/// [`Tensor`], so kernel call sites take `&store.weight(id)` exactly
+/// where they took `store.get(id)`.
+pub enum WeightRef<'a> {
+    /// Borrowed resident tensor (f32 slots; zero cost).
+    Borrowed(&'a Tensor),
+    /// Widened-on-demand tensor (f16 slots; dropped after use).
+    Widened(Tensor),
+}
+
+impl Deref for WeightRef<'_> {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        match self {
+            WeightRef::Borrowed(t) => t,
+            WeightRef::Widened(t) => t,
+        }
+    }
+}
+
 /// Owns all trainable tensors of one or more models.
-#[derive(Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct ParamStore {
     names: Vec<String>,
-    values: Vec<Tensor>,
+    values: Vec<Slot>,
 }
 
 impl ParamStore {
@@ -43,7 +188,7 @@ impl ParamStore {
     /// diagnostics and serialization; duplicates are allowed.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         self.names.push(name.into());
-        self.values.push(value);
+        self.values.push(Slot::Dense(value));
         ParamId(self.values.len() - 1)
     }
 
@@ -59,17 +204,96 @@ impl ParamStore {
 
     /// Total number of scalar weights across all parameters.
     pub fn num_weights(&self) -> usize {
-        self.values.iter().map(Tensor::numel).sum()
+        self.values.iter().map(Slot::numel).sum()
     }
 
-    /// Read access to a parameter's current value.
+    /// Bytes of parameter storage resident in this process: 4 per
+    /// element for dense f32 slots, 2 per element for f16 storage
+    /// slots. (For memory-mapped f16 slots even those 2 are shared,
+    /// clean page-cache pages.) This is the number the serve registry
+    /// reports per city and the perf gate's resident-weight sweep
+    /// measures.
+    pub fn resident_weight_bytes(&self) -> usize {
+        self.values
+            .iter()
+            .map(|s| match s {
+                Slot::Dense(t) => 4 * t.numel(),
+                Slot::Lazy { cache, .. } => cache.get().map_or(0, |t| 4 * t.numel()),
+                Slot::Half { bytes, .. } => bytes.bytes().len(),
+            })
+            .sum()
+    }
+
+    /// Whether any parameter is held as f16 storage.
+    pub fn has_half_storage(&self) -> bool {
+        self.values.iter().any(|s| matches!(s, Slot::Half { .. }))
+    }
+
+    /// Read access to a parameter's current value — the training path.
+    ///
+    /// # Panics
+    /// Panics on an f16 storage slot: training and optimizer state
+    /// require resident f32 values. Inference goes through
+    /// [`ParamStore::weight`], which handles both representations.
     pub fn get(&self, id: ParamId) -> &Tensor {
-        &self.values[id.0]
+        match &self.values[id.0] {
+            Slot::Dense(t) => t,
+            Slot::Lazy {
+                shape,
+                source,
+                cache,
+            } => {
+                let t = cache.get_or_init(|| source.load());
+                assert_eq!(
+                    t.shape(),
+                    shape,
+                    "lazy parameter '{}' materialized the wrong shape",
+                    self.names[id.0]
+                );
+                t
+            }
+            Slot::Half { .. } => panic!(
+                "parameter '{}' is f16 storage; training requires f32 — \
+                 load f32 weights, or use weight() on the inference path",
+                self.names[id.0]
+            ),
+        }
+    }
+
+    /// Read view of a parameter for inference: borrows dense slots,
+    /// transiently widens f16 slots (exact widening; every kernel
+    /// still computes in f32). The widened copy lives only as long as
+    /// the returned [`WeightRef`].
+    pub fn weight(&self, id: ParamId) -> WeightRef<'_> {
+        match &self.values[id.0] {
+            Slot::Dense(_) | Slot::Lazy { .. } => WeightRef::Borrowed(self.get(id)),
+            Slot::Half { shape, bytes } => {
+                let mut out = vec![0f32; shape.numel()];
+                backend::active().widen_f16_le(bytes.bytes(), &mut out);
+                WeightRef::Widened(Tensor::from_vec(out, shape.clone()))
+            }
+        }
     }
 
     /// Mutable access to a parameter's current value.
+    ///
+    /// # Panics
+    /// Panics on an f16 storage slot (see [`ParamStore::get`]).
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.values[id.0]
+        // Promote a lazy slot to dense first; mutation implies the
+        // value diverges from its on-disk source for good.
+        if matches!(self.values[id.0], Slot::Lazy { .. }) {
+            let t = self.get(id).clone();
+            self.values[id.0] = Slot::Dense(t);
+        }
+        match &mut self.values[id.0] {
+            Slot::Dense(t) => t,
+            Slot::Lazy { .. } => unreachable!("promoted above"),
+            Slot::Half { .. } => panic!(
+                "parameter '{}' is f16 storage and cannot be mutated",
+                self.names[id.0]
+            ),
+        }
     }
 
     /// The diagnostic name of a parameter.
@@ -77,15 +301,65 @@ impl ParamStore {
         &self.names[id.0]
     }
 
-    /// Iterates over `(id, name, value)` triples.
+    /// The shape of a parameter, for either storage representation.
+    pub fn shape(&self, id: ParamId) -> &Shape {
+        self.values[id.0].shape()
+    }
+
+    /// Iterates over `(id, name, value)` triples. Training-path
+    /// iteration: panics on f16 slots like [`ParamStore::get`].
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
         self.values
             .iter()
             .enumerate()
-            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+            .map(|(i, _)| (ParamId(i), self.names[i].as_str(), self.get(ParamId(i))))
+    }
+
+    /// Iterates over every parameter id without touching any value, so
+    /// it works regardless of storage representation (unlike
+    /// [`ParamStore::iter`], which materializes).
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Replaces a dense parameter's value with a deferred f32 source
+    /// of the same shape. The first training or inference touch
+    /// materializes it ([`LazySource::load`]) and it stays resident
+    /// from then on.
+    pub fn demote_to_lazy(&mut self, id: ParamId, source: Arc<dyn LazySource>) {
+        let shape = self.values[id.0].shape().clone();
+        self.values[id.0] = Slot::Lazy {
+            shape,
+            source,
+            cache: OnceLock::new(),
+        };
+    }
+
+    /// Replaces a dense parameter's value with f16 storage of the same
+    /// shape. The inference accessor ([`ParamStore::weight`]) widens it
+    /// on demand; the training accessors panic from then on.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not exactly 2 bytes per element of the
+    /// parameter's current shape.
+    pub fn demote_to_half(&mut self, id: ParamId, bytes: Arc<dyn F16Slice>) {
+        let shape = self.values[id.0].shape().clone();
+        assert_eq!(
+            bytes.byte_len(),
+            2 * shape.numel(),
+            "parameter '{}': {} f16 bytes cannot fill shape {:?}",
+            self.names[id.0],
+            bytes.byte_len(),
+            shape.dims()
+        );
+        self.values[id.0] = Slot::Half { shape, bytes };
     }
 
     /// Serializes the whole store (names + weights) to JSON.
+    ///
+    /// # Panics
+    /// Panics if any parameter is f16 storage — JSON is the training
+    /// and interchange format and is defined over f32 values only.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("ParamStore serialization cannot fail")
     }
@@ -100,7 +374,8 @@ impl ParamStore {
     /// same architecture.
     ///
     /// # Panics
-    /// Panics if the stores differ in parameter count or any shape.
+    /// Panics if the stores differ in parameter count or any shape, or
+    /// if either store holds f16 storage slots.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
         assert_eq!(
             self.len(),
@@ -117,8 +392,56 @@ impl ParamStore {
                 i,
                 self.names[i]
             );
-            self.values[i] = other.values[i].clone();
+            self.values[i] = Slot::Dense(other.get(ParamId(i)).clone());
         }
+    }
+}
+
+// Manual serde impls preserving the exact `{"names": [...], "values":
+// [...]}` object layout the former derive produced — every existing
+// weights/model/checkpoint JSON file stays byte-compatible. (The
+// derive cannot be used anymore: `Slot` is a data-carrying enum, and
+// the JSON surface must stay `Vec<Tensor>`-shaped regardless of the
+// storage representation.)
+impl Serialize for ParamStore {
+    fn to_value(&self) -> Value {
+        let values: Vec<Value> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Slot::Dense(t) => t.to_value(),
+                Slot::Lazy { source, cache, .. } => cache.get_or_init(|| source.load()).to_value(),
+                Slot::Half { .. } => panic!(
+                    "parameter '{}' is f16 storage; JSON serialization is f32-only \
+                     (export an f32 weight container instead)",
+                    self.names[i]
+                ),
+            })
+            .collect();
+        Value::Obj(vec![
+            ("names".to_string(), self.names.to_value()),
+            ("values".to_string(), Value::Arr(values)),
+        ])
+    }
+}
+
+impl Deserialize for ParamStore {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let names: Vec<String> = Deserialize::from_value(v.get("names").unwrap_or(&Value::Null))?;
+        let tensors: Vec<Tensor> =
+            Deserialize::from_value(v.get("values").unwrap_or(&Value::Null))?;
+        if names.len() != tensors.len() {
+            return Err(DeError(format!(
+                "ParamStore: {} names but {} values",
+                names.len(),
+                tensors.len()
+            )));
+        }
+        Ok(ParamStore {
+            names,
+            values: tensors.into_iter().map(Slot::Dense).collect(),
+        })
     }
 }
 
@@ -208,5 +531,58 @@ mod tests {
         let restored = ParamStore::from_json(&json).unwrap();
         assert_eq!(restored.get(ParamId(id.0)).data(), &[1.5, -2.5]);
         assert_eq!(restored.name(id), "w");
+    }
+
+    #[test]
+    fn weight_borrows_dense_and_widens_half() {
+        let mut store = ParamStore::new();
+        let vals = vec![1.5f32, -2.25, 0.0, 65504.0];
+        let id = store.register("w", Tensor::from_vec(vals.clone(), [2, 2]));
+        // Dense: the view is a borrow of the same data.
+        assert_eq!(store.weight(id).data(), vals.as_slice());
+        assert_eq!(store.resident_weight_bytes(), 16);
+        // Demote to f16 storage (these values are all exactly
+        // representable, so widening returns them bit-identically).
+        let half = spectragan_tensor::f16::narrow_slice_le(&vals);
+        store.demote_to_half(id, Arc::new(half));
+        assert!(store.has_half_storage());
+        assert_eq!(store.resident_weight_bytes(), 8);
+        assert_eq!(store.num_weights(), 4);
+        assert_eq!(store.shape(id).dims(), &[2, 2]);
+        let w = store.weight(id);
+        assert_eq!(w.data(), vals.as_slice());
+        assert_eq!(w.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "f16 storage")]
+    fn training_access_to_half_storage_panics() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], [2]));
+        store.demote_to_half(
+            id,
+            Arc::new(spectragan_tensor::f16::narrow_slice_le(&[1.0, 2.0])),
+        );
+        let _ = store.get(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "f32-only")]
+    fn json_serialization_of_half_storage_panics() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0], [1]));
+        store.demote_to_half(
+            id,
+            Arc::new(spectragan_tensor::f16::narrow_slice_le(&[1.0])),
+        );
+        let _ = store.to_json();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill shape")]
+    fn demote_rejects_wrong_byte_count() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        store.demote_to_half(id, Arc::new(vec![0u8; 4]));
     }
 }

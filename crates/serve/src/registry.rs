@@ -1,9 +1,15 @@
 //! Lazy multi-city model registry.
 //!
 //! The models directory holds, per city, a context map `<city>.sgcm`
-//! and either a per-city model `<city>.json` or a shared `model.json`
-//! used by every city (the usual case: one SpectraGAN trained on many
-//! cities, applied to each city's context). Nothing is loaded at boot;
+//! and a model — per-city (`<city>.sgwt` / `<city>.json`) or shared
+//! (`model.sgwt` / `model.json`) across every city (the usual case:
+//! one SpectraGAN trained on many cities, applied to each city's
+//! context). `SGWT` weight containers are preferred over JSON at each
+//! tier: they open via `mmap`, validate every section checksum at
+//! load (a corrupt container is rejected at registration, never on a
+//! request), and keep only the touched layers resident — the
+//! per-city resident footprint is reported by
+//! [`Registry::status`]. Nothing is loaded at boot;
 //! a city's weights and *standardized* context tensor are read on the
 //! first request that names it and shared — one `Arc` — by every
 //! request thereafter, so concurrent requests for one city reuse a
@@ -13,7 +19,7 @@
 //! a cold multi-second model load for CITY A does not stall a warm
 //! request for CITY B.
 
-use spectragan_core::{PreparedContext, SpectraGan};
+use spectragan_core::{weights, PreparedContext, SpectraGan};
 use spectragan_geo::io::load_context;
 use spectragan_obs as obs;
 use std::collections::HashMap;
@@ -28,6 +34,24 @@ pub struct CityEntry {
     pub model: SpectraGan,
     /// Standardized context, shared across requests.
     pub prepared: PreparedContext,
+    /// Whether the weights are served out of a memory-mapped `SGWT`
+    /// container (vs. heap-resident JSON weights).
+    pub mapped: bool,
+}
+
+/// One city's load state, as reported by `GET /cities`.
+#[derive(serde::Serialize)]
+pub struct CityStatus {
+    /// City name.
+    pub name: String,
+    /// Whether the model has been loaded (first request seen).
+    pub loaded: bool,
+    /// Whether the weights are memory-mapped from an `SGWT` container.
+    pub mapped: bool,
+    /// Bytes of weight storage currently resident for this city:
+    /// materialized f32 layers plus f16 section bytes. Grows as lazy
+    /// layers are first touched; 0 until the city is loaded.
+    pub resident_weight_bytes: usize,
 }
 
 /// Why a city could not be served.
@@ -61,6 +85,9 @@ struct CitySlot {
 /// The registry itself. Cheap to share behind an `Arc`.
 pub struct Registry {
     dir: PathBuf,
+    /// When `Some(F16)`, every loaded model is narrowed to f16 storage
+    /// whatever its on-disk precision.
+    precision: Option<weights::Precision>,
     slots: Mutex<HashMap<String, Arc<CitySlot>>>,
 }
 
@@ -68,8 +95,14 @@ impl Registry {
     /// Creates a registry over `dir`. The directory is not scanned
     /// until [`Registry::cities`] or a request needs it.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Registry::with_precision(dir, None)
+    }
+
+    /// Like [`Registry::new`], with a serve-time precision override.
+    pub fn with_precision(dir: impl Into<PathBuf>, precision: Option<weights::Precision>) -> Self {
         Registry {
             dir: dir.into(),
+            precision,
             slots: Mutex::new(HashMap::new()),
         }
     }
@@ -94,6 +127,36 @@ impl Registry {
         }
         names.sort();
         names
+    }
+
+    /// Per-city load state: which cities are loaded, whether their
+    /// weights are mapped, and how many weight bytes are resident.
+    /// Never blocks behind an in-flight model load — a city mid-load
+    /// reports as not loaded yet.
+    pub fn status(&self) -> Vec<CityStatus> {
+        let slots = self.slots.lock().expect("registry lock poisoned");
+        self.cities()
+            .into_iter()
+            .map(|name| {
+                let entry = slots
+                    .get(&name)
+                    .and_then(|slot| slot.entry.try_lock().ok().and_then(|e| e.clone()));
+                match entry {
+                    Some(e) => CityStatus {
+                        name,
+                        loaded: true,
+                        mapped: e.mapped,
+                        resident_weight_bytes: e.model.store().resident_weight_bytes(),
+                    },
+                    None => CityStatus {
+                        name,
+                        loaded: false,
+                        mapped: false,
+                        resident_weight_bytes: 0,
+                    },
+                }
+            })
+            .collect()
     }
 
     /// The city's entry, loading it on first touch.
@@ -130,28 +193,52 @@ impl Registry {
         }
         let context = load_context(&ctx_path)
             .map_err(|e| RegistryError::Load(format!("{}: {e}", ctx_path.display())))?;
-        let per_city = self.dir.join(format!("{city}.json"));
-        let model_path = if per_city.exists() {
-            per_city
-        } else {
-            let shared = self.dir.join("model.json");
-            if !shared.exists() {
-                return Err(RegistryError::Load(format!(
-                    "neither {} nor {} exists",
-                    per_city.display(),
-                    shared.display()
-                )));
-            }
-            shared
+        // Per-city models win over the shared one; at each tier the
+        // SGWT container wins over JSON.
+        let candidates = [
+            format!("{city}.sgwt"),
+            format!("{city}.json"),
+            "model.sgwt".to_string(),
+            "model.json".to_string(),
+        ];
+        let model_path = candidates
+            .iter()
+            .map(|n| self.dir.join(n))
+            .find(|p| p.exists())
+            .ok_or_else(|| {
+                RegistryError::Load(format!(
+                    "no model for {city:?}: none of {} exist in {}",
+                    candidates.join(", "),
+                    self.dir.display()
+                ))
+            })?;
+        let err = |e: &dyn std::fmt::Display| {
+            RegistryError::Load(format!("{}: {e}", model_path.display()))
         };
-        let json = std::fs::read_to_string(&model_path)
-            .map_err(|e| RegistryError::Load(format!("{}: {e}", model_path.display())))?;
-        let model = SpectraGan::from_model_json(&json)
-            .map_err(|e| RegistryError::Load(format!("{}: {e}", model_path.display())))?;
+        let is_sgwt = weights::is_weight_container(&model_path).map_err(|e| err(&e))?;
+        let (mut model, mapped) = if is_sgwt {
+            let store = weights::WeightStore::open(&model_path).map_err(|e| err(&e))?;
+            // Every section checksum is verified here, at load, so a
+            // corrupt container surfaces as a typed registration
+            // error instead of a panic inside a request.
+            store.validate_all().map_err(|e| err(&e))?;
+            let mapped = store.is_mapped();
+            (store.load_model().map_err(|e| err(&e))?, mapped)
+        } else {
+            let json = std::fs::read_to_string(&model_path).map_err(|e| err(&e))?;
+            (
+                SpectraGan::from_model_json(&json).map_err(|e| err(&e))?,
+                false,
+            )
+        };
+        if self.precision == Some(weights::Precision::F16) && !model.store().has_half_storage() {
+            weights::narrow_to_f16(&mut model);
+        }
         Ok(CityEntry {
             name: city.to_string(),
             model,
             prepared: PreparedContext::new(&context),
+            mapped,
         })
     }
 }

@@ -101,9 +101,31 @@ fn health_metrics_cities_and_routing() {
 
     let cities = request(&server.addr, "GET", "/cities", b"").unwrap();
     assert_eq!(cities.status, 200);
-    let listed: Vec<String> = serde_json::from_str(std::str::from_utf8(&cities.body).unwrap())
-        .expect("cities is a JSON list");
-    assert_eq!(listed, vec!["city_a".to_string(), "city_b".to_string()]);
+    let listed: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&cities.body).unwrap()).expect("cities is JSON");
+    let listed = match &listed {
+        serde_json::Value::Arr(items) => items,
+        other => panic!("cities is not a JSON list: {other:?}"),
+    };
+    let names: Vec<&str> = listed
+        .iter()
+        .map(|c| match c.get("name") {
+            Some(serde_json::Value::Str(s)) => s.as_str(),
+            other => panic!("city entry without a name: {other:?}"),
+        })
+        .collect();
+    assert_eq!(names, ["city_a", "city_b"]);
+    // Nothing served yet: no city is loaded, nothing resident.
+    for c in listed {
+        assert!(matches!(
+            c.get("loaded"),
+            Some(serde_json::Value::Bool(false))
+        ));
+        assert!(matches!(
+            c.get("resident_weight_bytes"),
+            Some(serde_json::Value::Num(n)) if *n == 0.0
+        ));
+    }
 
     let metrics = request(&server.addr, "GET", "/metrics", b"").unwrap();
     assert_eq!(metrics.status, 200);
@@ -177,6 +199,79 @@ fn served_bytes_equal_offline_generation() {
             "{name}: assembled band stream differs from offline map"
         );
     }
+}
+
+/// Serving out of a mapped `SGWT` container is invisible on the wire:
+/// the same request against a JSON-weights server and an SGWT-weights
+/// server returns byte-identical traffic, `/cities` reports the
+/// container as mapped with a nonzero resident footprint once loaded,
+/// and a corrupt container is refused at load (404/5xx, not a crash).
+#[test]
+fn sgwt_container_serves_identical_bytes_and_reports_residency() {
+    let (dir, model, cities) = fixture();
+    let t_out = 30;
+    let (name, _context) = &cities[0];
+    let body = gen_body(name, t_out, 7, 5, "sgtm");
+
+    // Reference: served bytes with the fixture's model.json.
+    let (json_server, _) = RunningServer::start(ServeConfig::new("127.0.0.1:0", &dir));
+    let from_json = request(&json_server.addr, "POST", "/generate", &body).unwrap();
+    assert_eq!(from_json.status, 200);
+    drop(json_server);
+
+    // Same fixture, but the model is now an f32 SGWT container —
+    // preferred over the still-present model.json.
+    spectragan_core::weights::save_weights(
+        &model,
+        dir.join("model.sgwt"),
+        spectragan_core::weights::Precision::F32,
+    )
+    .unwrap();
+    let (sgwt_server, _) = RunningServer::start(ServeConfig::new("127.0.0.1:0", &dir));
+    let from_sgwt = request(&sgwt_server.addr, "POST", "/generate", &body).unwrap();
+    assert_eq!(from_sgwt.status, 200);
+    assert_eq!(
+        from_sgwt.body, from_json.body,
+        "SGWT-served bytes differ from JSON-served bytes"
+    );
+
+    // /cities now shows the served city as loaded+mapped+resident.
+    let status = request(&sgwt_server.addr, "GET", "/cities", b"").unwrap();
+    let parsed: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&status.body).unwrap()).unwrap();
+    let serde_json::Value::Arr(items) = &parsed else {
+        panic!("cities is not a list")
+    };
+    let entry = items
+        .iter()
+        .find(|c| matches!(c.get("name"), Some(serde_json::Value::Str(s)) if s == name))
+        .expect("served city listed");
+    assert!(matches!(
+        entry.get("loaded"),
+        Some(serde_json::Value::Bool(true))
+    ));
+    assert!(matches!(
+        entry.get("mapped"),
+        Some(serde_json::Value::Bool(true))
+    ));
+    assert!(matches!(
+        entry.get("resident_weight_bytes"),
+        Some(serde_json::Value::Num(n)) if *n > 0.0
+    ));
+    drop(sgwt_server);
+
+    // Corrupt one payload byte: the load is refused with a typed
+    // error (5xx surface), the process survives.
+    let path = dir.join("model.sgwt");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    let (bad_server, _) = RunningServer::start(ServeConfig::new("127.0.0.1:0", &dir));
+    let refused = request(&bad_server.addr, "POST", "/generate", &body).unwrap();
+    assert_ne!(refused.status, 200, "corrupt container must not serve");
+    let health = request(&bad_server.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200, "server must survive the bad load");
 }
 
 #[test]

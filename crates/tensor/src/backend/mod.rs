@@ -158,6 +158,29 @@ pub trait Backend: Sync {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
     }
+
+    /// Widens a little-endian f16 byte stream (2 bytes per element)
+    /// into `out`. This is the load path of the reduced-precision
+    /// weight store: f16 is storage-only, every kernel still computes
+    /// in f32, and the widening itself is **exact** (see
+    /// [`crate::f16::f16_to_f32`]) so the only precision loss is the
+    /// one-time export narrowing. Backends must produce bit-identical
+    /// results; faster backends may only reorganize the loop.
+    ///
+    /// Takes bytes rather than `&[u16]` because mapped or buffered
+    /// file sections carry no alignment guarantee.
+    fn widen_f16_le(&self, bytes: &[u8], out: &mut [f32]) {
+        assert_eq!(
+            bytes.len(),
+            2 * out.len(),
+            "widen_f16_le: {} bytes cannot fill {} f32s",
+            bytes.len(),
+            out.len()
+        );
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+            *o = crate::f16::f16_to_f32(u16::from_le_bytes([c[0], c[1]]));
+        }
+    }
 }
 
 /// The `SPECTRAGAN_BACKEND` knob, sharing the override/env/default

@@ -434,6 +434,35 @@ impl Backend for SimdBackend {
             *v = 0.5 + 0.5 * tanh_approx(0.5 * *v);
         }
     }
+
+    fn widen_f16_le(&self, bytes: &[u8], out: &mut [f32]) {
+        assert_eq!(
+            bytes.len(),
+            2 * out.len(),
+            "widen_f16_le: {} bytes cannot fill {} f32s",
+            bytes.len(),
+            out.len()
+        );
+        // Same exact conversion as the default, blocked by 8 so the
+        // fixed-trip inner loops unroll and the loads coalesce; the
+        // conversion itself is bit-identical to scalar (it must be —
+        // the parity contract for f16 widening is exactness, not
+        // tolerance).
+        let mut chunks = bytes.chunks_exact(16);
+        let mut outs = out.chunks_exact_mut(8);
+        for (c, o) in (&mut chunks).zip(&mut outs) {
+            for i in 0..8 {
+                o[i] = crate::f16::f16_to_f32(u16::from_le_bytes([c[2 * i], c[2 * i + 1]]));
+            }
+        }
+        for (o, c) in outs
+            .into_remainder()
+            .iter_mut()
+            .zip(chunks.remainder().chunks_exact(2))
+        {
+            *o = crate::f16::f16_to_f32(u16::from_le_bytes([c[0], c[1]]));
+        }
+    }
 }
 
 /// Branchless rational approximation of `tanh` (the classic

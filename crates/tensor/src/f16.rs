@@ -1,0 +1,189 @@
+//! IEEE 754 binary16 ("half") conversions for the reduced-precision
+//! weight path.
+//!
+//! The workspace computes in f32 everywhere; f16 exists only as a
+//! *storage* format for exported weight containers (see
+//! `spectragan-core`'s weight store). Two conversions cover that:
+//!
+//! * [`f16_to_f32`] — **exact**. Every one of the 65536 half bit
+//!   patterns (normals, subnormals, ±0, ±∞, NaNs) maps to the f32 with
+//!   the same value, so a widening load introduces zero additional
+//!   error on top of the one-time narrowing. The exhaustive test below
+//!   round-trips the entire domain.
+//! * [`f32_to_f16`] — narrowing with round-to-nearest-even, the same
+//!   rounding hardware FPUs use. Values beyond ±65504 (f16 max)
+//!   overflow to ±∞; values under the smallest subnormal flush to
+//!   ±0; NaNs stay NaNs (payload truncated, never silently dropped).
+//!
+//! No `half` crate: the workspace is offline and the two functions are
+//! ~40 lines of bit arithmetic each.
+
+/// Exactly widens an IEEE binary16 bit pattern to f32.
+#[inline]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴. Normalize the mantissa into
+            // f32's implicit-leading-1 form.
+            let top = 31 - m.leading_zeros();
+            let e32 = 127 - 24 + top;
+            let frac = (m << (23 - top)) & 0x007F_FFFF;
+            sign | (e32 << 23) | frac
+        }
+        (31, 0) => sign | 0x7F80_0000,
+        // NaN: keep the payload in the top mantissa bits so a
+        // widen/narrow round trip preserves it.
+        (31, m) => sign | 0x7F80_0000 | (m << 13),
+        // Normal: re-bias the exponent (127 − 15 = 112) and shift the
+        // mantissa up to 23 bits.
+        _ => sign | ((exp + 112) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Narrows an f32 to IEEE binary16 with round-to-nearest-even.
+#[inline]
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    if exp32 == 0xFF {
+        // ±∞ stays ±∞; NaN stays NaN (quiet, truncated payload — never
+        // collapsed to a non-NaN).
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            let payload = (mant >> 13) as u16;
+            sign | 0x7C00 | if payload == 0 { 0x0200 } else { payload }
+        };
+    }
+    let exp = exp32 - 112; // f16-biased exponent
+    if exp >= 0x1F {
+        return sign | 0x7C00;
+    }
+    if exp <= 0 {
+        // Subnormal (or zero) in f16. Below 2⁻²⁵ everything rounds to
+        // zero; at and above it, shift the 24-bit significand down to
+        // subnormal position with round-to-nearest-even.
+        if exp < -10 {
+            return sign;
+        }
+        let m24 = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let kept = m24 >> shift;
+        let rem = m24 & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round_up = (rem > halfway) as u32 | ((rem == halfway) as u32 & (kept & 1));
+        // A carry out of the subnormal field lands exactly on the
+        // smallest normal encoding — the bit layout is continuous.
+        return sign | (kept + round_up) as u16;
+    }
+    // Normal: drop 13 mantissa bits with round-to-nearest-even. The
+    // rounding carry propagates into the exponent field by integer
+    // addition; a carry out of exponent 30 yields 0x7C00 = ∞, which is
+    // the correct rounding of values in (65504, ∞).
+    let half = ((exp as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1FFF;
+    let round_up = (rem > 0x1000) as u32 | ((rem == 0x1000) as u32 & (half & 1));
+    sign | (half + round_up) as u16
+}
+
+/// Narrows a whole f32 slice to little-endian f16 bytes (2 bytes per
+/// element) — the on-disk layout of f16 weight sections.
+pub fn narrow_slice_le(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 * data.len());
+    for &v in data {
+        out.extend_from_slice(&f32_to_f16(v).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Independent reference widening: build the value arithmetically
+    /// from the decoded fields rather than by bit surgery.
+    fn reference_f16_to_f32(h: u16) -> f32 {
+        let sign = if h & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+        let exp = (h >> 10) & 0x1F;
+        let mant = (h & 0x3FF) as f64;
+        let v = match exp {
+            0 => sign * mant * (-24f64).exp2(),
+            31 if mant == 0.0 => sign * f64::INFINITY,
+            31 => f64::NAN,
+            e => sign * (1.0 + mant / 1024.0) * f64::from(e as i32 - 15).exp2(),
+        };
+        v as f32
+    }
+
+    #[test]
+    fn widening_is_exact_for_all_65536_patterns() {
+        for h in 0..=u16::MAX {
+            let got = f16_to_f32(h);
+            let want = reference_f16_to_f32(h);
+            if want.is_nan() {
+                assert!(got.is_nan(), "{h:#06x} widened to non-NaN {got}");
+            } else {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{h:#06x}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_inverts_widen_for_all_patterns() {
+        // Every f16 value is exactly representable in f32, so widening
+        // then narrowing must be the identity on bits (NaNs keep their
+        // payload because the widen puts it where the narrow reads it).
+        for h in 0..=u16::MAX {
+            let back = f32_to_f16(f16_to_f32(h));
+            assert_eq!(back, h, "{h:#06x} round-tripped to {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn narrowing_rounds_to_nearest_even() {
+        // 1 + 2⁻¹¹ sits exactly halfway between 1.0 and the next f16
+        // (1 + 2⁻¹⁰); ties go to the even mantissa, i.e. 1.0.
+        assert_eq!(f32_to_f16(1.0 + f32::powi(2.0, -11)), 0x3C00);
+        // The next halfway point (above an odd mantissa) rounds up.
+        assert_eq!(f32_to_f16(1.0 + 3.0 * f32::powi(2.0, -11)), 0x3C02);
+        // Anything past halfway rounds up regardless of parity.
+        assert_eq!(f32_to_f16(1.0 + 1.5 * f32::powi(2.0, -11)), 0x3C01);
+    }
+
+    #[test]
+    fn narrowing_saturates_and_flushes_at_the_boundaries() {
+        assert_eq!(f32_to_f16(65504.0), 0x7BFF, "f16 max is finite");
+        assert_eq!(f32_to_f16(65519.0), 0x7BFF, "below the rounding cut");
+        assert_eq!(f32_to_f16(65520.0), 0x7C00, "rounds to infinity");
+        assert_eq!(f32_to_f16(-65520.0), 0xFC00);
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7C00);
+        // Smallest f16 subnormal is 2⁻²⁴; half of it ties to even zero.
+        assert_eq!(f32_to_f16(f32::powi(2.0, -24)), 0x0001);
+        assert_eq!(f32_to_f16(f32::powi(2.0, -25)), 0x0000);
+        assert_eq!(f32_to_f16(f32::powi(2.0, -25) * 1.5), 0x0001);
+        assert_eq!(f32_to_f16(-0.0).to_be_bytes()[0], 0x80, "signed zero kept");
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn narrow_slice_le_is_the_elementwise_map() {
+        let vals = [0.0f32, -1.5, std::f32::consts::PI, 65504.0, f32::NAN, 1e-8];
+        let bytes = narrow_slice_le(&vals);
+        assert_eq!(bytes.len(), 2 * vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            let h = u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]);
+            assert_eq!(h, f32_to_f16(v));
+        }
+    }
+}

@@ -47,6 +47,7 @@
 pub mod arena;
 pub mod backend;
 pub mod envctl;
+pub mod f16;
 pub mod ops;
 pub mod pool;
 pub mod shape;

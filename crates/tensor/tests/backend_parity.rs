@@ -374,3 +374,31 @@ fn conv2d_grad_weight_rejects_zero_size_kernel() {
     let x = Tensor::zeros([1, 1, 4, 4]);
     Tensor::conv2d_grad_weight(&go, &x, &Shape::new(&[1, 1, 3, 0]), 1);
 }
+
+/// f16 widening is *exact* and bit-identical across backends for every
+/// one of the 65536 half patterns, at lengths that exercise both the
+/// blocked body and the remainder tail of the simd loop.
+#[test]
+fn widen_f16_le_bitwise_parity_exhaustive() {
+    use spectragan_tensor::backend::scalar::ScalarBackend;
+    use spectragan_tensor::backend::simd::SimdBackend;
+    use spectragan_tensor::backend::Backend;
+    use spectragan_tensor::f16::f16_to_f32;
+
+    let bytes: Vec<u8> = (0..=u16::MAX).flat_map(|h: u16| h.to_le_bytes()).collect();
+    for len in [0usize, 1, 7, 8, 9, 1000, 65536] {
+        let sub = &bytes[..2 * len];
+        let mut scalar = vec![0f32; len];
+        let mut simd = vec![0f32; len];
+        ScalarBackend.widen_f16_le(sub, &mut scalar);
+        SimdBackend.widen_f16_le(sub, &mut simd);
+        for i in 0..len {
+            assert_eq!(
+                scalar[i].to_bits(),
+                simd[i].to_bits(),
+                "pattern {i:#06x} at len {len}"
+            );
+            assert_eq!(scalar[i].to_bits(), f16_to_f32(i as u16).to_bits());
+        }
+    }
+}
