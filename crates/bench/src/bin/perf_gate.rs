@@ -2,10 +2,11 @@
 //! run, a full-city generation sweep under **each kernel backend**
 //! (scalar reference, simd), a shard-count sweep over the multiprocess
 //! gradient reducer, the observability layer's disabled-mode overhead,
-//! and the weight-storage sweep (JSON vs f32/f16 `SGWT` containers),
-//! prints fixed-width tables and writes the numbers to
-//! `BENCH_pr9.json` so regressions show up in the job summary rather
-//! than only in local Criterion runs.
+//! and the weight-storage sweep (JSON vs f32/f16/int8 `SGWT`
+//! containers, plus dequantizing-GEMM bandwidth), prints fixed-width
+//! tables and writes the numbers to `BENCH_pr10.json` so regressions
+//! show up in the job summary rather than only in local Criterion
+//! runs.
 //!
 //! ```text
 //! cargo run --release -p spectragan-bench --bin perf_gate
@@ -74,6 +75,12 @@ const CONV_GATE_BENCH: &str = "conv2d_bias_fwd_bwd_27ch_16px";
 /// f16 `SGWT` container vs. the JSON model file — the point of the
 /// half-precision path.
 const MIN_F16_RESIDENT_REDUCTION: f64 = 2.0;
+
+/// Hard floor on the resident-weight reduction of serving out of an
+/// int8 `SGWT` container vs. the full-f32 (JSON) footprint. The ideal
+/// is 4×; per-row f32 scales and the biases kept in f32 cost a little,
+/// so the floor sits at 3.5× on the paper-scale config.
+const MIN_INT8_RESIDENT_REDUCTION: f64 = 3.5;
 
 #[derive(Serialize)]
 struct MicroRow {
@@ -171,11 +178,31 @@ struct WeightsRow {
     mapped: bool,
 }
 
+/// Weight-stream bandwidth of one GEMM kernel on one backend: how many
+/// bytes of weight operand the kernel pulls per second.
+#[derive(Serialize)]
+struct MatmulBwRow {
+    backend: String,
+    kernel: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    micros_per_iter: f64,
+    /// Weight-operand bytes (f32: 4·k·n; int8: k·n + 4·k scales)
+    /// divided by iteration time.
+    weight_gib_per_s: f64,
+}
+
 #[derive(Serialize)]
 struct WeightsGate {
     rows: Vec<WeightsRow>,
     /// JSON resident footprint over the f16 container's, post-generate.
     f16_resident_reduction: f64,
+    /// JSON (full f32) resident footprint over the int8 container's,
+    /// post-generate. Hard-gated at [`MIN_INT8_RESIDENT_REDUCTION`].
+    int8_resident_reduction: f64,
+    /// f32 matmul vs dequantizing int8 GEMM, per backend.
+    matmul_bandwidth: Vec<MatmulBwRow>,
 }
 
 #[derive(Serialize)]
@@ -585,25 +612,31 @@ fn gen_gate() -> Vec<GenRow> {
 }
 
 /// Weight-storage sweep: load latency and resident weight bytes for
-/// the JSON model file vs. f32 and f16 `SGWT` containers, measured
-/// around a real generation so lazy sections get their first touch.
+/// the JSON model file vs. f32, f16 and int8 `SGWT` containers,
+/// measured around a real generation so lazy sections get their first
+/// touch. Runs the paper-scale `default_hourly` config — the residency
+/// floors are statements about real models, where matrices dominate
+/// the f32 biases that int8 containers keep.
 ///
-/// The hard gate: the f16 container's post-generation resident weight
+/// Two hard gates: the f16 container's post-generation resident weight
 /// footprint must be at most 1/[`MIN_F16_RESIDENT_REDUCTION`] of the
-/// JSON path's — halving serving memory is the contract that pays for
-/// the half-precision machinery.
+/// JSON path's, and the int8 container's at most
+/// 1/[`MIN_INT8_RESIDENT_REDUCTION`] — the memory contracts that pay
+/// for the reduced-precision machinery.
 fn weights_gate() -> WeightsGate {
     use spectragan_core::weights::{self, Precision, WeightStore};
 
     let dir = std::env::temp_dir().join(format!("sg_perf_weights_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create weights gate dir");
-    let model = SpectraGan::new(SpectraGanConfig::tiny(), 0);
+    let model = SpectraGan::new(SpectraGanConfig::default_hourly(), 0);
     let json_path = dir.join("model.json");
     std::fs::write(&json_path, model.to_model_json()).expect("write model.json");
     let f32_path = dir.join("model_f32.sgwt");
     weights::save_weights(&model, &f32_path, Precision::F32).expect("write f32 sgwt");
     let f16_path = dir.join("model_f16.sgwt");
     weights::save_weights(&model, &f16_path, Precision::F16).expect("write f16 sgwt");
+    let int8_path = dir.join("model_int8.sgwt");
+    weights::save_weights(&model, &int8_path, Precision::Int8).expect("write int8 sgwt");
 
     let ds = DatasetConfig {
         weeks: 1,
@@ -653,6 +686,7 @@ fn weights_gate() -> WeightsGate {
     for (format, path, _precision) in [
         ("sgwt-f32", &f32_path, Precision::F32),
         ("sgwt-f16", &f16_path, Precision::F16),
+        ("sgwt-int8", &int8_path, Precision::Int8),
     ] {
         measure(format, path, &|| {
             let store = WeightStore::open(path).expect("open sgwt");
@@ -672,11 +706,71 @@ fn weights_gate() -> WeightsGate {
          for JSON — only {f16_resident_reduction:.2}x under the \
          {MIN_F16_RESIDENT_REDUCTION}x floor"
     );
+    let int8_resident = rows[3].resident_after_generate as f64;
+    let int8_resident_reduction = json_resident / int8_resident;
+    assert!(
+        int8_resident_reduction >= MIN_INT8_RESIDENT_REDUCTION,
+        "int8 container keeps {int8_resident:.0} weight bytes resident vs {json_resident:.0} \
+         for JSON — only {int8_resident_reduction:.2}x under the \
+         {MIN_INT8_RESIDENT_REDUCTION}x floor"
+    );
 
     WeightsGate {
         rows,
         f16_resident_reduction,
+        int8_resident_reduction,
+        matmul_bandwidth: matmul_bandwidth(),
     }
+}
+
+/// Weight-stream bandwidth of the f32 matmul vs the dequantizing int8
+/// GEMM, per backend: the int8 kernel reads a 4×-narrower weight
+/// operand, so at equal arithmetic throughput it serves the same GEMM
+/// from a quarter of the memory traffic. A serving-shaped problem —
+/// a modest activation batch against a wide weight matrix — keeps the
+/// weight stream the dominant operand.
+fn matmul_bandwidth() -> Vec<MatmulBwRow> {
+    use spectragan_tensor::backend::scalar::ScalarBackend;
+    use spectragan_tensor::backend::simd::SimdBackend;
+    use spectragan_tensor::backend::Backend;
+    use spectragan_tensor::q8;
+
+    let (m, k, n) = (64usize, 256usize, 256usize);
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = Tensor::randn([m, k], &mut rng);
+    let b = Tensor::randn([k, n], &mut rng);
+    let q = q8::quantize_tensor(b.data(), b.shape());
+
+    let mut rows = Vec::new();
+    let backends: [(&str, &dyn Backend); 2] = [("scalar", &ScalarBackend), ("simd", &SimdBackend)];
+    for (name, backend) in backends {
+        let f32_row = bench(&format!("{name}_matmul_f32"), 3, 30, || {
+            black_box(backend.matmul(&a, &b));
+        });
+        let q8_row = bench(&format!("{name}_matmul_q8"), 3, 30, || {
+            black_box(backend.matmul_q8(&a, &q.data, &q.scales, n));
+        });
+        let gibs = |bytes: usize, micros: f64| bytes as f64 / (micros * 1e-6) / (1u64 << 30) as f64;
+        rows.push(MatmulBwRow {
+            backend: name.to_string(),
+            kernel: "matmul_f32".into(),
+            m,
+            k,
+            n,
+            micros_per_iter: f32_row.micros_per_iter,
+            weight_gib_per_s: gibs(4 * k * n, f32_row.micros_per_iter),
+        });
+        rows.push(MatmulBwRow {
+            backend: name.to_string(),
+            kernel: "matmul_q8".into(),
+            m,
+            k,
+            n,
+            micros_per_iter: q8_row.micros_per_iter,
+            weight_gib_per_s: gibs(k * n + 4 * k, q8_row.micros_per_iter),
+        });
+    }
+    rows
 }
 
 /// Runs the full measurement sweep under one pinned backend.
@@ -862,7 +956,7 @@ fn main() {
     );
 
     println!();
-    println!("perf gate — weight storage (load + generate, tiny model)");
+    println!("perf gate — weight storage (load + generate, default_hourly model)");
     println!(
         "{:<10} {:>10} {:>10} {:>14} {:>14} {:>7}",
         "format", "file B", "load ms", "resident@load", "resident@gen", "mapped"
@@ -883,6 +977,24 @@ fn main() {
         "f16 resident reduction",
         format!("{:.2}x", weights.f16_resident_reduction)
     );
+    println!(
+        "{:<28} {:>12}",
+        "int8 resident reduction",
+        format!("{:.2}x", weights.int8_resident_reduction)
+    );
+
+    println!();
+    println!("perf gate — weight-stream bandwidth (64x256 @ 256x256 GEMM)");
+    println!(
+        "{:<10} {:<12} {:>12} {:>16}",
+        "backend", "kernel", "us/iter", "weight GiB/s"
+    );
+    for r in &weights.matmul_bandwidth {
+        println!(
+            "{:<10} {:<12} {:>12.2} {:>16.2}",
+            r.backend, r.kernel, r.micros_per_iter, r.weight_gib_per_s
+        );
+    }
 
     let report = Report {
         backends: vec![scalar, simd],
@@ -892,6 +1004,6 @@ fn main() {
         weights,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write("BENCH_pr9.json", json).expect("write BENCH_pr9.json");
-    eprintln!("wrote BENCH_pr9.json");
+    std::fs::write("BENCH_pr10.json", json).expect("write BENCH_pr10.json");
+    eprintln!("wrote BENCH_pr10.json");
 }

@@ -277,11 +277,12 @@ fn weights_precision_arg(args: &Args) -> Result<Option<weights::Precision>, Stri
 
 /// `spectragan generate --model MODEL --context FILE.sgcm --hours N
 /// --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
-/// [--weights-precision f32|f16]` — generate traffic for a region,
-/// reporting throughput and peak buffer memory. MODEL may be a JSON
-/// model file or an `SGWT` weight container (detected by magic);
-/// `--weights-precision f16` narrows the weights in memory, halving
-/// their resident bytes for the run.
+/// [--weights-precision f32|f16|int8]` — generate traffic for a
+/// region, reporting throughput and peak buffer memory. MODEL may be
+/// a JSON model file or an `SGWT` weight container (detected by
+/// magic); `--weights-precision f16` narrows the weights in memory,
+/// halving their resident bytes for the run, and `int8` quantizes
+/// them (~4× smaller, streamed through the dequantizing GEMM).
 pub fn cmd_generate(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let ctx_path = args.require("context").map_err(|e| e.to_string())?;
@@ -301,10 +302,14 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
 
     let mut model =
         weights::load_model_auto(model_path).map_err(|e| format!("{model_path}: {e}"))?;
-    if weights_precision_arg(args)? == Some(weights::Precision::F16)
-        && !model.store().has_half_storage()
-    {
-        weights::narrow_to_f16(&mut model);
+    match weights_precision_arg(args)? {
+        Some(weights::Precision::F16) if !model.store().has_half_storage() => {
+            weights::narrow_to_f16(&mut model);
+        }
+        Some(weights::Precision::Int8) if !model.store().has_int8_storage() => {
+            weights::narrow_to_int8(&mut model);
+        }
+        _ => {}
     }
     let model = model;
     let context = load_context(ctx_path).map_err(|e| format!("{ctx_path}: {e}"))?;
@@ -402,11 +407,13 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 /// `spectragan export-weights --model MODEL --out FILE.sgwt
-/// [--precision f32|f16]` — convert a model (JSON or SGWT) into an
-/// `SGWT` weight container: checksummed, 64-byte-aligned raw tensor
-/// sections that `generate` and `serve` open zero-copy via mmap.
-/// `--precision f16` stores half-precision sections, halving both the
-/// file and the resident serving footprint.
+/// [--precision f32|f16|int8]` — convert a model (JSON or SGWT) into
+/// an `SGWT` weight container: checksummed, 64-byte-aligned raw
+/// tensor sections that `generate` and `serve` open zero-copy via
+/// mmap. `--precision f16` stores half-precision sections, halving
+/// both the file and the resident serving footprint; `--precision
+/// int8` stores symmetric-absmax-quantized sections with per-row
+/// scales in the directory (~4× smaller than f32, biases stay f32).
 pub fn cmd_export_weights(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let out = args.require("out").map_err(|e| e.to_string())?;
@@ -529,10 +536,10 @@ USAGE:
                       [--shards N] [--grad-accum K] [--trace TRACE.json] [--metrics-snapshot FILE.prom]
   spectragan train    --data DIR --out MODEL.json --resume RUN_DIR [--steps N] [--holdout CITY] [--quiet]
   spectragan generate --model MODEL --context FILE.sgcm --hours N --out FILE.sgtm [--seed N] [--gen-batch N] [--csv]
-                      [--weights-precision f32|f16] [--trace TRACE.json] [--metrics-snapshot FILE.prom]
-  spectragan export-weights --model MODEL --out FILE.sgwt [--precision f32|f16]
+                      [--weights-precision f32|f16|int8] [--trace TRACE.json] [--metrics-snapshot FILE.prom]
+  spectragan export-weights --model MODEL --out FILE.sgwt [--precision f32|f16|int8]
   spectragan serve    --models DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] [--budget-mib N] [--max-hours N]
-                      [--weights-precision f32|f16]
+                      [--weights-precision f32|f16|int8]
   spectragan evaluate --real FILE.sgtm --synth FILE.sgtm [--steps-per-hour N]
   spectragan info     --file PATH
 
@@ -567,7 +574,10 @@ CRC-verified directory. `generate` and `serve` detect SGWT files by
 magic, open them zero-copy via mmap (layers are read on first touch)
 and fall back to buffered reads where mmap is unavailable. f16
 containers (and --weights-precision f16) halve resident weight bytes;
-f32 containers generate bit-identically to the JSON model file.
+int8 containers (and --weights-precision int8) quantize matrices with
+per-row absmax scales for ~4x smaller residency, streamed through a
+dequantizing GEMM (generation-only: training always runs f32); f32
+containers generate bit-identically to the JSON model file.
 
 Serving: `serve` runs a long-lived multi-city generation server over
 HTTP/1.1. The models directory holds one `<city>.sgcm` context per city

@@ -176,7 +176,7 @@ impl Generator {
         {
             let rows = to_rows(&lrelu(feat.forward_infer(store, &hz)));
             let n_px = rows.shape().dim(0);
-            let xw = rows.matmul(&store.weight(lstm.wx_param()));
+            let xw = store.infer_matmul(&rows, lstm.wx_param());
             let (mut hh, mut cc) = lstm.zero_state_infer(n_px);
             // Roll out step-major: each step's head output is one
             // contiguous row, so the write is a single memcpy instead

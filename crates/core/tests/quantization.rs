@@ -1,0 +1,161 @@
+//! Property tests for the symmetric absmax int8 quantizer — the gate
+//! the whole int8 weight path hangs off. Four contracts:
+//!
+//! 1. round-trip error is ≤ `scale/2` per element (up to a float ulp);
+//! 2. each row's absmax element quantizes to ±127 exactly;
+//! 3. all-zero rows get scale `1.0`, never `0/0 = NaN`, and round-trip
+//!    to exact zeros;
+//! 4. quantize→dequantize is deterministic across thread counts and
+//!    backends — bit-identical payloads, scales and widened floats.
+
+use proptest::prelude::*;
+use spectragan_tensor::backend::scalar::ScalarBackend;
+use spectragan_tensor::backend::simd::SimdBackend;
+use spectragan_tensor::backend::Backend;
+use spectragan_tensor::{pool, q8, set_backend, BackendKind, Shape};
+
+/// `set_backend`/`set_threads` are process-global; serialize the tests
+/// that flip them.
+static GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Uniform draws in (-10, 10) made weight-like: exact zeros and tiny
+/// and large magnitudes mixed in deterministically.
+fn weight_vals(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len..len + 1)
+}
+
+fn mix_magnitudes(data: &mut [f32]) {
+    for (i, v) in data.iter_mut().enumerate() {
+        match i % 7 {
+            0 => *v = 0.0,
+            1 => *v *= 1e-4,
+            2 => *v *= 1e5,
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-trip error bound: `|v − q·s| ≤ s/2` elementwise (clamping
+    /// never bites because `s = absmax/127` covers the row's range).
+    #[test]
+    fn roundtrip_error_is_at_most_half_a_scale(
+        rows in 1usize..6,
+        row_len in 1usize..40,
+        data in weight_vals(200),
+    ) {
+        let mut data = data;
+        mix_magnitudes(&mut data);
+        let row_len = row_len.min(200 / rows);
+        let data = &data[..rows * row_len];
+        let q = q8::quantize_rows(data, rows);
+        let mut back = vec![0f32; data.len()];
+        q8::dequantize_rows(&q, &mut back);
+        for (i, (&v, &d)) in data.iter().zip(&back).enumerate() {
+            let s = q.scales[i / row_len];
+            prop_assert!(
+                (v - d).abs() <= 0.5 * s * (1.0 + 1e-5),
+                "element {i}: {v} -> {d}, scale {s}"
+            );
+        }
+    }
+
+    /// The row's largest-magnitude element maps to ±127 exactly, and no
+    /// quantized value escapes [-127, 127] (−128 is never produced).
+    #[test]
+    fn absmax_maps_to_plus_minus_127(data in weight_vals(64)) {
+        let mut data = data;
+        mix_magnitudes(&mut data);
+        prop_assume!(data.iter().any(|v| *v != 0.0));
+        let q = q8::quantize_rows(&data, 1);
+        let (imax, &vmax) = data
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
+            .unwrap();
+        let qmax = q.data[imax] as i8;
+        prop_assert_eq!(qmax.abs(), 127, "absmax {} quantized to {}", vmax, qmax);
+        prop_assert_eq!(qmax.signum() as f32, vmax.signum());
+        prop_assert!(q.data.iter().all(|&b| (b as i8) >= -127));
+    }
+
+    /// All-zero rows take scale 1.0 (not NaN) and dequantize to exact
+    /// zeros, independently of what the other rows hold.
+    #[test]
+    fn zero_rows_never_produce_nan(data in weight_vals(30), zero_row in 0usize..3) {
+        let mut data = data;
+        mix_magnitudes(&mut data);
+        data[zero_row * 10..(zero_row + 1) * 10].fill(0.0);
+        let q = q8::quantize_rows(&data, 3);
+        prop_assert_eq!(q.scales[zero_row], 1.0);
+        prop_assert!(q.scales.iter().all(|s| s.is_finite() && *s > 0.0));
+        let mut back = vec![f32::NAN; 30];
+        q8::dequantize_rows(&q, &mut back);
+        prop_assert!(back[zero_row * 10..(zero_row + 1) * 10].iter().all(|v| *v == 0.0));
+        prop_assert!(back.iter().all(|v| v.is_finite()));
+    }
+
+    /// Quantization itself is a pure function (no backend, no threads),
+    /// and every widening path — the q8 reference, the scalar backend
+    /// and the simd backend — agrees bit-for-bit at any thread count.
+    #[test]
+    fn quantize_dequantize_is_deterministic_across_threads_and_backends(
+        rows in 1usize..5,
+        data in weight_vals(60),
+    ) {
+        let _g = lock();
+        let mut data = data;
+        mix_magnitudes(&mut data);
+        let data = &data[..60 / rows * rows];
+        let baseline = q8::quantize_rows(data, rows);
+        let mut reference = vec![0f32; data.len()];
+        q8::dequantize_rows(&baseline, &mut reference);
+        let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+
+        for threads in [1usize, 2, 7] {
+            pool::set_threads(Some(threads));
+            for kind in [BackendKind::Scalar, BackendKind::Simd] {
+                set_backend(Some(kind));
+                let q = q8::quantize_rows(data, rows);
+                prop_assert_eq!(&q, &baseline, "quantize under {:?} @ {}", kind, threads);
+                let mut wide = vec![0f32; data.len()];
+                match kind {
+                    BackendKind::Scalar => {
+                        ScalarBackend.widen_i8_scaled(&q.data, &q.scales, &mut wide)
+                    }
+                    BackendKind::Simd => {
+                        SimdBackend.widen_i8_scaled(&q.data, &q.scales, &mut wide)
+                    }
+                }
+                let bits: Vec<u32> = wide.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&bits, &ref_bits, "widen under {:?} @ {}", kind, threads);
+            }
+        }
+        set_backend(None);
+        pool::set_threads(None);
+    }
+}
+
+/// The canonical scale granularity: one scale per leading-dim row for
+/// matrices and conv kernels, one per tensor for vectors and scalars.
+#[test]
+fn tensor_granularity_matches_scale_rows() {
+    for dims in [vec![6, 4], vec![3, 2, 2, 2], vec![24], vec![]] {
+        let shape = Shape(dims.clone());
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|i| i as f32 - 3.0).collect();
+        let q = q8::quantize_tensor(&data, &shape);
+        assert_eq!(
+            q.scales.len(),
+            q8::scale_rows(&shape),
+            "scale count for shape {dims:?}"
+        );
+        assert_eq!(q.data.len(), n);
+    }
+}

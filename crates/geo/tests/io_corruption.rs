@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 use spectragan_geo::io::{
     crc32, decode_band, decode_checked, decode_context, decode_traffic, encode_band,
-    encode_checked, encode_context, encode_traffic, read_checked_frame, IoError, FORMAT_VERSION,
-    GRAD_FRAME_MAGIC,
+    encode_checked, encode_context, encode_traffic, extend_f32_le, f32s_from_le,
+    read_checked_frame, IoError, FORMAT_VERSION, GRAD_FRAME_MAGIC,
 };
 use spectragan_geo::{ContextMap, TrafficBand, TrafficMap};
 
@@ -168,6 +168,47 @@ proptest! {
         let a: Vec<u32> = back.data().iter().map(|v| v.to_bits()).collect();
         let b: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(a, b);
+    }
+
+    /// The bulk f32 little-endian codec — which the SGWT directory's
+    /// dequantization scales ride — round-trips *every* 32-bit pattern
+    /// bit-exactly, NaN payloads and negative zero included. Nothing
+    /// may be normalized in transit: corrupt scales must arrive intact
+    /// so the semantic finite/positive check upstairs can refuse them.
+    #[test]
+    fn f32_le_codec_roundtrips_arbitrary_bit_patterns(
+        words in proptest::collection::vec(0u32..=u32::MAX, 0..64),
+    ) {
+        let vals: Vec<f32> = words.iter().map(|&w| f32::from_bits(w)).collect();
+        let mut bytes = Vec::with_capacity(4 * vals.len());
+        extend_f32_le(&mut bytes, &vals);
+        prop_assert_eq!(bytes.len(), 4 * vals.len());
+        let back = f32s_from_le(&bytes);
+        let got: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, words);
+    }
+
+    /// Flipping one byte of an encoded f32 run perturbs exactly the
+    /// containing element — the codec is positional, so a corrupt
+    /// scale can never smear into its neighbors.
+    #[test]
+    fn f32_le_byte_flip_is_contained_to_one_element(
+        n in 1usize..32, flip in 0usize..128, bit in 0u8..8, seed in 0u64..50,
+    ) {
+        let vals = payload(n, seed);
+        let mut bytes = Vec::new();
+        extend_f32_le(&mut bytes, &vals);
+        prop_assume!(flip < bytes.len());
+        bytes[flip] ^= 1 << bit;
+        let back = f32s_from_le(&bytes);
+        prop_assert_eq!(back.len(), n);
+        for (i, (&a, &b)) in vals.iter().zip(&back).enumerate() {
+            if i == flip / 4 {
+                prop_assert!(a.to_bits() != b.to_bits(), "flipped element unchanged");
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "element {} smeared", i);
+            }
+        }
     }
 
     /// CRC-32 detects every single-bit flip in a frame's payload.

@@ -115,9 +115,12 @@ impl Linear {
         x.matmul_bias_act(&bind.var(self.w), &bind.var(self.b), act.fused())
     }
 
-    /// Tape-free forward pass for inference.
+    /// Tape-free forward pass for inference. Int8-stored weights
+    /// stream through the backend's dequantizing GEMM (see
+    /// [`ParamStore::infer_matmul`]); everything else is the plain
+    /// widen-and-matmul path.
     pub fn forward_infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&store.weight(self.w));
+        let mut y = store.infer_matmul(x, self.w);
         let b = store.weight(self.b);
         let (n, m) = (y.shape().dim(0), y.shape().dim(1));
         for row in 0..n {

@@ -149,7 +149,7 @@ impl Lstm {
         h: &Tensor,
         c: &Tensor,
     ) -> (Tensor, Tensor) {
-        self.step_infer_projected(store, &x.matmul(&store.weight(self.wx)), h, c)
+        self.step_infer_projected(store, &store.infer_matmul(x, self.wx), h, c)
     }
 
     /// Tape-free step for inference with a precomputed input projection.
@@ -161,7 +161,7 @@ impl Lstm {
         c: &Tensor,
     ) -> (Tensor, Tensor) {
         let hs = self.hidden_size;
-        let mut gates = xw.add(&h.matmul(&store.weight(self.wh)));
+        let mut gates = xw.add(&store.infer_matmul(h, self.wh));
         let b = store.weight(self.b);
         let n = gates.shape().dim(0);
         for row in 0..n {

@@ -11,19 +11,25 @@
 //!
 //! A parameter is normally a resident f32 [`Tensor`] ([`Slot::Dense`]).
 //! For serving, a store may instead hold **f16 storage bytes**
-//! ([`Slot::Half`]) backed by an [`F16Slice`] — typically a section of
-//! a memory-mapped weight container owned by `spectragan-core`. The
+//! ([`Slot::Half`] backed by an [`F16Slice`]) or **symmetric-int8
+//! storage** ([`Slot::Int8`] backed by a [`Q8Slice`]: 1 byte per
+//! element plus per-row f32 scales) — typically sections of a
+//! memory-mapped weight container owned by `spectragan-core`. The
 //! split keeps the precision contract structural:
 //!
 //! * [`ParamStore::get`]/[`ParamStore::get_mut`] — the training and
-//!   optimizer path — return `&Tensor` and **panic** on an f16 slot:
-//!   training stays f32 by construction, not by convention.
+//!   optimizer path — return `&Tensor` and **panic** on a
+//!   reduced-precision slot: training stays f32 by construction, not
+//!   by convention.
 //! * [`ParamStore::weight`] — the inference path — returns a
-//!   [`WeightRef`] that borrows a dense tensor directly and widens an
-//!   f16 slot transiently (exact per-element widening, see
-//!   `spectragan_tensor::f16`). Nothing f32 stays resident between
-//!   calls, which is where the ~2× serving-memory reduction comes
-//!   from.
+//!   [`WeightRef`] that borrows a dense tensor directly and widens a
+//!   reduced-precision slot transiently (exact per-element widening
+//!   and `q · s` dequantization, see `spectragan_tensor::{f16, q8}`).
+//!   Nothing f32 stays resident between calls, which is where the
+//!   ~2× (f16) / ~4× (int8) serving-memory reduction comes from.
+//! * [`ParamStore::infer_matmul`] — the GEMM fast path — streams an
+//!   int8 2-D parameter through the backend's dequantizing matmul
+//!   without materializing the widened layer at all.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 use spectragan_tensor::{backend, Shape, Tape, Tensor, Var};
@@ -75,6 +81,52 @@ impl F16Slice for Vec<u8> {
     }
 }
 
+/// Storage-only symmetric-int8 payload for one parameter: one byte per
+/// element (two's complement, row-major element order) plus one f32
+/// scale per quantization row (`spectragan_tensor::q8::scale_rows` of
+/// the parameter's shape: the leading dimension for `ndim ≥ 2`, the
+/// whole tensor otherwise).
+///
+/// Like [`F16Slice`], implementations live where the bytes live — the
+/// weight container hands out views into mapped sections; in-memory
+/// narrowing uses [`Q8Buf`].
+pub trait Q8Slice: Send + Sync {
+    /// The raw quantized bytes (`numel` of them).
+    fn bytes(&self) -> &[u8];
+
+    /// The per-row dequantization scales.
+    fn scales(&self) -> &[f32];
+
+    /// Byte count without touching the payload (mapped sources
+    /// override so a size check does not fault the section in).
+    fn byte_len(&self) -> usize {
+        self.bytes().len()
+    }
+}
+
+/// Heap-resident [`Q8Slice`], produced by in-memory narrowing
+/// (`narrow_to_int8` in `spectragan-core`).
+pub struct Q8Buf {
+    /// Quantized payload, 1 byte per element.
+    pub data: Vec<u8>,
+    /// Per-row scales.
+    pub scales: Vec<f32>,
+}
+
+impl Q8Slice for Q8Buf {
+    fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
 /// Deferred f32 storage for one parameter: the value stays wherever
 /// the source keeps it (a mapped weight-container section) until the
 /// parameter is first touched, at which point [`LazySource::load`]
@@ -102,6 +154,14 @@ enum Slot {
     Half {
         shape: Shape,
         bytes: Arc<dyn F16Slice>,
+    },
+    /// Symmetric-int8 storage (1 byte per element + per-row scales);
+    /// streamed through the dequantizing GEMM by
+    /// [`ParamStore::infer_matmul`], widened transiently everywhere
+    /// else.
+    Int8 {
+        shape: Shape,
+        data: Arc<dyn Q8Slice>,
     },
 }
 
@@ -131,6 +191,10 @@ impl Clone for Slot {
                 shape: shape.clone(),
                 bytes: Arc::clone(bytes),
             },
+            Slot::Int8 { shape, data } => Slot::Int8 {
+                shape: shape.clone(),
+                data: Arc::clone(data),
+            },
         }
     }
 }
@@ -145,6 +209,7 @@ impl Slot {
             Slot::Dense(t) => t.shape(),
             Slot::Lazy { shape, .. } => shape,
             Slot::Half { shape, .. } => shape,
+            Slot::Int8 { shape, .. } => shape,
         }
     }
 }
@@ -209,17 +274,19 @@ impl ParamStore {
 
     /// Bytes of parameter storage resident in this process: 4 per
     /// element for dense f32 slots, 2 per element for f16 storage
-    /// slots. (For memory-mapped f16 slots even those 2 are shared,
-    /// clean page-cache pages.) This is the number the serve registry
-    /// reports per city and the perf gate's resident-weight sweep
-    /// measures.
+    /// slots, 1 per element plus 4 per scale row for int8 storage
+    /// slots. (For memory-mapped reduced-precision slots even those
+    /// bytes are shared, clean page-cache pages.) This is the number
+    /// the serve registry reports per city and the perf gate's
+    /// resident-weight sweep measures.
     pub fn resident_weight_bytes(&self) -> usize {
         self.values
             .iter()
             .map(|s| match s {
                 Slot::Dense(t) => 4 * t.numel(),
                 Slot::Lazy { cache, .. } => cache.get().map_or(0, |t| 4 * t.numel()),
-                Slot::Half { bytes, .. } => bytes.bytes().len(),
+                Slot::Half { bytes, .. } => bytes.byte_len(),
+                Slot::Int8 { data, .. } => data.byte_len() + 4 * data.scales().len(),
             })
             .sum()
     }
@@ -227,6 +294,11 @@ impl ParamStore {
     /// Whether any parameter is held as f16 storage.
     pub fn has_half_storage(&self) -> bool {
         self.values.iter().any(|s| matches!(s, Slot::Half { .. }))
+    }
+
+    /// Whether any parameter is held as int8 storage.
+    pub fn has_int8_storage(&self) -> bool {
+        self.values.iter().any(|s| matches!(s, Slot::Int8 { .. }))
     }
 
     /// Read access to a parameter's current value — the training path.
@@ -252,8 +324,8 @@ impl ParamStore {
                 );
                 t
             }
-            Slot::Half { .. } => panic!(
-                "parameter '{}' is f16 storage; training requires f32 — \
+            Slot::Half { .. } | Slot::Int8 { .. } => panic!(
+                "parameter '{}' is reduced-precision storage; training requires f32 — \
                  load f32 weights, or use weight() on the inference path",
                 self.names[id.0]
             ),
@@ -262,8 +334,9 @@ impl ParamStore {
 
     /// Read view of a parameter for inference: borrows dense slots,
     /// transiently widens f16 slots (exact widening; every kernel
-    /// still computes in f32). The widened copy lives only as long as
-    /// the returned [`WeightRef`].
+    /// still computes in f32) and int8 slots (exact `q · s`
+    /// dequantization). The widened copy lives only as long as the
+    /// returned [`WeightRef`].
     pub fn weight(&self, id: ParamId) -> WeightRef<'_> {
         match &self.values[id.0] {
             Slot::Dense(_) | Slot::Lazy { .. } => WeightRef::Borrowed(self.get(id)),
@@ -272,7 +345,28 @@ impl ParamStore {
                 backend::active().widen_f16_le(bytes.bytes(), &mut out);
                 WeightRef::Widened(Tensor::from_vec(out, shape.clone()))
             }
+            Slot::Int8 { shape, data } => {
+                let mut out = vec![0f32; shape.numel()];
+                backend::active().widen_i8_scaled(data.bytes(), data.scales(), &mut out);
+                WeightRef::Widened(Tensor::from_vec(out, shape.clone()))
+            }
         }
+    }
+
+    /// Inference matmul against a parameter used as the right operand:
+    /// `x @ W`. Int8-stored 2-D parameters stream through the
+    /// backend's dequantizing GEMM — reading the weight at 1 byte per
+    /// element with the per-row scale applied inside the kernel,
+    /// instead of widening the whole layer up front — every other
+    /// representation routes through [`ParamStore::weight`] exactly as
+    /// the call sites did before int8 existed.
+    pub fn infer_matmul(&self, x: &Tensor, id: ParamId) -> Tensor {
+        if let Slot::Int8 { shape, data } = &self.values[id.0] {
+            if shape.ndim() == 2 {
+                return backend::active().matmul_q8(x, data.bytes(), data.scales(), shape.dim(1));
+            }
+        }
+        x.matmul(&self.weight(id))
     }
 
     /// Mutable access to a parameter's current value.
@@ -289,8 +383,8 @@ impl ParamStore {
         match &mut self.values[id.0] {
             Slot::Dense(t) => t,
             Slot::Lazy { .. } => unreachable!("promoted above"),
-            Slot::Half { .. } => panic!(
-                "parameter '{}' is f16 storage and cannot be mutated",
+            Slot::Half { .. } | Slot::Int8 { .. } => panic!(
+                "parameter '{}' is reduced-precision storage and cannot be mutated",
                 self.names[id.0]
             ),
         }
@@ -355,6 +449,44 @@ impl ParamStore {
         self.values[id.0] = Slot::Half { shape, bytes };
     }
 
+    /// Replaces a parameter's value with symmetric-int8 storage of the
+    /// same shape. The inference accessors ([`ParamStore::weight`],
+    /// [`ParamStore::infer_matmul`]) dequantize it on demand; the
+    /// training accessors panic from then on.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly 1 byte per element of the
+    /// parameter's current shape, or its scale count differs from the
+    /// canonical `q8::scale_rows` granularity, or any scale is
+    /// non-finite or non-positive (a non-finite scale would dequantize
+    /// to NaN — the weight-container load path refuses such files with
+    /// a typed error before ever reaching here).
+    pub fn demote_to_int8(&mut self, id: ParamId, data: Arc<dyn Q8Slice>) {
+        let shape = self.values[id.0].shape().clone();
+        assert_eq!(
+            data.byte_len(),
+            shape.numel(),
+            "parameter '{}': {} int8 bytes cannot fill shape {:?}",
+            self.names[id.0],
+            data.byte_len(),
+            shape.dims()
+        );
+        let rows = spectragan_tensor::q8::scale_rows(&shape);
+        assert_eq!(
+            data.scales().len(),
+            rows,
+            "parameter '{}': {} scales for {rows} quantization rows",
+            self.names[id.0],
+            data.scales().len()
+        );
+        assert!(
+            data.scales().iter().all(|s| s.is_finite() && *s > 0.0),
+            "parameter '{}': non-finite or non-positive dequantization scale",
+            self.names[id.0]
+        );
+        self.values[id.0] = Slot::Int8 { shape, data };
+    }
+
     /// Serializes the whole store (names + weights) to JSON.
     ///
     /// # Panics
@@ -412,9 +544,9 @@ impl Serialize for ParamStore {
             .map(|(i, s)| match s {
                 Slot::Dense(t) => t.to_value(),
                 Slot::Lazy { source, cache, .. } => cache.get_or_init(|| source.load()).to_value(),
-                Slot::Half { .. } => panic!(
-                    "parameter '{}' is f16 storage; JSON serialization is f32-only \
-                     (export an f32 weight container instead)",
+                Slot::Half { .. } | Slot::Int8 { .. } => panic!(
+                    "parameter '{}' is reduced-precision storage; JSON serialization is \
+                     f32-only (export an f32 weight container instead)",
                     self.names[i]
                 ),
             })
@@ -555,7 +687,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "f16 storage")]
+    #[should_panic(expected = "reduced-precision storage")]
     fn training_access_to_half_storage_panics() {
         let mut store = ParamStore::new();
         let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], [2]));
@@ -584,5 +716,62 @@ mod tests {
         let mut store = ParamStore::new();
         let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
         store.demote_to_half(id, Arc::new(vec![0u8; 4]));
+    }
+
+    #[test]
+    fn int8_storage_widens_and_streams_through_the_gemm() {
+        let mut store = ParamStore::new();
+        // Exactly representable under absmax/127 scaling: row absmaxes
+        // 127 and 63.5 → scales 1.0 and 0.5 (both powers of two), so
+        // q · scale reproduces every value bit-exactly.
+        let vals = vec![127.0f32, -127.0, 64.0, 63.5, 0.0, -2.0];
+        let id = store.register("w", Tensor::from_vec(vals.clone(), [2, 3]));
+        let q = spectragan_tensor::q8::quantize_tensor(&vals, store.shape(id));
+        store.demote_to_int8(
+            id,
+            Arc::new(Q8Buf {
+                data: q.data,
+                scales: q.scales,
+            }),
+        );
+        assert!(store.has_int8_storage());
+        // 6 payload bytes + 2 row scales × 4 bytes.
+        assert_eq!(store.resident_weight_bytes(), 6 + 8);
+        assert_eq!(store.weight(id).data(), vals.as_slice());
+        let x = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let y = store.infer_matmul(&x, id);
+        let want = x.matmul(&store.weight(id));
+        assert_eq!(y.data(), want.data());
+        assert_eq!(y.shape().dims(), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced-precision storage")]
+    fn training_access_to_int8_storage_panics() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], [1, 2]));
+        let q = spectragan_tensor::q8::quantize_tensor(&[1.0, 2.0], store.shape(id));
+        store.demote_to_int8(
+            id,
+            Arc::new(Q8Buf {
+                data: q.data,
+                scales: q.scales,
+            }),
+        );
+        let _ = store.get(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or non-positive")]
+    fn demote_to_int8_rejects_bad_scales() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], [1, 2]));
+        store.demote_to_int8(
+            id,
+            Arc::new(Q8Buf {
+                data: vec![1, 2],
+                scales: vec![f32::NAN],
+            }),
+        );
     }
 }

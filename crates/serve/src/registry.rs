@@ -49,8 +49,9 @@ pub struct CityStatus {
     /// Whether the weights are memory-mapped from an `SGWT` container.
     pub mapped: bool,
     /// Bytes of weight storage currently resident for this city:
-    /// materialized f32 layers plus f16 section bytes. Grows as lazy
-    /// layers are first touched; 0 until the city is loaded.
+    /// materialized f32 layers plus reduced-precision section bytes
+    /// (f16 payloads; int8 payloads plus their f32 scales). Grows as
+    /// lazy layers are first touched; 0 until the city is loaded.
     pub resident_weight_bytes: usize,
 }
 
@@ -85,8 +86,8 @@ struct CitySlot {
 /// The registry itself. Cheap to share behind an `Arc`.
 pub struct Registry {
     dir: PathBuf,
-    /// When `Some(F16)`, every loaded model is narrowed to f16 storage
-    /// whatever its on-disk precision.
+    /// When set, every loaded model is narrowed to this reduced
+    /// precision (f16 or int8) whatever its on-disk precision.
     precision: Option<weights::Precision>,
     slots: Mutex<HashMap<String, Arc<CitySlot>>>,
 }
@@ -231,8 +232,14 @@ impl Registry {
                 false,
             )
         };
-        if self.precision == Some(weights::Precision::F16) && !model.store().has_half_storage() {
-            weights::narrow_to_f16(&mut model);
+        match self.precision {
+            Some(weights::Precision::F16) if !model.store().has_half_storage() => {
+                weights::narrow_to_f16(&mut model);
+            }
+            Some(weights::Precision::Int8) if !model.store().has_int8_storage() => {
+                weights::narrow_to_int8(&mut model);
+            }
+            _ => {}
         }
         Ok(CityEntry {
             name: city.to_string(),

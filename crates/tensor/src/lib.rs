@@ -50,6 +50,7 @@ pub mod envctl;
 pub mod f16;
 pub mod ops;
 pub mod pool;
+pub mod q8;
 pub mod shape;
 pub mod stats;
 pub mod tape;

@@ -1,0 +1,209 @@
+//! Symmetric int8 quantization for the reduced-precision weight path.
+//!
+//! Like [`crate::f16`], int8 is a *storage* format: every kernel still
+//! computes in f32, and a quantized weight only ever re-enters the
+//! compute path through the exact dequantization `v = q · s` (either
+//! widened whole by `Backend::widen_i8_scaled` or streamed through the
+//! dequantizing GEMM `Backend::matmul_q8`).
+//!
+//! The scheme is **symmetric absmax**, the simplest quantizer whose
+//! error is analyzable per element:
+//!
+//! * one f32 scale per *row* (a matrix row, a conv out-channel) or per
+//!   tensor, `s = absmax / 127` — so the row's largest-magnitude value
+//!   maps to ±127 exactly;
+//! * `q = round(v / s)` clamped to `[-127, 127]` (−128 is never
+//!   produced, keeping the code symmetric around zero);
+//! * an all-zero row gets `s = 1.0`, never `0/0 = NaN`, and
+//!   dequantizes back to exact zeros;
+//! * a row containing a non-finite value gets its absmax over the
+//!   finite values; the non-finite elements saturate to ±127 (NaN to
+//!   0), which the export path treats as acceptable because trained
+//!   weights are finite — the *load* path separately refuses
+//!   non-finite scales so a corrupt container can never dequantize to
+//!   NaN.
+//!
+//! Round-trip error is ≤ `s/2` per element (up to one float ulp), the
+//! bound the property tests in `core/tests/quantization.rs` assert.
+//! Quantization is a pure sequential function of its input — no
+//! threading, no backend dispatch — so exports are deterministic
+//! across machines, thread counts and backends by construction.
+
+use crate::shape::Shape;
+
+/// Quantized rows: the i8 payload (stored as raw bytes, one per
+/// element, two's complement) plus one f32 scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// `q` values as bytes (`q as u8`), row-major, 1 byte per element.
+    pub data: Vec<u8>,
+    /// One scale per row, `data.len() / rows` elements each.
+    pub scales: Vec<f32>,
+}
+
+/// How many scale rows a tensor of `shape` quantizes into: one per
+/// leading-dimension row for matrices and conv kernels (`ndim ≥ 2`),
+/// one for the whole tensor otherwise (biases, scalars). This is the
+/// canonical granularity shared by the exporter, the container parser
+/// and `ParamStore`'s int8 slots.
+pub fn scale_rows(shape: &Shape) -> usize {
+    if shape.ndim() >= 2 {
+        shape.dim(0)
+    } else {
+        1
+    }
+}
+
+/// The absmax scale for one row: `absmax / 127`, with all-zero (and
+/// all-non-finite) rows pinned to `1.0` so dequantization never
+/// divides by or multiplies with zero/NaN.
+pub fn row_scale(row: &[f32]) -> f32 {
+    let mut absmax = 0.0f32;
+    for &v in row {
+        let a = v.abs();
+        if a.is_finite() && a > absmax {
+            absmax = a;
+        }
+    }
+    if absmax > 0.0 {
+        absmax / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `data` as `rows` equal-length rows (symmetric absmax, see
+/// module docs). `rows` must divide `data.len()`; `rows == 0` is only
+/// valid for empty data.
+pub fn quantize_rows(data: &[f32], rows: usize) -> Quantized {
+    if data.is_empty() {
+        return Quantized {
+            data: Vec::new(),
+            scales: vec![1.0; rows],
+        };
+    }
+    assert!(
+        rows > 0 && data.len().is_multiple_of(rows),
+        "quantize_rows: {} elements do not split into {rows} rows",
+        data.len()
+    );
+    let row_len = data.len() / rows;
+    let mut out = Vec::with_capacity(data.len());
+    let mut scales = Vec::with_capacity(rows);
+    for row in data.chunks_exact(row_len) {
+        let s = row_scale(row);
+        scales.push(s);
+        for &v in row {
+            let q = (v / s).round();
+            // NaN fails both comparisons and falls through to 0.
+            let q = if q >= 127.0 {
+                127
+            } else if q <= -127.0 {
+                -127
+            } else {
+                q as i8
+            };
+            out.push(q as u8);
+        }
+    }
+    Quantized { data: out, scales }
+}
+
+/// Quantizes a whole tensor's data at the canonical granularity of
+/// [`scale_rows`].
+pub fn quantize_tensor(data: &[f32], shape: &Shape) -> Quantized {
+    quantize_rows(data, scale_rows(shape))
+}
+
+/// Reference dequantization: `out[i] = q[i] · s[row(i)]`. This exact
+/// expression is the contract every backend kernel must reproduce
+/// bit-for-bit (`widen_i8_scaled`) or reassociate within tolerance
+/// (`matmul_q8`).
+pub fn dequantize_rows(q: &Quantized, out: &mut [f32]) {
+    assert_eq!(q.data.len(), out.len(), "dequantize_rows length mismatch");
+    if out.is_empty() {
+        return;
+    }
+    assert!(
+        !q.scales.is_empty() && q.data.len().is_multiple_of(q.scales.len()),
+        "dequantize_rows: {} elements do not split into {} rows",
+        q.data.len(),
+        q.scales.len()
+    );
+    let row_len = q.data.len() / q.scales.len();
+    for (r, (chunk, o_chunk)) in q
+        .data
+        .chunks_exact(row_len)
+        .zip(out.chunks_exact_mut(row_len))
+        .enumerate()
+    {
+        let s = q.scales[r];
+        for (&b, o) in chunk.iter().zip(o_chunk) {
+            *o = (b as i8 as i32 as f32) * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absmax_maps_to_127_and_roundtrip_is_bounded() {
+        let data = [0.5f32, -2.0, 1.25, 0.003, -0.75, 2.0, 0.0, 1.0];
+        let q = quantize_rows(&data, 1);
+        assert_eq!(q.scales.len(), 1);
+        let s = q.scales[0];
+        assert_eq!(s, 2.0 / 127.0);
+        // The ±absmax elements hit ±127 exactly.
+        assert_eq!(q.data[1] as i8, -127);
+        assert_eq!(q.data[5] as i8, 127);
+        let mut back = [0f32; 8];
+        dequantize_rows(&q, &mut back);
+        for (&v, &d) in data.iter().zip(&back) {
+            assert!(
+                (v - d).abs() <= 0.5 * s * (1.0 + 1e-5),
+                "roundtrip error for {v}: got {d}, scale {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rows_get_unit_scale_and_exact_zeros() {
+        let q = quantize_rows(&[0.0; 6], 2);
+        assert_eq!(q.scales, vec![1.0, 1.0]);
+        let mut back = [1f32; 6];
+        dequantize_rows(&q, &mut back);
+        assert_eq!(back, [0.0; 6]);
+    }
+
+    #[test]
+    fn rows_are_scaled_independently() {
+        let data = [1.0f32, -1.0, 1000.0, 500.0];
+        let q = quantize_rows(&data, 2);
+        assert_eq!(q.scales[0], 1.0 / 127.0);
+        assert_eq!(q.scales[1], 1000.0 / 127.0);
+        let mut back = [0f32; 4];
+        dequantize_rows(&q, &mut back);
+        // Small-magnitude row keeps its resolution despite the large row.
+        assert!((back[0] - 1.0).abs() < 1e-6);
+        assert!((back[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_values_saturate_instead_of_poisoning() {
+        let q = quantize_rows(&[f32::INFINITY, -f32::INFINITY, f32::NAN, 1.0], 1);
+        assert_eq!(q.scales[0], 1.0 / 127.0);
+        assert_eq!(q.data[0] as i8, 127);
+        assert_eq!(q.data[1] as i8, -127);
+        assert_eq!(q.data[2] as i8, 0);
+    }
+
+    #[test]
+    fn scale_rows_follows_rank() {
+        assert_eq!(scale_rows(&Shape(vec![3, 4])), 3);
+        assert_eq!(scale_rows(&Shape(vec![5, 2, 3, 3])), 5);
+        assert_eq!(scale_rows(&Shape(vec![7])), 1);
+        assert_eq!(scale_rows(&Shape(vec![])), 1);
+    }
+}
